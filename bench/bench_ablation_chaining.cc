@@ -1,0 +1,89 @@
+// Ablation E: intra-CGC operation chaining. The FPL'04 data-path's key
+// feature lets a chain of dependent ops (e.g. multiply-add) finish within
+// one T_CGC; disabling it forces every dependence across a cycle
+// boundary. Reported: coarse-grain cycles of the paper kernels and the
+// resulting Table-2/3 "cycles in CGC" totals.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/methodology.h"
+#include "core/report.h"
+#include "workloads/paper_models.h"
+
+namespace {
+
+using namespace amdrel;
+
+void print_chaining_ablation(const workloads::PaperApp& app,
+                             std::int64_t constraint, const char* caption) {
+  std::printf("%s (A_FPGA=1500, two 2x2 CGCs)\n", caption);
+  core::TextTable table({"chaining", "cycles in CGC", "final cycles",
+                         "% reduction", "kernels moved"});
+  for (const bool chaining : {true, false}) {
+    platform::Platform p = platform::make_paper_platform(1500, 2);
+    p.cgc.enable_chaining = chaining;
+    const auto report =
+        core::run_methodology(app.cdfg, app.profile, p, constraint);
+    char red[32];
+    std::snprintf(red, sizeof red, "%.1f", report.reduction_percent());
+    table.add_row({chaining ? "on (FPL'04)" : "off",
+                   core::with_thousands(report.cycles_in_cgc),
+                   core::with_thousands(report.final_cycles), red,
+                   std::to_string(report.moved.size())});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void print_per_kernel(const workloads::PaperApp& app, const char* caption,
+                      const std::vector<std::string>& labels) {
+  std::printf("%s: per-kernel CGC latency (T_CGC cycles / invocation)\n",
+              caption);
+  core::TextTable table({"kernel", "chaining on", "chaining off", "factor"});
+  for (const auto& label : labels) {
+    const ir::BlockId block = app.block_by_label(label);
+    std::int64_t on = 0, off = 0;
+    for (const bool chaining : {true, false}) {
+      platform::Platform p = platform::make_paper_platform(1500, 2);
+      p.cgc.enable_chaining = chaining;
+      const auto mapping =
+          coarsegrain::map_block_to_cgc(app.cdfg.block(block).dfg, p);
+      (chaining ? on : off) = mapping.schedule.total_cgc_cycles;
+    }
+    char factor[16];
+    std::snprintf(factor, sizeof factor, "%.2fx",
+                  static_cast<double>(off) / static_cast<double>(on));
+    table.add_row({label, std::to_string(on), std::to_string(off), factor});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void BM_ScheduleWithChaining(benchmark::State& state) {
+  const auto app = workloads::build_ofdm_model();
+  platform::Platform p = platform::make_paper_platform(1500, 2);
+  p.cgc.enable_chaining = state.range(0) != 0;
+  const auto& dfg = app.cdfg.block(app.block_by_label("BB22")).dfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coarsegrain::schedule_dfg_on_cgc(dfg, p.cgc));
+  }
+}
+BENCHMARK(BM_ScheduleWithChaining)->Arg(1)->Arg(0);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_chaining_ablation(workloads::build_ofdm_model(),
+                          workloads::kOfdmTimingConstraint,
+                          "Ablation E: chaining, OFDM");
+  print_chaining_ablation(workloads::build_jpeg_model(),
+                          workloads::kJpegTimingConstraint,
+                          "Ablation E: chaining, JPEG");
+  print_per_kernel(workloads::build_ofdm_model(), "OFDM",
+                   {"BB22", "BB12", "BB3"});
+  print_per_kernel(workloads::build_jpeg_model(), "JPEG",
+                   {"BB6", "BB2", "BB1"});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

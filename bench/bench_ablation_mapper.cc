@@ -1,0 +1,122 @@
+// Ablation D: fine-grain mapping algorithm. The paper's Figure-3 mapper
+// packs strictly level by level; the list-packing alternative pulls ready
+// later-level work into the open partition. Compares partition counts and
+// all-FPGA cycles on the paper workloads and on synthetic DFG shapes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/hybrid_mapper.h"
+#include "core/report.h"
+#include "finegrain/temporal_partitioner.h"
+#include "synth/dfg_generator.h"
+#include "workloads/paper_models.h"
+
+namespace {
+
+using namespace amdrel;
+
+void print_mapper_ablation(const workloads::PaperApp& app,
+                           const char* caption) {
+  std::printf("%s\n", caption);
+  core::TextTable table({"A_FPGA", "mapper", "all-FPGA cycles",
+                         "partitions (max/block)", "reconfigs/frame"});
+  for (const double area : {1000.0, 1500.0, 2600.0}) {
+    for (const auto mapper :
+         {platform::FineMapper::kFigure3, platform::FineMapper::kListPacking}) {
+      platform::Platform p = platform::make_paper_platform(area, 2);
+      p.fpga.mapper = mapper;
+      core::HybridMapper hybrid(app.cdfg, p);
+      int max_partitions = 0;
+      std::int64_t reconfigs = 0;
+      for (const auto& block : app.cdfg.blocks()) {
+        const auto& mapping = hybrid.fine(block.id);
+        max_partitions = std::max(max_partitions,
+                                  mapping.partitioning.num_partitions);
+        reconfigs += mapping.reconfigs_per_invocation *
+                     static_cast<std::int64_t>(app.profile.count(block.id));
+      }
+      table.add_row(
+          {std::to_string(static_cast<int>(area)),
+           mapper == platform::FineMapper::kFigure3 ? "Figure 3 (paper)"
+                                                    : "list packing",
+           core::with_thousands(hybrid.all_fine_cycles(app.profile)),
+           std::to_string(max_partitions), core::with_thousands(reconfigs)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void print_synthetic_comparison() {
+  // Fragmentation stress: multiplier-heavy DFGs on a fabric barely two
+  // multipliers wide. When a mid-level multiplier overflows, Figure 3
+  // permanently switches to the new partition, stranding small ALU ops
+  // that would still have fit; list packing recovers them.
+  std::printf("Multiplier-heavy synthetic DFGs, A_FPGA = 150 "
+              "(mul area 60, alu area 12), 20 seeds per width:\n");
+  core::TextTable table({"width", "Figure 3 partitions (total)",
+                         "list packing partitions (total)"});
+  platform::FpgaModel fpga;
+  fpga.usable_area = 150;
+  for (const int width : {2, 4, 8}) {
+    int fig3_total = 0;
+    int list_total = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      synth::DfgGenConfig config;
+      config.alu_ops = 30;
+      config.mul_ops = 12;
+      config.load_ops = 6;
+      config.store_ops = 2;
+      config.target_width = width;
+      config.seed = seed * 131 + width;
+      const ir::Dfg dfg = synth::generate_dfg(config);
+      fig3_total += finegrain::partition_dfg(dfg, fpga).num_partitions;
+      list_total += finegrain::partition_dfg_list(dfg, fpga).num_partitions;
+    }
+    table.add_row({std::to_string(width), std::to_string(fig3_total),
+                   std::to_string(list_total)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void BM_Figure3Mapper(benchmark::State& state) {
+  synth::DfgGenConfig config;
+  config.alu_ops = static_cast<int>(state.range(0));
+  config.mul_ops = config.alu_ops / 4;
+  config.seed = 5;
+  const ir::Dfg dfg = synth::generate_dfg(config);
+  platform::FpgaModel fpga;
+  fpga.usable_area = 600;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finegrain::partition_dfg(dfg, fpga));
+  }
+}
+BENCHMARK(BM_Figure3Mapper)->Arg(256)->Arg(1024);
+
+void BM_ListPackingMapper(benchmark::State& state) {
+  synth::DfgGenConfig config;
+  config.alu_ops = static_cast<int>(state.range(0));
+  config.mul_ops = config.alu_ops / 4;
+  config.seed = 5;
+  const ir::Dfg dfg = synth::generate_dfg(config);
+  platform::FpgaModel fpga;
+  fpga.usable_area = 600;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finegrain::partition_dfg_list(dfg, fpga));
+  }
+}
+BENCHMARK(BM_ListPackingMapper)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_mapper_ablation(workloads::build_ofdm_model(),
+                        "Ablation D: fine-grain mapper, OFDM");
+  print_mapper_ablation(workloads::build_jpeg_model(),
+                        "Ablation D: fine-grain mapper, JPEG");
+  print_synthetic_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Ablation A: how much does the paper's kernel ordering (decreasing
+// total weight) matter? Compares against measured-benefit ordering,
+// source order, random orders and the exhaustive optimum, on both paper
+// workloads. Reported: kernels moved until the constraint is met and the
+// final cycle count.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/baselines.h"
+#include "core/methodology.h"
+#include "core/report.h"
+#include "workloads/paper_models.h"
+
+namespace {
+
+using namespace amdrel;
+
+void print_ordering_ablation(const workloads::PaperApp& app,
+                             std::int64_t constraint, const char* caption) {
+  const auto p = platform::make_paper_platform(1500, 2);
+  std::printf("%s (A_FPGA=1500, two 2x2 CGCs, constraint %s)\n", caption,
+              core::with_thousands(constraint).c_str());
+
+  core::TextTable table(
+      {"ordering", "kernels moved", "final cycles", "% reduction", "met"});
+  auto add = [&](const char* name, const core::PartitionReport& report) {
+    char red[32];
+    std::snprintf(red, sizeof red, "%.1f", report.reduction_percent());
+    table.add_row({name, std::to_string(report.moved.size()),
+                   core::with_thousands(report.final_cycles), red,
+                   report.met ? "yes" : "no"});
+  };
+
+  core::MethodologyOptions options;
+  options.ordering = core::KernelOrdering::kWeightDescending;
+  add("weight desc (paper)",
+      core::run_methodology(app.cdfg, app.profile, p, constraint, options));
+
+  options.ordering = core::KernelOrdering::kBenefitDescending;
+  add("benefit desc",
+      core::run_methodology(app.cdfg, app.profile, p, constraint, options));
+
+  options.ordering = core::KernelOrdering::kCodeOrder;
+  add("code order",
+      core::run_methodology(app.cdfg, app.profile, p, constraint, options));
+
+  options.ordering = core::KernelOrdering::kRandom;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    options.random_seed = seed;
+    char name[32];
+    std::snprintf(name, sizeof name, "random (seed %llu)",
+                  static_cast<unsigned long long>(seed));
+    add(name,
+        core::run_methodology(app.cdfg, app.profile, p, constraint, options));
+  }
+
+  const auto optimal = core::exhaustive_optimal(app.cdfg, app.profile, p,
+                                                constraint, /*max_kernels=*/14);
+  if (optimal.fewest_moves) {
+    char red[32];
+    const auto initial =
+        core::HybridMapper(app.cdfg, p).all_fine_cycles(app.profile);
+    std::snprintf(red, sizeof red, "%.1f",
+                  100.0 * (1.0 - static_cast<double>(
+                                     optimal.fewest_moves_cycles) /
+                                     static_cast<double>(initial)));
+    table.add_row({"exhaustive optimum",
+                   std::to_string(optimal.fewest_moves->size()),
+                   core::with_thousands(optimal.fewest_moves_cycles), red,
+                   "yes"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void BM_GreedyEngine(benchmark::State& state) {
+  const auto app = workloads::build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_methodology(
+        app.cdfg, app.profile, p, workloads::kOfdmTimingConstraint));
+  }
+}
+BENCHMARK(BM_GreedyEngine);
+
+void BM_ExhaustiveOptimal(benchmark::State& state) {
+  const auto app = workloads::build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::exhaustive_optimal(
+        app.cdfg, app.profile, p, workloads::kOfdmTimingConstraint,
+        static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_ExhaustiveOptimal)->Arg(8)->Arg(12)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ordering_ablation(workloads::build_ofdm_model(),
+                          workloads::kOfdmTimingConstraint,
+                          "Ablation A: kernel ordering, OFDM");
+  print_ordering_ablation(workloads::build_jpeg_model(),
+                          workloads::kJpegTimingConstraint,
+                          "Ablation A: kernel ordering, JPEG");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation B: reconfiguration-charging policies for the fine-grain
+// temporal partitions. The paper charges full reconfiguration per
+// generated partition; this study shows how the all-FPGA baseline and the
+// partitioning outcome move under the four policies the library models.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/methodology.h"
+#include "core/report.h"
+#include "workloads/paper_models.h"
+
+namespace {
+
+using namespace amdrel;
+
+const char* policy_name(platform::ReconfigPolicy policy) {
+  switch (policy) {
+    case platform::ReconfigPolicy::kNone: return "none (idealized)";
+    case platform::ReconfigPolicy::kSwitchOnly: return "switch-only (default)";
+    case platform::ReconfigPolicy::kPerPartition: return "per partition";
+    case platform::ReconfigPolicy::kAmortizedOnce: return "amortized once";
+  }
+  return "?";
+}
+
+void print_policy_ablation(const workloads::PaperApp& app,
+                           std::int64_t constraint, const char* caption) {
+  std::printf("%s (A_FPGA=1500, two 2x2 CGCs, constraint %s)\n", caption,
+              core::with_thousands(constraint).c_str());
+  core::TextTable table({"reconfig policy", "initial cycles", "final cycles",
+                         "% reduction", "kernels moved"});
+  for (const auto policy :
+       {platform::ReconfigPolicy::kNone, platform::ReconfigPolicy::kSwitchOnly,
+        platform::ReconfigPolicy::kPerPartition,
+        platform::ReconfigPolicy::kAmortizedOnce}) {
+    platform::Platform p = platform::make_paper_platform(1500, 2);
+    p.fpga.reconfig_policy = policy;
+    const auto report =
+        core::run_methodology(app.cdfg, app.profile, p, constraint);
+    char red[32];
+    std::snprintf(red, sizeof red, "%.1f", report.reduction_percent());
+    table.add_row({policy_name(policy),
+                   core::with_thousands(report.initial_cycles),
+                   core::with_thousands(report.final_cycles), red,
+                   std::to_string(report.moved.size())});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void BM_FineMappingUnderPolicy(benchmark::State& state) {
+  const auto app = workloads::build_ofdm_model();
+  platform::Platform p = platform::make_paper_platform(1500, 2);
+  p.fpga.reconfig_policy =
+      static_cast<platform::ReconfigPolicy>(state.range(0));
+  for (auto _ : state) {
+    core::HybridMapper mapper(app.cdfg, p);
+    benchmark::DoNotOptimize(mapper.all_fine_cycles(app.profile));
+  }
+}
+BENCHMARK(BM_FineMappingUnderPolicy)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_policy_ablation(workloads::build_ofdm_model(),
+                        workloads::kOfdmTimingConstraint,
+                        "Ablation B: reconfiguration policy, OFDM");
+  print_policy_ablation(workloads::build_jpeg_model(),
+                        workloads::kJpegTimingConstraint,
+                        "Ablation B: reconfiguration policy, JPEG");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation C: cycle reduction as a function of A_FPGA. The paper's
+// observation: "as the FPGA area grows, the reduction of clock cycles is
+// smaller" — sweep the usable area and watch the achievable reduction.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/methodology.h"
+#include "core/report.h"
+#include "workloads/paper_models.h"
+
+namespace {
+
+using namespace amdrel;
+
+void print_area_sweep(const workloads::PaperApp& app, std::int64_t constraint,
+                      const char* caption) {
+  std::printf("%s (two 2x2 CGCs, constraint %s)\n", caption,
+              core::with_thousands(constraint).c_str());
+  core::TextTable table({"A_FPGA", "initial cycles", "final cycles",
+                         "% reduction", "kernels moved", "met"});
+  for (const double area :
+       {1000.0, 1500.0, 2000.0, 2600.0, 3500.0, 5000.0, 8000.0}) {
+    const auto p = platform::make_paper_platform(area, 2);
+    const auto report =
+        core::run_methodology(app.cdfg, app.profile, p, constraint);
+    char red[32];
+    std::snprintf(red, sizeof red, "%.1f", report.reduction_percent());
+    table.add_row({std::to_string(static_cast<int>(area)),
+                   core::with_thousands(report.initial_cycles),
+                   core::with_thousands(report.final_cycles), red,
+                   std::to_string(report.moved.size()),
+                   report.met ? "yes" : "no"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void BM_MethodologyVsArea(benchmark::State& state) {
+  const auto app = workloads::build_ofdm_model();
+  const auto p =
+      platform::make_paper_platform(static_cast<double>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_methodology(
+        app.cdfg, app.profile, p, workloads::kOfdmTimingConstraint));
+  }
+}
+BENCHMARK(BM_MethodologyVsArea)->Arg(1000)->Arg(2000)->Arg(5000)->Arg(8000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_area_sweep(workloads::build_ofdm_model(),
+                   workloads::kOfdmTimingConstraint,
+                   "Ablation C: area sweep, OFDM");
+  print_area_sweep(workloads::build_jpeg_model(),
+                   workloads::kJpegTimingConstraint,
+                   "Ablation C: area sweep, JPEG");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

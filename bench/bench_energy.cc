@@ -1,0 +1,91 @@
+// Extension study: energy-constrained partitioning (paper section 5's
+// future work). Prints the energy breakdown of the all-fine solution and
+// of the timing- and energy-driven splits across the platform grid.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/energy.h"
+#include "core/methodology.h"
+#include "core/report.h"
+#include "workloads/paper_models.h"
+
+namespace {
+
+using namespace amdrel;
+
+std::string njoule(double pj) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.1f", pj / 1000.0);
+  return buffer;
+}
+
+void print_energy_study(const workloads::PaperApp& app,
+                        std::int64_t timing_constraint, const char* caption) {
+  std::printf("%s\n", caption);
+  core::TextTable table({"A_FPGA", "split", "fine nJ", "coarse nJ",
+                         "reconfig nJ", "comm nJ", "total nJ", "vs all-fine"});
+  for (const double area : {1500.0, 5000.0}) {
+    const auto p = platform::make_paper_platform(area, 2);
+    const auto all_fine =
+        core::estimate_energy(app.cdfg, app.profile, p, {});
+
+    auto add = [&](const char* name, const core::EnergyBreakdown& e) {
+      char ratio[32];
+      std::snprintf(ratio, sizeof ratio, "%.1f%%",
+                    100.0 * e.total_pj() / all_fine.total_pj());
+      table.add_row({std::to_string(static_cast<int>(area)), name,
+                     njoule(e.fine_pj), njoule(e.coarse_pj),
+                     njoule(e.reconfig_pj), njoule(e.comm_pj),
+                     njoule(e.total_pj()), ratio});
+    };
+    add("all fine-grain", all_fine);
+
+    const auto timing = core::run_methodology(app.cdfg, app.profile, p,
+                                              timing_constraint);
+    add("timing-driven split",
+        core::estimate_energy(app.cdfg, app.profile, p, timing.moved));
+
+    const auto energy = core::run_energy_methodology(
+        app.cdfg, app.profile, p, all_fine.total_pj() * 0.5);
+    add("energy-driven (50% budget)", energy.energy);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void BM_EnergyEstimate(benchmark::State& state) {
+  const auto app = workloads::build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::estimate_energy(app.cdfg, app.profile, p, {}));
+  }
+}
+BENCHMARK(BM_EnergyEstimate);
+
+void BM_EnergyMethodology(benchmark::State& state) {
+  const auto app = workloads::build_jpeg_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  const double budget =
+      core::estimate_energy(app.cdfg, app.profile, p, {}).total_pj() * 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_energy_methodology(app.cdfg, app.profile, p, budget));
+  }
+}
+BENCHMARK(BM_EnergyMethodology);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_energy_study(workloads::build_ofdm_model(),
+                     amdrel::workloads::kOfdmTimingConstraint,
+                     "Energy study, OFDM");
+  print_energy_study(workloads::build_jpeg_model(),
+                     amdrel::workloads::kJpegTimingConstraint,
+                     "Energy study, JPEG");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Extension study: frame pipelining between the fine- and coarse-grain
+// blocks (paper section 3's utilization claim / section 5's ongoing
+// work). Prints the sequential vs pipelined makespan of the partitioned
+// paper workloads as the frame count grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "workloads/paper_models.h"
+
+namespace {
+
+using namespace amdrel;
+
+void print_pipeline_study(const workloads::PaperApp& app,
+                          std::int64_t constraint, int max_frames,
+                          const char* caption) {
+  const auto p = platform::make_paper_platform(1500, 2);
+  const auto report =
+      core::run_methodology(app.cdfg, app.profile, p, constraint);
+  std::printf("%s (after partitioning: fine %s + coarse %s + comm %s)\n",
+              caption, core::with_thousands(report.cost.t_fpga).c_str(),
+              core::with_thousands(report.cost.t_coarse).c_str(),
+              core::with_thousands(report.cost.t_comm).c_str());
+  core::TextTable table({"frames", "sequential", "pipelined", "speedup",
+                         "fine util %", "coarse util %"});
+  for (int frames = 1; frames <= max_frames; frames *= 2) {
+    const auto estimate = core::estimate_pipeline(report, frames);
+    char speedup[16], fu[16], cu[16];
+    std::snprintf(speedup, sizeof speedup, "%.2fx", estimate.speedup());
+    std::snprintf(fu, sizeof fu, "%.0f",
+                  100.0 * estimate.fine_utilization());
+    std::snprintf(cu, sizeof cu, "%.0f",
+                  100.0 * estimate.coarse_utilization());
+    table.add_row({std::to_string(frames),
+                   core::with_thousands(estimate.sequential_cycles),
+                   core::with_thousands(estimate.pipelined_cycles), speedup,
+                   fu, cu});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void BM_PipelineEstimate(benchmark::State& state) {
+  const auto app = workloads::build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  const auto report = core::run_methodology(app.cdfg, app.profile, p,
+                                            workloads::kOfdmTimingConstraint);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::estimate_pipeline(report, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_PipelineEstimate)->Arg(2)->Arg(16)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_pipeline_study(workloads::build_ofdm_model(),
+                       workloads::kOfdmTimingConstraint, 64,
+                       "Frame pipelining, OFDM (frames = OFDM symbols)");
+  print_pipeline_study(workloads::build_jpeg_model(),
+                       workloads::kJpegTimingConstraint, 64,
+                       "Frame pipelining, JPEG (frames = block rows)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Tooling scalability: runtime of the mappers, the analysis and the whole
+// methodology against application size (synthetic CDFGs) and DFG size
+// (synthetic DFGs). Establishes that the framework scales to far larger
+// inputs than the paper's 18/22-block applications.
+
+#include <benchmark/benchmark.h>
+
+#include "coarsegrain/cgc_scheduler.h"
+#include "core/methodology.h"
+#include "finegrain/fpga_mapper.h"
+#include "minic/frontend.h"
+#include "synth/cdfg_generator.h"
+#include "workloads/minic_sources.h"
+
+namespace {
+
+using namespace amdrel;
+
+synth::SyntheticApp make_app(int segments, std::uint64_t seed) {
+  synth::CdfgGenConfig config;
+  config.segments = segments;
+  config.max_loop_depth = 2;
+  config.seed = seed;
+  return synth::generate_app(config);
+}
+
+ir::Dfg make_dfg(int ops, std::uint64_t seed) {
+  synth::DfgGenConfig config;
+  config.alu_ops = ops * 7 / 10;
+  config.mul_ops = ops / 5;
+  config.load_ops = ops / 10;
+  config.store_ops = ops / 20;
+  config.target_width = 6;
+  config.seed = seed;
+  return synth::generate_dfg(config);
+}
+
+void BM_TemporalPartitioning(benchmark::State& state) {
+  const ir::Dfg dfg = make_dfg(static_cast<int>(state.range(0)), 11);
+  platform::FpgaModel fpga;
+  fpga.usable_area = 1500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finegrain::partition_dfg(dfg, fpga));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TemporalPartitioning)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity();
+
+void BM_CgcScheduling(benchmark::State& state) {
+  const ir::Dfg dfg = make_dfg(static_cast<int>(state.range(0)), 13);
+  platform::CgcModel cgc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coarsegrain::schedule_dfg_on_cgc(dfg, cgc));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CgcScheduling)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_WholeMethodologySyntheticApp(benchmark::State& state) {
+  const auto app = make_app(static_cast<int>(state.range(0)), 17);
+  const auto p = platform::make_paper_platform(1500, 2);
+  for (auto _ : state) {
+    core::HybridMapper probe(app.cdfg, p);
+    const auto constraint = probe.all_fine_cycles(app.profile) / 2;
+    benchmark::DoNotOptimize(
+        core::run_methodology(app.cdfg, app.profile, p, constraint));
+  }
+}
+BENCHMARK(BM_WholeMethodologySyntheticApp)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FrontendCompileOfdm(benchmark::State& state) {
+  const std::string source = workloads::ofdm_source(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minic::compile(source, "ofdm"));
+  }
+}
+BENCHMARK(BM_FrontendCompileOfdm);
+
+void BM_FrontendCompileJpeg(benchmark::State& state) {
+  const std::string source = workloads::jpeg_source(64, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minic::compile(source, "jpeg"));
+  }
+}
+BENCHMARK(BM_FrontendCompileJpeg);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Reproduces Table 1 of the paper: the 8 most computationally intensive
+// basic blocks of the OFDM transmitter and the JPEG encoder, with their
+// execution frequencies, operation weights and total weights
+// (equation (1): total_weight = exec_freq * bb_weight; ALU weight 1,
+// multiplier weight 2).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/kernels.h"
+#include "core/report.h"
+#include "workloads/paper_models.h"
+
+namespace {
+
+using namespace amdrel;
+
+void print_table1(const workloads::PaperApp& app, const char* caption) {
+  std::printf("%s\n", caption);
+  const auto kernels = analysis::extract_kernels(app.cdfg, app.profile);
+  core::TextTable table({"Basic Block no.", "Basic Block exec. freq.",
+                         "Operations weight", "Total weight"});
+  for (std::size_t i = 0; i < kernels.size() && i < 8; ++i) {
+    const auto& k = kernels[i];
+    table.add_row({app.cdfg.block(k.block).name.substr(2),
+                   std::to_string(k.exec_freq),
+                   std::to_string(k.op_weight),
+                   std::to_string(k.total_weight)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+void BM_AnalysisOfdm(benchmark::State& state) {
+  const auto app = workloads::build_ofdm_model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::extract_kernels(app.cdfg, app.profile));
+  }
+}
+BENCHMARK(BM_AnalysisOfdm);
+
+void BM_AnalysisJpeg(benchmark::State& state) {
+  const auto app = workloads::build_jpeg_model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::extract_kernels(app.cdfg, app.profile));
+  }
+}
+BENCHMARK(BM_AnalysisJpeg);
+
+void BM_ModelConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::build_ofdm_model());
+    benchmark::DoNotOptimize(workloads::build_jpeg_model());
+  }
+}
+BENCHMARK(BM_ModelConstruction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Table 1: Ordered total weights of basic blocks\n\n");
+  print_table1(workloads::build_ofdm_model(),
+               "OFDM transmitter (6 payload symbols)");
+  print_table1(workloads::build_jpeg_model(), "JPEG encoder (256x256 image)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Table 2 of the paper: OFDM transmitter partitioning results
+// for a timing constraint of 60000 clock cycles over the grid
+// A_FPGA in {1500, 5000} x {two, three} 2x2 CGCs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace amdrel;
+
+const workloads::PaperApp& ofdm() {
+  static const workloads::PaperApp app = workloads::build_ofdm_model();
+  return app;
+}
+
+void BM_OfdmMethodology(benchmark::State& state) {
+  const auto& app = ofdm();
+  const platform::Platform p = platform::make_paper_platform(
+      static_cast<double>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto report = core::run_methodology(app.cdfg, app.profile, p,
+                                        workloads::kOfdmTimingConstraint);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_OfdmMethodology)
+    ->Args({1500, 2})
+    ->Args({1500, 3})
+    ->Args({5000, 2})
+    ->Args({5000, 3});
+
+void BM_OfdmAllFineMapping(benchmark::State& state) {
+  const auto& app = ofdm();
+  const platform::Platform p =
+      platform::make_paper_platform(static_cast<double>(state.range(0)), 2);
+  for (auto _ : state) {
+    core::HybridMapper mapper(app.cdfg, p);
+    benchmark::DoNotOptimize(mapper.all_fine_cycles(app.profile));
+  }
+}
+BENCHMARK(BM_OfdmAllFineMapping)->Arg(1500)->Arg(5000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  amdrel::bench::print_paper_table(
+      ofdm(), amdrel::workloads::kOfdmTimingConstraint,
+      "Table 2: OFDM partitioning results");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

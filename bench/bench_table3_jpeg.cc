@@ -1,0 +1,53 @@
+// Reproduces Table 3 of the paper: JPEG encoder partitioning results for
+// a timing constraint of 11e6 clock cycles over the grid A_FPGA in
+// {1500, 5000} x {two, three} 2x2 CGCs. (See DESIGN.md on the paper's
+// "x10^6" units annotation, which is consistent only as "x10^3".)
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace amdrel;
+
+const workloads::PaperApp& jpeg() {
+  static const workloads::PaperApp app = workloads::build_jpeg_model();
+  return app;
+}
+
+void BM_JpegMethodology(benchmark::State& state) {
+  const auto& app = jpeg();
+  const platform::Platform p = platform::make_paper_platform(
+      static_cast<double>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto report = core::run_methodology(app.cdfg, app.profile, p,
+                                        workloads::kJpegTimingConstraint);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_JpegMethodology)
+    ->Args({1500, 2})
+    ->Args({1500, 3})
+    ->Args({5000, 2})
+    ->Args({5000, 3});
+
+void BM_JpegKernelAnalysis(benchmark::State& state) {
+  const auto& app = jpeg();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::extract_kernels(app.cdfg, app.profile));
+  }
+}
+BENCHMARK(BM_JpegKernelAnalysis);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  amdrel::bench::print_paper_table(
+      jpeg(), amdrel::workloads::kJpegTimingConstraint,
+      "Table 3: JPEG partitioning results");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

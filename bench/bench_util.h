@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/methodology.h"
+#include "core/report.h"
+#include "platform/platform.h"
+#include "workloads/paper_models.h"
+
+namespace amdrel::bench {
+
+/// One column of the paper's Table 2/3 grid: an A_FPGA value and a CGC
+/// data-path size.
+struct TableConfig {
+  double a_fpga;
+  int cgc_count;
+};
+
+inline const std::vector<TableConfig>& paper_grid() {
+  static const std::vector<TableConfig> grid = {
+      {1500, 2}, {1500, 3}, {5000, 2}, {5000, 3}};
+  return grid;
+}
+
+/// Runs the methodology for one app over the paper's 2x2 experiment grid
+/// and prints a table shaped like Table 2/3 (rows: initial cycles, CGC
+/// count, cycles in CGC, moved blocks, final cycles, % reduction).
+inline void print_paper_table(const workloads::PaperApp& app,
+                              std::int64_t constraint,
+                              const char* caption) {
+  std::printf("%s (timing constraint: %s cycles)\n", caption,
+              core::with_thousands(constraint).c_str());
+
+  std::vector<core::PartitionReport> reports;
+  for (const TableConfig& config : paper_grid()) {
+    const platform::Platform p =
+        platform::make_paper_platform(config.a_fpga, config.cgc_count);
+    reports.push_back(
+        core::run_methodology(app.cdfg, app.profile, p, constraint));
+  }
+
+  auto moved_names = [&](const core::PartitionReport& report) {
+    std::string names;
+    for (ir::BlockId block : report.moved) {
+      if (!names.empty()) names += ", ";
+      names += app.cdfg.block(block).name.substr(2);  // strip "BB"
+    }
+    return names.empty() ? std::string("-") : names;
+  };
+
+  core::TextTable table({"", "A=1500 2x2x2", "A=1500 3x2x2", "A=5000 2x2x2",
+                         "A=5000 3x2x2"});
+  table.add_row({"Initial cycles", core::with_thousands(reports[0].initial_cycles),
+                 "(same)", core::with_thousands(reports[2].initial_cycles),
+                 "(same)"});
+  std::vector<std::string> row_cgc = {"Cycles in CGC"};
+  std::vector<std::string> row_bb = {"BB no."};
+  std::vector<std::string> row_final = {"Final cycles"};
+  std::vector<std::string> row_red = {"% cycles reduction"};
+  std::vector<std::string> row_met = {"Constraint met"};
+  for (const auto& report : reports) {
+    row_cgc.push_back(core::with_thousands(report.cycles_in_cgc));
+    row_bb.push_back(moved_names(report));
+    row_final.push_back(core::with_thousands(report.final_cycles));
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.1f", report.reduction_percent());
+    row_red.push_back(buffer);
+    row_met.push_back(report.met ? "yes" : "NO");
+  }
+  table.add_row(row_cgc);
+  table.add_row(row_bb);
+  table.add_row(row_final);
+  table.add_row(row_red);
+  table.add_row(row_met);
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace amdrel::bench

@@ -1,0 +1,49 @@
+// Energy-constrained partitioning (the paper's stated future work): move
+// kernels to the ASIC CGC data-path until the application's energy drops
+// under a budget, and inspect the breakdown.
+
+#include <cstdio>
+
+#include "core/energy.h"
+#include "core/report.h"
+#include "workloads/paper_models.h"
+
+using namespace amdrel;
+
+namespace {
+
+void print_breakdown(const char* label, const core::EnergyBreakdown& e) {
+  std::printf("%-28s fine %10.1f nJ | coarse %8.1f nJ | reconfig %8.1f nJ "
+              "| comm %8.1f nJ | total %10.1f nJ\n",
+              label, e.fine_pj / 1000.0, e.coarse_pj / 1000.0,
+              e.reconfig_pj / 1000.0, e.comm_pj / 1000.0,
+              e.total_pj() / 1000.0);
+}
+
+}  // namespace
+
+int main() {
+  const workloads::PaperApp app = workloads::build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+
+  const auto all_fine = core::estimate_energy(app.cdfg, app.profile, p, {});
+  print_breakdown("all fine-grain:", all_fine);
+
+  const auto hot_moved = core::estimate_energy(
+      app.cdfg, app.profile, p, {app.block_by_label("BB22")});
+  print_breakdown("BB22 on CGC data-path:", hot_moved);
+
+  // Ask the energy engine for a 50% cut.
+  const double budget = all_fine.total_pj() * 0.5;
+  const auto report =
+      core::run_energy_methodology(app.cdfg, app.profile, p, budget);
+  std::printf("\nenergy budget %.1f nJ (50%% of all-fine): %s after moving",
+              budget / 1000.0, report.met ? "met" : "NOT met");
+  for (const ir::BlockId block : report.moved) {
+    std::printf(" %s", app.cdfg.block(block).name.c_str());
+  }
+  std::printf("\n");
+  print_breakdown("after energy partitioning:", report.energy);
+  std::printf("energy reduction: %.1f%%\n", report.reduction_percent());
+  return report.met ? 0 : 1;
+}

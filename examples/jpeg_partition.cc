@@ -1,0 +1,69 @@
+// Full-pipeline example on the real JPEG encoder workload: compile the
+// MiniC encoder, profile it on a synthetic image, verify against the
+// golden reference, then partition for a timing constraint.
+//
+// Pass a size on the command line (e.g. "jpeg_partition 128") to encode a
+// larger image; the default keeps the demo fast. The paper profiles a
+// 256x256 image.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/methodology.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "interp/interpreter.h"
+#include "ir/build_cdfg.h"
+#include "minic/frontend.h"
+#include "workloads/golden.h"
+#include "workloads/minic_sources.h"
+
+using namespace amdrel;
+
+int main(int argc, char** argv) {
+  int size = 64;
+  if (argc > 1) size = std::atoi(argv[1]);
+  if (size < 8 || size % 8 != 0) {
+    std::fprintf(stderr, "size must be a positive multiple of 8\n");
+    return 2;
+  }
+
+  const ir::TacProgram tac =
+      minic::compile(workloads::jpeg_source(size, size), "jpeg_enc");
+  std::printf("compiled JPEG encoder (%dx%d): %zu basic blocks\n", size,
+              size, tac.blocks.size());
+
+  interp::Interpreter interp(tac);
+  const auto image =
+      workloads::random_pixels(static_cast<std::size_t>(size) * size, 7);
+  interp.set_input("image", image);
+  const auto run = interp.run(2'000'000'000ULL);
+  const auto golden = workloads::golden_jpeg(image, size, size);
+  std::printf("entropy bit cost: %d (golden %d); %llu instructions\n",
+              run.return_value, golden.bit_cost,
+              static_cast<unsigned long long>(run.instructions_executed));
+  if (run.return_value != golden.bit_cost) {
+    std::fprintf(stderr, "MISMATCH against golden reference!\n");
+    return 1;
+  }
+
+  const ir::Cdfg cdfg = ir::build_cdfg(tac);
+  const auto p = platform::make_paper_platform(1500, 2);
+  core::HybridMapper probe(cdfg, p);
+  const std::int64_t all_fine = probe.all_fine_cycles(run.profile);
+  const std::int64_t constraint = all_fine / 2;
+
+  const auto report = core::run_methodology(cdfg, run.profile, p, constraint);
+  std::printf("\n%s\n", core::describe(report, cdfg).c_str());
+
+  // Frame pipelining (paper section 3): one 8x8 block row = one frame.
+  const auto pipeline = core::estimate_pipeline(report, size / 8);
+  std::printf("pipelined over %d block-row frames: %s -> %s cycles "
+              "(%.2fx, fine %.0f%% / coarse %.0f%% utilized)\n",
+              pipeline.frames,
+              core::with_thousands(pipeline.sequential_cycles).c_str(),
+              core::with_thousands(pipeline.pipelined_cycles).c_str(),
+              pipeline.speedup(), 100.0 * pipeline.fine_utilization(),
+              100.0 * pipeline.coarse_utilization());
+  return 0;
+}

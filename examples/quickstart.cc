@@ -1,0 +1,70 @@
+// Quickstart: build a small application CDFG by hand, characterize a
+// hybrid platform, and run the partitioning methodology end to end.
+//
+// The application is a toy FIR-filter-like loop: one hot basic block
+// (multiply-accumulate taps) executed once per sample, plus setup code.
+
+#include <cstdio>
+
+#include "core/methodology.h"
+#include "core/report.h"
+#include "platform/platform.h"
+
+using namespace amdrel;
+
+int main() {
+  // --- 1. Describe the application as a CDFG. -------------------------
+  ir::Cdfg cdfg("fir_demo");
+  const ir::BlockId entry = cdfg.add_block("setup");
+  const ir::BlockId taps = cdfg.add_block("taps");
+  const ir::BlockId exit = cdfg.add_block("exit");
+  cdfg.add_edge(entry, taps);
+  cdfg.add_edge(taps, taps);  // the hot loop
+  cdfg.add_edge(taps, exit);
+
+  {  // setup: a couple of address computations
+    ir::Dfg& dfg = cdfg.block(entry).dfg;
+    const auto base = dfg.add_node(ir::OpKind::kInput, {}, "base");
+    const auto four = dfg.add_const(4);
+    const auto addr = dfg.add_node(ir::OpKind::kAdd, {base, four}, "addr");
+    dfg.add_node(ir::OpKind::kOutput, {addr});
+  }
+  {  // taps: an 8-tap multiply-accumulate over the sample window
+    ir::Dfg& dfg = cdfg.block(taps).dfg;
+    const auto addr = dfg.add_node(ir::OpKind::kInput, {}, "addr");
+    const auto coef_base = dfg.add_node(ir::OpKind::kInput, {}, "coef");
+    ir::NodeId acc = dfg.add_const(0, "acc0");
+    for (int tap = 0; tap < 8; ++tap) {
+      const auto offset = dfg.add_const(tap);
+      const auto sample_addr = dfg.add_node(ir::OpKind::kAdd, {addr, offset});
+      const auto sample = dfg.add_node(ir::OpKind::kLoad, {sample_addr});
+      const auto coef_addr =
+          dfg.add_node(ir::OpKind::kAdd, {coef_base, offset});
+      const auto coef = dfg.add_node(ir::OpKind::kLoad, {coef_addr});
+      const auto prod = dfg.add_node(ir::OpKind::kMul, {sample, coef});
+      acc = dfg.add_node(ir::OpKind::kAdd, {acc, prod}, "acc");
+    }
+    const auto out_addr = dfg.add_node(ir::OpKind::kInput, {}, "out");
+    dfg.add_node(ir::OpKind::kStore, {out_addr, acc});
+    dfg.add_node(ir::OpKind::kOutput, {acc});
+  }
+  cdfg.analyze_loops();
+
+  // --- 2. Supply the dynamic profile (here: 4096 samples). -------------
+  ir::ProfileData profile;
+  profile.set_count(entry, 1);
+  profile.set_count(taps, 4096);
+  profile.set_count(exit, 1);
+
+  // --- 3. Characterize the platform and pick a timing constraint. ------
+  const platform::Platform p = platform::make_paper_platform(
+      /*a_fpga=*/1500, /*cgc_count=*/2);
+  const std::int64_t constraint = 160000;
+
+  // --- 4. Run the methodology. -----------------------------------------
+  const core::PartitionReport report =
+      core::run_methodology(cdfg, profile, p, constraint);
+
+  std::printf("%s\n", core::describe(report, cdfg).c_str());
+  return report.met ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+#include "analysis/kernels.h"
+
+#include <algorithm>
+
+namespace amdrel::analysis {
+
+std::vector<KernelInfo> extract_kernels(const ir::Cdfg& cdfg,
+                                        const ir::ProfileData& profile,
+                                        const AnalysisOptions& options) {
+  std::vector<KernelInfo> kernels;
+  for (const ir::BasicBlock& block : cdfg.blocks()) {
+    if (options.loops_only && block.loop_depth == 0) continue;
+    const std::uint64_t freq = profile.count(block.id);
+    if (freq < options.min_exec_freq) continue;
+    KernelInfo info;
+    info.block = block.id;
+    info.exec_freq = freq;
+    info.op_weight = block_weight(block.dfg, options.weights);
+    info.total_weight =
+        static_cast<std::int64_t>(freq) * info.op_weight;
+    info.loop_depth = block.loop_depth;
+    info.cgc_eligible = !block.dfg.has_division();
+    if (info.op_weight == 0) continue;  // empty/structural blocks
+    kernels.push_back(info);
+  }
+  std::sort(kernels.begin(), kernels.end(),
+            [](const KernelInfo& a, const KernelInfo& b) {
+              if (a.total_weight != b.total_weight) {
+                return a.total_weight > b.total_weight;
+              }
+              return a.block < b.block;
+            });
+  return kernels;
+}
+
+}  // namespace amdrel::analysis

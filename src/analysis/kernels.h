@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/weights.h"
+#include "ir/cdfg.h"
+#include "ir/profile.h"
+
+namespace amdrel::analysis {
+
+/// One row of the paper's Table 1: a basic block with its dynamic
+/// execution frequency, static operation weight and the product of the
+/// two (equation (1): total_weight = exec_freq * bb_weight).
+struct KernelInfo {
+  ir::BlockId block = ir::kNoBlock;
+  std::uint64_t exec_freq = 0;
+  std::int64_t op_weight = 0;
+  std::int64_t total_weight = 0;
+  int loop_depth = 0;
+  bool cgc_eligible = true;  ///< false when the block contains divisions
+};
+
+struct AnalysisOptions {
+  WeightModel weights;
+  /// Restrict kernels to blocks inside loops (the paper's definition:
+  /// "kernels ... are the basic blocks inside loops").
+  bool loops_only = true;
+  /// Blocks that never executed under the profile carry no weight and are
+  /// dropped; raise this to prune rarely-executed blocks early.
+  std::uint64_t min_exec_freq = 1;
+};
+
+/// The analysis step (paper section 3.1): combines the dynamic profile
+/// with static per-block weights and returns candidate kernels sorted in
+/// decreasing order of total weight (ties broken by block id so the
+/// ordering is deterministic).
+std::vector<KernelInfo> extract_kernels(const ir::Cdfg& cdfg,
+                                        const ir::ProfileData& profile,
+                                        const AnalysisOptions& options = {});
+
+}  // namespace amdrel::analysis

@@ -1,0 +1,13 @@
+#include "analysis/weights.h"
+
+namespace amdrel::analysis {
+
+std::int64_t block_weight(const ir::Dfg& dfg, const WeightModel& model) {
+  std::int64_t weight = 0;
+  for (const ir::Dfg::Node& node : dfg.nodes()) {
+    weight += model.weight(node.kind);
+  }
+  return weight;
+}
+
+}  // namespace amdrel::analysis

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ir/dfg.h"
+
+namespace amdrel::analysis {
+
+/// The paper's static-analysis weights: "we give a weight equal to 1 for
+/// the ALU operations and a weight equal to 2 for the multiplication
+/// ones". The paper quotes no weight for memory accesses, and its Table 1
+/// arithmetic is reproducible with compute-only weights, so `mem` defaults
+/// to 0 (the knob exists for sensitivity studies). Divisions (absent from
+/// the paper's DFGs) default to 4; structural nodes weigh nothing.
+struct WeightModel {
+  std::int64_t alu = 1;
+  std::int64_t mul = 2;
+  std::int64_t div = 4;
+  std::int64_t mem = 0;
+
+  std::int64_t weight(ir::OpKind kind) const {
+    switch (ir::op_class(kind)) {
+      case ir::OpClass::kAlu: return alu;
+      case ir::OpClass::kMul: return mul;
+      case ir::OpClass::kDiv: return div;
+      case ir::OpClass::kMem: return mem;
+      case ir::OpClass::kMeta: return 0;
+    }
+    return 0;
+  }
+};
+
+/// The paper's bb_weight: weighted operation count of one basic block.
+std::int64_t block_weight(const ir::Dfg& dfg, const WeightModel& model);
+
+}  // namespace amdrel::analysis

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+#include "coarsegrain/cgc_scheduler.h"
+#include "ir/cdfg.h"
+#include "ir/profile.h"
+#include "platform/platform.h"
+
+namespace amdrel::coarsegrain {
+
+/// Coarse-grain mapping of one basic block: the CGC schedule plus its
+/// latency converted to FPGA clock cycles (the unit all paper tables use).
+struct CgcBlockMapping {
+  CgcSchedule schedule;
+  std::int64_t cycles_per_invocation_fpga = 0;
+};
+
+CgcBlockMapping map_block_to_cgc(const ir::Dfg& dfg,
+                                 const platform::Platform& platform);
+
+/// Equation (3) of the paper for a set of moved blocks:
+/// t_coarse = sum over moved blocks of t_to_coarse(BB_i) * Iter(BB_i),
+/// in FPGA clock cycles.
+std::int64_t cgc_total_cycles(const std::vector<CgcBlockMapping>& mappings,
+                              const std::vector<ir::BlockId>& blocks,
+                              const ir::ProfileData& profile);
+
+}  // namespace amdrel::coarsegrain

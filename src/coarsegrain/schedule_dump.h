@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "coarsegrain/cgc_scheduler.h"
+
+namespace amdrel::coarsegrain {
+
+/// Human-readable cycle-by-cycle view of a CGC schedule: for each CGC
+/// cycle, the operations executing in every CGC (row/column placement,
+/// chains visible as same-cycle row sequences) plus memory traffic.
+/// Handy when debugging the binder or documenting mappings.
+std::string describe_schedule(const CgcSchedule& schedule, const ir::Dfg& dfg,
+                              const platform::CgcModel& cgc);
+
+}  // namespace amdrel::coarsegrain

@@ -1,0 +1,88 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace amdrel::core {
+
+PartitionReport all_coarse_split(const ir::Cdfg& cdfg,
+                                 const ir::ProfileData& profile,
+                                 const platform::Platform& platform,
+                                 std::int64_t timing_constraint_cycles) {
+  PartitionReport report;
+  report.app = cdfg.name();
+  report.timing_constraint = timing_constraint_cycles;
+
+  HybridMapper mapper(cdfg, platform);
+  report.initial_cycles = mapper.all_fine_cycles(profile);
+
+  std::vector<ir::BlockId> moved;
+  for (const ir::BasicBlock& block : cdfg.blocks()) {
+    if (profile.count(block.id) == 0) continue;
+    if (!mapper.cgc_eligible(block.id)) continue;
+    if (block.dfg.op_mix().total_schedulable() == 0) continue;
+    moved.push_back(block.id);
+  }
+  report.moved = moved;
+  report.cost = mapper.evaluate(profile, moved);
+  report.final_cycles = report.cost.total();
+  report.cycles_in_cgc = report.cost.t_coarse;
+  report.met = report.final_cycles <= timing_constraint_cycles;
+  report.engine_iterations = static_cast<int>(moved.size());
+  return report;
+}
+
+OptimalSplit exhaustive_optimal(const ir::Cdfg& cdfg,
+                                const ir::ProfileData& profile,
+                                const platform::Platform& platform,
+                                std::int64_t timing_constraint_cycles,
+                                int max_kernels,
+                                const analysis::AnalysisOptions& options) {
+  require(max_kernels >= 0 && max_kernels <= 24,
+          "exhaustive_optimal: max_kernels must be in [0, 24]");
+  HybridMapper mapper(cdfg, platform);
+
+  std::vector<analysis::KernelInfo> kernels =
+      analysis::extract_kernels(cdfg, profile, options);
+  std::vector<ir::BlockId> candidates;
+  for (const auto& kernel : kernels) {
+    if (!kernel.cgc_eligible) continue;
+    candidates.push_back(kernel.block);
+    if (static_cast<int>(candidates.size()) >= max_kernels) break;
+  }
+
+  OptimalSplit result;
+  result.best_cycles = mapper.all_fine_cycles(profile);
+  result.best_cycles_subset = {};
+
+  const std::size_t n = candidates.size();
+  std::size_t best_moves = n + 1;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<ir::BlockId> moved;
+    for (std::size_t bit = 0; bit < n; ++bit) {
+      if (mask & (std::size_t{1} << bit)) moved.push_back(candidates[bit]);
+    }
+    const SplitCost cost = mapper.evaluate(profile, moved);
+    result.subsets_evaluated++;
+    if (cost.total() < result.best_cycles) {
+      result.best_cycles = cost.total();
+      result.best_cycles_subset = moved;
+    }
+    if (cost.total() <= timing_constraint_cycles) {
+      const bool first = !result.fewest_moves.has_value();
+      const bool fewer = moved.size() < best_moves;
+      const bool same_but_faster =
+          !first && moved.size() == best_moves &&
+          cost.total() < result.fewest_moves_cycles;
+      if (first || fewer || same_but_faster) {
+        best_moves = moved.size();
+        result.fewest_moves = moved;
+        result.fewest_moves_cycles = cost.total();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace amdrel::core

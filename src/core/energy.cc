@@ -1,0 +1,97 @@
+#include "core/energy.h"
+
+#include "finegrain/fpga_mapper.h"
+#include "support/error.h"
+
+namespace amdrel::core {
+
+namespace {
+
+double fine_block_energy(const ir::Dfg& dfg, const EnergyModel& model) {
+  const ir::OpMix mix = dfg.op_mix();
+  return static_cast<double>(mix.alu) * model.fpga_alu_pj +
+         static_cast<double>(mix.mul) * model.fpga_mul_pj +
+         static_cast<double>(mix.div) * model.fpga_div_pj +
+         static_cast<double>(mix.mem) * model.fpga_mem_pj;
+}
+
+double coarse_block_energy(const ir::Dfg& dfg, const EnergyModel& model) {
+  const ir::OpMix mix = dfg.op_mix();
+  return static_cast<double>(mix.alu) * model.cgc_alu_pj +
+         static_cast<double>(mix.mul) * model.cgc_mul_pj +
+         static_cast<double>(mix.mem) * model.cgc_mem_pj;
+}
+
+}  // namespace
+
+EnergyBreakdown estimate_energy(const ir::Cdfg& cdfg,
+                                const ir::ProfileData& profile,
+                                const platform::Platform& platform,
+                                const std::vector<ir::BlockId>& moved,
+                                const EnergyModel& model) {
+  std::vector<bool> is_moved(cdfg.size(), false);
+  for (ir::BlockId block : moved) {
+    require(block >= 0 && block < cdfg.size(),
+            "estimate_energy: bad moved block");
+    is_moved[block] = true;
+  }
+
+  const auto mappings =
+      finegrain::map_cdfg_to_fpga(cdfg, platform.fpga, platform.memory);
+
+  EnergyBreakdown breakdown;
+  for (const ir::BasicBlock& block : cdfg.blocks()) {
+    const auto iterations = static_cast<double>(profile.count(block.id));
+    if (iterations == 0) continue;
+    if (is_moved[block.id]) {
+      breakdown.coarse_pj +=
+          iterations * coarse_block_energy(block.dfg, model);
+      const double words = static_cast<double>(block.dfg.live_in_count() +
+                                               block.dfg.live_out_count());
+      breakdown.comm_pj += iterations * words * model.transfer_pj_per_word;
+    } else {
+      const auto& mapping = mappings[block.id];
+      breakdown.fine_pj += iterations * fine_block_energy(block.dfg, model);
+      breakdown.comm_pj += iterations *
+                           static_cast<double>(mapping.boundary_words) *
+                           model.spill_pj_per_word;
+      const double reconfigs =
+          static_cast<double>(mapping.reconfigs_per_invocation) * iterations +
+          static_cast<double>(mapping.amortized_reconfigs);
+      breakdown.reconfig_pj += reconfigs * model.reconfiguration_pj;
+    }
+  }
+  return breakdown;
+}
+
+EnergyPartitionReport run_energy_methodology(
+    const ir::Cdfg& cdfg, const ir::ProfileData& profile,
+    const platform::Platform& platform, double budget_pj,
+    const EnergyModel& model, const analysis::AnalysisOptions& options) {
+  EnergyPartitionReport report;
+  report.energy = estimate_energy(cdfg, profile, platform, {}, model);
+  report.initial_pj = report.energy.total_pj();
+  if (report.initial_pj <= budget_pj) {
+    report.met = true;
+    return report;
+  }
+
+  const auto kernels = analysis::extract_kernels(cdfg, profile, options);
+  for (const auto& kernel : kernels) {
+    if (!kernel.cgc_eligible) continue;
+    report.engine_iterations++;
+    std::vector<ir::BlockId> trial = report.moved;
+    trial.push_back(kernel.block);
+    const EnergyBreakdown energy =
+        estimate_energy(cdfg, profile, platform, trial, model);
+    report.moved = std::move(trial);
+    report.energy = energy;
+    if (energy.total_pj() <= budget_pj) {
+      report.met = true;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace amdrel::core

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/methodology.h"
+
+namespace amdrel::core {
+
+/// Per-operation/per-event energy characterization of the platform — the
+/// paper's future-work direction ("partitioning an application for
+/// satisfying energy consumption constraints"). Defaults reflect the
+/// usual fine-vs-coarse asymmetry: word-level operators in ASIC burn a
+/// fraction of their FPGA equivalents [Hartenstein'01], while
+/// reconfiguration and shared-memory traffic are expensive.
+struct EnergyModel {
+  // Fine-grain (embedded FPGA), picojoule per executed operation.
+  double fpga_alu_pj = 8.0;
+  double fpga_mul_pj = 30.0;
+  double fpga_div_pj = 110.0;
+  double fpga_mem_pj = 16.0;
+
+  // Coarse-grain (CGC data-path, ASIC).
+  double cgc_alu_pj = 1.6;
+  double cgc_mul_pj = 6.5;
+  double cgc_mem_pj = 12.0;
+
+  // Events.
+  double reconfiguration_pj = 600000.0;     ///< one full reconfiguration
+  double transfer_pj_per_word = 14.0;       ///< fine<->coarse via memory
+  double spill_pj_per_word = 14.0;          ///< temporal-partition spill
+};
+
+struct EnergyBreakdown {
+  double fine_pj = 0;      ///< ops executed on the FPGA
+  double coarse_pj = 0;    ///< ops executed on the CGC data-path
+  double reconfig_pj = 0;  ///< temporal-partition reconfigurations
+  double comm_pj = 0;      ///< fine<->coarse transfers + partition spills
+
+  double total_pj() const {
+    return fine_pj + coarse_pj + reconfig_pj + comm_pj;
+  }
+};
+
+/// Prices the split where `moved` blocks run on the CGC data-path and the
+/// rest on the fine-grain hardware.
+EnergyBreakdown estimate_energy(const ir::Cdfg& cdfg,
+                                const ir::ProfileData& profile,
+                                const platform::Platform& platform,
+                                const std::vector<ir::BlockId>& moved,
+                                const EnergyModel& model = {});
+
+/// Result of the energy-constrained partitioning variant.
+struct EnergyPartitionReport {
+  double initial_pj = 0;  ///< all-fine energy
+  std::vector<ir::BlockId> moved;
+  EnergyBreakdown energy;
+  bool met = false;
+  int engine_iterations = 0;
+
+  double reduction_percent() const {
+    return initial_pj == 0.0
+               ? 0.0
+               : 100.0 * (1.0 - energy.total_pj() / initial_pj);
+  }
+};
+
+/// The methodology of Figure 2 with the timing check replaced by an
+/// energy budget: kernels move (in decreasing total-weight order) to the
+/// coarse-grain hardware until total energy drops below `budget_pj`.
+/// Moving a word-level kernel to ASIC usually reduces energy, so the same
+/// greedy engine applies.
+EnergyPartitionReport run_energy_methodology(
+    const ir::Cdfg& cdfg, const ir::ProfileData& profile,
+    const platform::Platform& platform, double budget_pj,
+    const EnergyModel& model = {},
+    const analysis::AnalysisOptions& options = {});
+
+}  // namespace amdrel::core

@@ -1,0 +1,76 @@
+#include "core/hybrid_mapper.h"
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace amdrel::core {
+
+HybridMapper::HybridMapper(const ir::Cdfg& cdfg,
+                           const platform::Platform& platform)
+    : cdfg_(&cdfg), platform_(&platform) {
+  fine_ = finegrain::map_cdfg_to_fpga(cdfg, platform.fpga, platform.memory);
+}
+
+const finegrain::FpgaBlockMapping& HybridMapper::fine(
+    ir::BlockId block) const {
+  require(block >= 0 && block < static_cast<ir::BlockId>(fine_.size()),
+          cat("HybridMapper::fine: bad block ", block));
+  return fine_[block];
+}
+
+const coarsegrain::CgcBlockMapping& HybridMapper::coarse(ir::BlockId block) {
+  const auto it = coarse_.find(block);
+  if (it != coarse_.end()) return it->second;
+  const ir::BasicBlock& bb = cdfg_->block(block);
+  auto mapping = coarsegrain::map_block_to_cgc(bb.dfg, *platform_);
+  return coarse_.emplace(block, std::move(mapping)).first->second;
+}
+
+bool HybridMapper::cgc_eligible(ir::BlockId block) const {
+  return !cdfg_->block(block).dfg.has_division();
+}
+
+std::int64_t HybridMapper::fine_cycles_per_invocation(
+    ir::BlockId block) const {
+  return fine(block).cycles_per_invocation(platform_->fpga);
+}
+
+std::int64_t HybridMapper::coarse_cycles_per_invocation(ir::BlockId block) {
+  return coarse(block).cycles_per_invocation_fpga;
+}
+
+std::int64_t HybridMapper::comm_cycles_per_invocation(
+    ir::BlockId block) const {
+  const ir::Dfg& dfg = cdfg_->block(block).dfg;
+  const std::int64_t words = dfg.live_in_count() + dfg.live_out_count();
+  return words * platform_->memory.transfer_cycles_per_word;
+}
+
+SplitCost HybridMapper::evaluate(const ir::ProfileData& profile,
+                                 const std::vector<ir::BlockId>& moved) {
+  SplitCost cost;
+  std::vector<bool> stays_fine(cdfg_->size(), true);
+  for (ir::BlockId block : moved) {
+    require(block >= 0 && block < cdfg_->size(),
+            cat("HybridMapper::evaluate: bad moved block ", block));
+    require(stays_fine[block],
+            cat("HybridMapper::evaluate: block ", block, " moved twice"));
+    stays_fine[block] = false;
+  }
+  cost.t_fpga =
+      finegrain::fpga_total_cycles(fine_, profile, platform_->fpga,
+                                   &stays_fine);
+  for (ir::BlockId block : moved) {
+    const auto iterations = static_cast<std::int64_t>(profile.count(block));
+    cost.t_coarse += coarse_cycles_per_invocation(block) * iterations;
+    cost.t_comm += comm_cycles_per_invocation(block) * iterations;
+  }
+  return cost;
+}
+
+std::int64_t HybridMapper::all_fine_cycles(
+    const ir::ProfileData& profile) const {
+  return finegrain::fpga_total_cycles(fine_, profile, platform_->fpga);
+}
+
+}  // namespace amdrel::core

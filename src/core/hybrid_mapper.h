@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "coarsegrain/cgc_mapper.h"
+#include "finegrain/fpga_mapper.h"
+#include "ir/cdfg.h"
+#include "ir/profile.h"
+#include "platform/platform.h"
+
+namespace amdrel::core {
+
+/// Cost of one fine/coarse split of the application: the three terms of
+/// the paper's equation (2), all in FPGA clock cycles.
+struct SplitCost {
+  std::int64_t t_fpga = 0;
+  std::int64_t t_coarse = 0;
+  std::int64_t t_comm = 0;
+  std::int64_t total() const { return t_fpga + t_coarse + t_comm; }
+};
+
+/// Caches the fine-grain and coarse-grain mappings of every basic block of
+/// one application on one platform, and prices arbitrary splits. The
+/// partitioning engine re-evaluates the split after every kernel movement
+/// (paper section 3.4); caching keeps that loop cheap and deterministic.
+class HybridMapper {
+ public:
+  HybridMapper(const ir::Cdfg& cdfg, const platform::Platform& platform);
+
+  const ir::Cdfg& cdfg() const { return *cdfg_; }
+  const platform::Platform& platform() const { return *platform_; }
+
+  const finegrain::FpgaBlockMapping& fine(ir::BlockId block) const;
+
+  /// Lazily schedules `block` on the CGC data-path. Throws Error for
+  /// blocks the CGC cannot execute (divisions).
+  const coarsegrain::CgcBlockMapping& coarse(ir::BlockId block);
+
+  bool cgc_eligible(ir::BlockId block) const;
+
+  std::int64_t fine_cycles_per_invocation(ir::BlockId block) const;
+  std::int64_t coarse_cycles_per_invocation(ir::BlockId block);
+
+  /// Data moved between the two hardware types through the shared memory
+  /// when `block` runs on the CGC: its live-ins and live-outs, per
+  /// invocation (the t_comm contribution).
+  std::int64_t comm_cycles_per_invocation(ir::BlockId block) const;
+
+  /// Prices the split where `moved` blocks run on the CGC data-path and
+  /// everything else on the fine-grain hardware (equations (2)-(4)).
+  SplitCost evaluate(const ir::ProfileData& profile,
+                     const std::vector<ir::BlockId>& moved);
+
+  /// Cycles of the all-fine-grain solution (paper step 2).
+  std::int64_t all_fine_cycles(const ir::ProfileData& profile) const;
+
+ private:
+  const ir::Cdfg* cdfg_;
+  const platform::Platform* platform_;
+  std::vector<finegrain::FpgaBlockMapping> fine_;
+  std::map<ir::BlockId, coarsegrain::CgcBlockMapping> coarse_;
+};
+
+}  // namespace amdrel::core

@@ -1,0 +1,123 @@
+#include "core/methodology.h"
+
+#include <algorithm>
+#include <random>
+
+namespace amdrel::core {
+
+namespace {
+
+std::vector<analysis::KernelInfo> order_kernels(
+    std::vector<analysis::KernelInfo> kernels, HybridMapper& mapper,
+    const ir::ProfileData& profile, const MethodologyOptions& options) {
+  switch (options.ordering) {
+    case KernelOrdering::kWeightDescending:
+      // extract_kernels already returns this order.
+      break;
+    case KernelOrdering::kCodeOrder:
+      std::sort(kernels.begin(), kernels.end(),
+                [](const auto& a, const auto& b) { return a.block < b.block; });
+      break;
+    case KernelOrdering::kRandom: {
+      std::mt19937_64 rng(options.random_seed);
+      std::shuffle(kernels.begin(), kernels.end(), rng);
+      break;
+    }
+    case KernelOrdering::kBenefitDescending: {
+      std::vector<std::pair<std::int64_t, std::size_t>> benefit;
+      for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const auto& k = kernels[i];
+        std::int64_t gain = 0;
+        if (k.cgc_eligible) {
+          const auto iterations = static_cast<std::int64_t>(k.exec_freq);
+          gain = (mapper.fine_cycles_per_invocation(k.block) -
+                  mapper.coarse_cycles_per_invocation(k.block) -
+                  mapper.comm_cycles_per_invocation(k.block)) *
+                 iterations;
+        }
+        benefit.emplace_back(gain, i);
+      }
+      std::sort(benefit.begin(), benefit.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+      });
+      std::vector<analysis::KernelInfo> ordered;
+      ordered.reserve(kernels.size());
+      for (const auto& [gain, index] : benefit) ordered.push_back(kernels[index]);
+      kernels = std::move(ordered);
+      break;
+    }
+  }
+  return kernels;
+}
+
+}  // namespace
+
+PartitionReport run_methodology(const ir::Cdfg& cdfg,
+                                const ir::ProfileData& profile,
+                                const platform::Platform& platform,
+                                std::int64_t timing_constraint_cycles,
+                                const MethodologyOptions& options) {
+  PartitionReport report;
+  report.app = cdfg.name();
+  report.timing_constraint = timing_constraint_cycles;
+
+  HybridMapper mapper(cdfg, platform);
+
+  // Step 2: map everything to the fine-grain hardware; exit when the
+  // timing constraint is already met.
+  report.initial_cycles = mapper.all_fine_cycles(profile);
+  report.final_cycles = report.initial_cycles;
+  report.cost.t_fpga = report.initial_cycles;
+  if (report.initial_cycles <= timing_constraint_cycles) {
+    report.initial_meets = true;
+    report.met = true;
+    return report;
+  }
+
+  // Step 3: analysis — kernel extraction and ordering.
+  report.kernels =
+      order_kernels(analysis::extract_kernels(cdfg, profile, options.analysis),
+                    mapper, profile, options);
+
+  // Steps 4-5: the partitioning engine moves kernels one by one to the
+  // coarse-grain hardware, re-evaluating equations (2)-(4) after each
+  // movement.
+  SplitCost best_cost = report.cost;
+  std::vector<ir::BlockId> best_moved;
+  std::vector<ir::BlockId> moved;
+
+  for (const analysis::KernelInfo& kernel : report.kernels) {
+    if (!kernel.cgc_eligible) continue;  // divisions stay on the FPGA
+    report.engine_iterations++;
+
+    std::vector<ir::BlockId> trial = moved;
+    trial.push_back(kernel.block);
+    const SplitCost cost = mapper.evaluate(profile, trial);
+
+    if (options.skip_unprofitable && cost.total() > best_cost.total()) {
+      continue;  // ablation mode only; the paper always commits the move
+    }
+    moved = std::move(trial);
+    if (cost.total() < best_cost.total()) {
+      best_cost = cost;
+      best_moved = moved;
+    }
+    if (options.stop_when_met && cost.total() <= timing_constraint_cycles) {
+      best_cost = cost;
+      best_moved = moved;
+      break;
+    }
+  }
+
+  // The committed result is the last evaluated split when the paper flow
+  // stops early, otherwise the best split seen.
+  report.moved = best_moved;
+  report.cost = best_cost;
+  report.final_cycles = best_cost.total();
+  report.cycles_in_cgc = best_cost.t_coarse;
+  report.met = report.final_cycles <= timing_constraint_cycles;
+  return report;
+}
+
+}  // namespace amdrel::core

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/kernels.h"
+#include "core/hybrid_mapper.h"
+#include "ir/cdfg.h"
+#include "ir/profile.h"
+#include "platform/platform.h"
+
+namespace amdrel::core {
+
+/// How the partitioning engine orders candidate kernels before moving
+/// them one by one. kWeightDescending is the paper's policy (analysis
+/// step orders kernels by decreasing total weight); the others exist for
+/// the ablation studies.
+enum class KernelOrdering {
+  kWeightDescending,   ///< paper: total_weight = exec_freq * bb_weight
+  kBenefitDescending,  ///< measured cycle savings of moving the kernel
+  kCodeOrder,          ///< source order (block id)
+  kRandom,             ///< seeded shuffle
+};
+
+struct MethodologyOptions {
+  analysis::AnalysisOptions analysis;
+  KernelOrdering ordering = KernelOrdering::kWeightDescending;
+  std::uint64_t random_seed = 1;
+  /// Stop moving kernels as soon as the constraint is met (the paper's
+  /// behaviour). When false, the engine keeps moving every candidate and
+  /// reports the best split found.
+  bool stop_when_met = true;
+  /// Skip moves that would increase total time. The paper's engine does
+  /// not check profitability (a kernel is assumed to accelerate on the
+  /// CGC); enable for the ablation.
+  bool skip_unprofitable = false;
+};
+
+/// Result of the whole methodology run — one column of the paper's
+/// Table 2/3 plus diagnostics.
+struct PartitionReport {
+  std::string app;
+  std::int64_t timing_constraint = 0;
+
+  std::int64_t initial_cycles = 0;  ///< all-fine-grain solution (step 2)
+  bool initial_meets = false;       ///< methodology exits at step 2 if true
+
+  std::vector<analysis::KernelInfo> kernels;  ///< analysis output, ordered
+  std::vector<ir::BlockId> moved;             ///< in movement order
+
+  SplitCost cost;              ///< final t_FPGA / t_coarse / t_comm
+  std::int64_t final_cycles = 0;
+  std::int64_t cycles_in_cgc = 0;  ///< t_coarse (the tables' "Cycles in CGC")
+  bool met = false;
+  int engine_iterations = 0;
+
+  double reduction_percent() const {
+    if (initial_cycles == 0) return 0.0;
+    return 100.0 * (1.0 - static_cast<double>(final_cycles) /
+                              static_cast<double>(initial_cycles));
+  }
+};
+
+/// Runs the complete flow of paper Figure 2: CDFG in, fine-grain mapping,
+/// timing check, analysis, then the partitioning engine moving kernels to
+/// the coarse-grain data-path until the constraint is satisfied.
+PartitionReport run_methodology(const ir::Cdfg& cdfg,
+                                const ir::ProfileData& profile,
+                                const platform::Platform& platform,
+                                std::int64_t timing_constraint_cycles,
+                                const MethodologyOptions& options = {});
+
+}  // namespace amdrel::core

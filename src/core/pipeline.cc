@@ -1,0 +1,27 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace amdrel::core {
+
+PipelineEstimate estimate_pipeline(const PartitionReport& report,
+                                   int frames) {
+  require(frames >= 1, "estimate_pipeline: frames must be >= 1");
+  PipelineEstimate estimate;
+  estimate.frames = frames;
+  estimate.fine_per_frame = report.cost.t_fpga / frames;
+  estimate.coarse_per_frame =
+      (report.cost.t_coarse + report.cost.t_comm) / frames;
+  estimate.sequential_cycles =
+      frames * (estimate.fine_per_frame + estimate.coarse_per_frame);
+  const std::int64_t bottleneck =
+      std::max(estimate.fine_per_frame, estimate.coarse_per_frame);
+  estimate.pipelined_cycles = estimate.fine_per_frame +
+                              (frames - 1) * bottleneck +
+                              estimate.coarse_per_frame;
+  return estimate;
+}
+
+}  // namespace amdrel::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/methodology.h"
+
+namespace amdrel::core {
+
+/// The paper's frame-pipelining claim (section 3) and ongoing-work thread
+/// (section 5, "multiple threads of execution for parallel operation of
+/// the fine and coarse-grain blocks"): DSP/multimedia applications process
+/// frames repeatedly, and while frame i runs on the coarse-grain
+/// data-path, frame i+1 can already occupy the fine-grain hardware. The
+/// two stages of consecutive frames overlap; within one frame execution
+/// stays mutually exclusive, as the methodology assumes.
+struct PipelineEstimate {
+  int frames = 1;
+  std::int64_t fine_per_frame = 0;    ///< t_FPGA / frames
+  std::int64_t coarse_per_frame = 0;  ///< (t_coarse + t_comm) / frames
+  std::int64_t sequential_cycles = 0; ///< no overlap (equation (2) total)
+  std::int64_t pipelined_cycles = 0;  ///< two-stage pipeline makespan
+
+  double speedup() const {
+    return pipelined_cycles == 0
+               ? 1.0
+               : static_cast<double>(sequential_cycles) /
+                     static_cast<double>(pipelined_cycles);
+  }
+  /// Fraction of the pipelined makespan each unit is busy.
+  double fine_utilization() const {
+    return pipelined_cycles == 0
+               ? 0.0
+               : static_cast<double>(fine_per_frame) * frames /
+                     static_cast<double>(pipelined_cycles);
+  }
+  double coarse_utilization() const {
+    return pipelined_cycles == 0
+               ? 0.0
+               : static_cast<double>(coarse_per_frame) * frames /
+                     static_cast<double>(pipelined_cycles);
+  }
+};
+
+/// Splits a methodology result into per-frame stage times and computes the
+/// two-stage pipeline makespan over `frames` frames:
+///   makespan = fine + (frames - 1) * max(fine, coarse) + coarse.
+/// The report's totals must correspond to `frames` frames of input (e.g.
+/// 6 payload symbols for the OFDM model).
+PipelineEstimate estimate_pipeline(const PartitionReport& report, int frames);
+
+}  // namespace amdrel::core

@@ -1,0 +1,89 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace amdrel::core {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width;
+  for (const auto& row : rows_) {
+    if (width.size() < row.size()) width.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      os << rows_[r][c];
+      if (c + 1 < rows_[r].size()) {
+        os << std::string(width[c] - rows_[r][c].size() + 2, ' ');
+      }
+    }
+    os << "\n";
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+      }
+      os << std::string(total, '-') << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string with_thousands(std::int64_t value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string describe(const PartitionReport& report, const ir::Cdfg& cdfg) {
+  std::ostringstream os;
+  os << "application: " << report.app << "\n";
+  os << "timing constraint: " << with_thousands(report.timing_constraint)
+     << " cycles\n";
+  os << "all-fine-grain (initial): " << with_thousands(report.initial_cycles)
+     << " cycles" << (report.initial_meets ? "  [already meets constraint]" : "")
+     << "\n";
+  if (!report.initial_meets) {
+    os << "kernels found: " << report.kernels.size() << "\n";
+    os << "moved to CGC data-path:";
+    for (ir::BlockId block : report.moved) {
+      os << " " << cdfg.block(block).name;
+    }
+    os << "\n";
+    os << "final: " << with_thousands(report.final_cycles)
+       << " cycles  (t_FPGA " << with_thousands(report.cost.t_fpga)
+       << " + t_coarse " << with_thousands(report.cost.t_coarse)
+       << " + t_comm " << with_thousands(report.cost.t_comm) << ")\n";
+    os << "cycle reduction: ";
+    os.precision(3);
+    os << report.reduction_percent() << "%\n";
+    os << "constraint " << (report.met ? "met" : "NOT met") << " after "
+       << report.engine_iterations << " engine iteration(s)\n";
+  }
+  return os.str();
+}
+
+}  // namespace amdrel::core

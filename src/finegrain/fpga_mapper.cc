@@ -1,0 +1,112 @@
+#include "finegrain/fpga_mapper.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/error.h"
+
+namespace amdrel::finegrain {
+
+FpgaBlockMapping map_block_to_fpga(const ir::Dfg& dfg,
+                                   const platform::FpgaModel& fpga,
+                                   const platform::MemoryModel& memory) {
+  FpgaBlockMapping mapping;
+  mapping.partitioning = fpga.mapper == platform::FineMapper::kListPacking
+                             ? partition_dfg_list(dfg, fpga)
+                             : partition_dfg(dfg, fpga);
+
+  const std::vector<int> levels = dfg.asap_levels();
+  const std::vector<int>& part = mapping.partitioning.partition_of;
+
+  // exec: ASAP levels run back to back; within one (partition, level)
+  // group the fabric sustains `parallel_lanes` delay-units of issue per
+  // cycle, so a group with total delay D and slowest op d costs
+  // max(d, ceil(D / lanes)) cycles.
+  std::map<std::pair<int, int>, std::pair<std::int64_t, std::int64_t>>
+      level_cost;  // (partition, level) -> (sum delay, max delay)
+  for (ir::NodeId id = 0; id < dfg.size(); ++id) {
+    const ir::Dfg::Node& node = dfg.node(id);
+    if (!ir::is_schedulable(node.kind)) continue;
+    const std::int64_t delay = fpga.delay_cycles(node.kind);
+    if (delay == 0) continue;  // copies are wiring
+    auto& [sum_delay, max_delay] = level_cost[{part[id], levels[id]}];
+    sum_delay += delay;
+    max_delay = std::max(max_delay, delay);
+  }
+  const std::int64_t lanes = std::max(1, fpga.parallel_lanes);
+  for (const auto& [key, group] : level_cost) {
+    const auto [sum_delay, max_delay] = group;
+    mapping.exec_cycles +=
+        std::max(max_delay, (sum_delay + lanes - 1) / lanes);
+  }
+  if (!level_cost.empty()) {
+    mapping.exec_cycles += fpga.invocation_overhead_cycles;
+  }
+
+  // Values crossing a partition boundary: a producer with at least one
+  // consumer in a different partition is stored once and filled once per
+  // consuming partition.
+  for (ir::NodeId id = 0; id < dfg.size(); ++id) {
+    if (part[id] == 0) continue;
+    std::set<int> consumer_partitions;
+    for (ir::NodeId user : dfg.users(id)) {
+      if (part[user] != 0 && part[user] != part[id]) {
+        consumer_partitions.insert(part[user]);
+      }
+    }
+    if (!consumer_partitions.empty()) {
+      mapping.boundary_words +=
+          1 + static_cast<std::int64_t>(consumer_partitions.size());
+    }
+  }
+  mapping.boundary_cycles =
+      mapping.boundary_words * memory.partition_boundary_cycles_per_word;
+
+  const std::int64_t partitions = mapping.partitioning.num_partitions;
+  switch (fpga.reconfig_policy) {
+    case platform::ReconfigPolicy::kNone:
+      break;
+    case platform::ReconfigPolicy::kSwitchOnly:
+      mapping.reconfigs_per_invocation = std::max<std::int64_t>(
+          0, partitions - 1);
+      break;
+    case platform::ReconfigPolicy::kPerPartition:
+      mapping.reconfigs_per_invocation = partitions;
+      break;
+    case platform::ReconfigPolicy::kAmortizedOnce:
+      mapping.amortized_reconfigs = partitions;
+      break;
+  }
+  return mapping;
+}
+
+std::vector<FpgaBlockMapping> map_cdfg_to_fpga(
+    const ir::Cdfg& cdfg, const platform::FpgaModel& fpga,
+    const platform::MemoryModel& memory) {
+  std::vector<FpgaBlockMapping> mappings;
+  mappings.reserve(cdfg.size());
+  for (const ir::BasicBlock& block : cdfg.blocks()) {
+    mappings.push_back(map_block_to_fpga(block.dfg, fpga, memory));
+  }
+  return mappings;
+}
+
+std::int64_t fpga_total_cycles(const std::vector<FpgaBlockMapping>& mappings,
+                               const ir::ProfileData& profile,
+                               const platform::FpgaModel& fpga,
+                               const std::vector<bool>* include) {
+  require(include == nullptr || include->size() == mappings.size(),
+          "fpga_total_cycles: include mask size mismatch");
+  std::int64_t total = 0;
+  for (std::size_t id = 0; id < mappings.size(); ++id) {
+    if (include != nullptr && !(*include)[id]) continue;
+    const auto iterations =
+        static_cast<std::int64_t>(profile.count(static_cast<int>(id)));
+    total += mappings[id].cycles_per_invocation(fpga) * iterations;
+    total += mappings[id].amortized_reconfigs * fpga.reconfig_cycles;
+  }
+  return total;
+}
+
+}  // namespace amdrel::finegrain

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/profile.h"
+#include "ir/tac.h"
+
+namespace amdrel::interp {
+
+/// Result of one program execution.
+struct RunResult {
+  std::int32_t return_value = 0;
+  std::uint64_t instructions_executed = 0;
+  std::uint64_t blocks_executed = 0;
+  ir::ProfileData profile;  ///< per-block execution counts (exec_freq)
+};
+
+/// Executes a lowered TAC program with 32-bit C semantics (wrap-around
+/// arithmetic, shift counts masked to 5 bits, C99 truncated division).
+/// This is the library's dynamic-analysis engine: where the paper inserts
+/// Lex counters into the source and runs it natively, we interpret the
+/// lowered program on representative inputs and collect the same
+/// per-basic-block execution frequencies.
+///
+/// Arrays are the program's I/O: set inputs before run() and read outputs
+/// afterwards. All arrays are zero-initialized (const arrays from their
+/// initializers) at the start of every run().
+class Interpreter {
+ public:
+  /// Takes its own copy of the program, so temporaries are safe to pass.
+  explicit Interpreter(ir::TacProgram program);
+
+  /// Overwrites the initial contents of a (non-const) array; values beyond
+  /// the array size throw. Applied at the start of every run().
+  void set_input(const std::string& array_name,
+                 const std::vector<std::int32_t>& values);
+
+  /// Runs main to completion. Throws Error on division by zero,
+  /// out-of-bounds accesses, or when `max_instructions` is exceeded.
+  RunResult run(std::uint64_t max_instructions = 500'000'000);
+
+  /// Contents of an array after the last run().
+  const std::vector<std::int32_t>& array(const std::string& array_name) const;
+
+ private:
+  ir::TacProgram program_;
+  std::map<std::string, std::vector<std::int32_t>> inputs_;
+  std::vector<std::vector<std::int32_t>> storage_;  ///< per array symbol
+};
+
+}  // namespace amdrel::interp

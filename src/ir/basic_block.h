@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/dfg.h"
+
+namespace amdrel::ir {
+
+using BlockId = std::int32_t;
+inline constexpr BlockId kNoBlock = -1;
+
+/// One basic block of the application: a straight-line sequence of
+/// operations (its Dfg) terminated by a branch. Control structure lives in
+/// the owning Cdfg; loop_depth is filled in by Cdfg::analyze_loops().
+struct BasicBlock {
+  BlockId id = kNoBlock;
+  std::string name;
+  Dfg dfg;
+  int loop_depth = 0;  ///< 0 = not inside any loop
+};
+
+}  // namespace amdrel::ir

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "ir/cdfg.h"
+#include "ir/tac.h"
+
+namespace amdrel::ir {
+
+/// Derives the CDFG (paper step 1) from a lowered TAC program:
+///  * one BasicBlock per TacBlock, control edges from the terminators;
+///  * each block's DFG built from intra-block def-use chains;
+///  * registers read before any local definition become kInput nodes;
+///  * registers whose final local definition may be read by another block
+///    (classic upward-exposed-use approximation) get a kOutput marker, so
+///    the communication cost model can count live values;
+///  * loop analysis is run, filling every block's loop_depth.
+Cdfg build_cdfg(const TacProgram& program);
+
+}  // namespace amdrel::ir

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "ir/cdfg.h"
+#include "ir/dfg.h"
+
+namespace amdrel::ir {
+
+/// Graphviz DOT rendering of a data-flow graph: operation nodes labelled
+/// with kind/name, structural nodes (inputs/consts/outputs) drawn as
+/// boxes, edges following operand order. Feed to `dot -Tsvg`.
+std::string to_dot(const Dfg& dfg, const std::string& graph_name = "dfg");
+
+/// Graphviz DOT rendering of a CDFG: one node per basic block annotated
+/// with its op mix and loop depth; control edges; back edges dashed.
+std::string to_dot(const Cdfg& cdfg);
+
+}  // namespace amdrel::ir

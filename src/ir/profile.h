@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "ir/basic_block.h"
+
+namespace amdrel::ir {
+
+/// Dynamic-analysis result: how many times each basic block executed for
+/// the representative input (the paper's exec_freq, gathered there with
+/// Lex-inserted counters; here produced by the TAC interpreter or supplied
+/// directly for paper-calibrated workload models).
+class ProfileData {
+ public:
+  void set_count(BlockId block, std::uint64_t count) { counts_[block] = count; }
+  void increment(BlockId block) { counts_[block]++; }
+
+  std::uint64_t count(BlockId block) const {
+    const auto it = counts_.find(block);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& [block, count] : counts_) sum += count;
+    return sum;
+  }
+
+  const std::map<BlockId, std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::map<BlockId, std::uint64_t> counts_;
+};
+
+}  // namespace amdrel::ir

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+#include "ir/op.h"
+
+namespace amdrel::ir {
+
+/// One three-address instruction. The executable form the MiniC front-end
+/// lowers to; the interpreter runs it and build_cdfg() derives per-block
+/// DFGs from it. Register operands are virtual-register indices; kConst
+/// materializes an immediate into a register; kLoad/kStore address a named
+/// array with a register index (multi-dimensional accesses are flattened
+/// by the front-end into explicit address arithmetic).
+struct TacInstr {
+  OpKind op = OpKind::kConst;
+  int dst = -1;           ///< destination register (-1 for kStore)
+  int src1 = -1;          ///< first operand / load-store index register
+  int src2 = -1;          ///< second operand / stored-value register
+  std::int64_t imm = 0;   ///< immediate for kConst
+  int array = -1;         ///< array symbol index for kLoad/kStore
+};
+
+/// Block terminator; control flow is kept out of the DFG.
+struct Terminator {
+  enum class Kind { kJmp, kBr, kRet };
+  Kind kind = Kind::kRet;
+  int cond_reg = -1;             ///< kBr: branch on (cond != 0)
+  BlockId if_true = kNoBlock;    ///< kBr taken / kJmp target
+  BlockId if_false = kNoBlock;   ///< kBr fall-through
+  int ret_reg = -1;              ///< kRet: -1 when returning nothing
+};
+
+struct TacBlock {
+  BlockId id = kNoBlock;
+  std::string name;
+  std::vector<TacInstr> body;
+  Terminator term;
+};
+
+/// A named, fixed-size array of 32-bit integers living in the shared data
+/// memory. Const arrays (lookup tables) carry their initializer; plain
+/// arrays are zero-initialized and serve as the program's input/output
+/// buffers via the interpreter API.
+struct ArraySymbol {
+  std::string name;
+  std::int64_t size = 0;
+  std::vector<std::int64_t> dims;
+  bool is_const = false;
+  std::vector<std::int32_t> init;  ///< empty => zero-initialized
+};
+
+/// A whole lowered program (the front-end inlines all calls, so one
+/// TacProgram covers the application, mirroring the paper's single-CDFG
+/// view of the code handed to the partitioner).
+struct TacProgram {
+  std::string name = "program";
+  std::vector<TacBlock> blocks;
+  BlockId entry = kNoBlock;
+  int num_regs = 0;
+  std::vector<std::string> reg_names;  ///< optional, for diagnostics
+  std::vector<ArraySymbol> arrays;
+
+  int find_array(const std::string& array_name) const;
+
+  /// Throws Error on malformed programs (bad register/block/array
+  /// references, missing terminator targets, ...).
+  void validate() const;
+
+  /// Human-readable listing, for tests and debugging.
+  std::string to_string() const;
+};
+
+}  // namespace amdrel::ir

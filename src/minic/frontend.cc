@@ -1,0 +1,16 @@
+#include "minic/frontend.h"
+
+#include "minic/lowering.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+
+namespace amdrel::minic {
+
+ir::TacProgram compile(const std::string& source,
+                       const std::string& program_name) {
+  Program ast = parse(source);
+  check_program(ast);
+  return lower(ast, program_name);
+}
+
+}  // namespace amdrel::minic

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "ir/tac.h"
+#include "minic/ast.h"
+
+namespace amdrel::minic {
+
+/// One-stop front-end: tokenize, parse, check and lower MiniC source into
+/// an executable TAC program (from which ir::build_cdfg derives the CDFG
+/// the methodology consumes). Throws Error with source locations on any
+/// lexical/syntactic/semantic problem.
+ir::TacProgram compile(const std::string& source,
+                       const std::string& program_name = "main");
+
+}  // namespace amdrel::minic

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minic/token.h"
+
+namespace amdrel::minic {
+
+/// Tokenizes MiniC source. Throws Error with line/column context on
+/// malformed input (unterminated comments, stray characters, overflowing
+/// literals). The token stream always ends with one kEof token.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace amdrel::minic

@@ -1,0 +1,13 @@
+#pragma once
+
+#include <string>
+
+#include "minic/ast.h"
+
+namespace amdrel::minic {
+
+/// Parses MiniC source into an AST. Throws Error with source location on
+/// the first syntax error.
+Program parse(const std::string& source);
+
+}  // namespace amdrel::minic

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "minic/ast.h"
+
+namespace amdrel::minic {
+
+/// Semantic checks for a parsed MiniC program. Throws Error (with source
+/// location) on the first violation:
+///  * undeclared / redeclared identifiers, const violations;
+///  * scalar/array misuse, wrong index arity, bad array arguments;
+///  * unknown callees, arity mismatches, void calls used as values;
+///  * break/continue outside loops, return-value mismatches;
+///  * recursion (direct or mutual) — MiniC inlines every call, so the
+///    call graph must be acyclic;
+///  * when `require_main` is set, a function `main` must exist and take
+///    no parameters (the whole-program entry the methodology analyzes).
+void check_program(const Program& program, bool require_main = true);
+
+}  // namespace amdrel::minic

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace amdrel::minic {
+
+/// Source position, 1-based, for diagnostics.
+struct SourceLoc {
+  int line = 1;
+  int column = 1;
+};
+
+enum class TokenKind : std::uint8_t {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  // keywords
+  kKwInt,
+  kKwVoid,
+  kKwConst,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwDo,
+  kKwFor,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  // punctuation
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  // operators
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kStarAssign,
+  kSlashAssign,
+  kPercentAssign,
+  kAmpAssign,
+  kPipeAssign,
+  kCaretAssign,
+  kShlAssign,
+  kShrAssign,
+  kPlusPlus,
+  kMinusMinus,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kBang,
+  kAmpAmp,
+  kPipePipe,
+  kShl,
+  kShr,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  std::int64_t int_value = 0;
+  SourceLoc loc;
+};
+
+std::string_view token_kind_name(TokenKind kind);
+
+}  // namespace amdrel::minic

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ir/op.h"
+
+namespace amdrel::platform {
+
+/// The coarse-grain data-path of the authors' FPL'04 companion paper: a
+/// set of Coarse-Grain Components (CGCs), each an n x m array of nodes
+/// containing one multiplier and one ALU (one active per clock), plus a
+/// register bank and a reconfigurable interconnect. Direct intra-CGC
+/// connections let a chain of up to `rows` dependent operations complete
+/// within a single CGC clock cycle (the "complex operations like
+/// multiply-add" of the paper).
+struct CgcModel {
+  int count = 2;  ///< number of CGCs in the data-path
+  int rows = 2;   ///< chaining depth within one CGC and one cycle
+  int cols = 2;   ///< parallel chains per CGC
+
+  /// T_FPGA / T_CGC. The paper assumes the ASIC data-path clocks three
+  /// times faster than the embedded FPGA (T_FPGA = 3 T_CGC).
+  int fpga_clock_ratio = 3;
+
+  /// Intra-CGC chaining: dependent operations in increasing rows of one
+  /// CGC complete within a single cycle (the FPL'04 data-path's key
+  /// feature, "realize any complex operations like a multiply-add").
+  /// Disable for the ablation of that feature.
+  bool enable_chaining = true;
+
+  /// Shared-data-memory ports available to the data-path and the cost of
+  /// one access in CGC cycles. Kernels contain loads/stores (the paper
+  /// counts memory accesses in a block's complexity), and these serialize
+  /// on the ports.
+  int mem_ports = 2;
+  std::int64_t mem_access_cgc_cycles = 4;
+
+  /// When true (default), array traffic is staged through the register
+  /// bank: loads are DMA-prefetched before the kernel fires and stores are
+  /// drained afterwards, so memory adds ceil(accesses / mem_ports) *
+  /// mem_access_cgc_cycles to the latency instead of stealing compute
+  /// slots mid-kernel. When false, every load/store is scheduled on a
+  /// port cycle-by-cycle inside the kernel.
+  bool dma_memory = true;
+
+  /// Register-bank capacity for values alive across CGC cycles; 0 means
+  /// "unlimited" (the binder still reports the peak demand).
+  int register_bank_size = 0;
+
+  /// Compute slots usable per CGC cycle over the whole data-path.
+  int slots_per_cycle() const { return count * rows * cols; }
+
+  /// The CGC node executes word-level ALU and multiply operations; it has
+  /// no divider, and memory traffic goes through the ports instead of
+  /// compute slots.
+  bool supports(ir::OpKind kind) const {
+    switch (ir::op_class(kind)) {
+      case ir::OpClass::kAlu:
+      case ir::OpClass::kMul:
+        return true;
+      case ir::OpClass::kMem:
+        return mem_ports > 0;
+      case ir::OpClass::kMeta:
+        return true;  // copies are interconnect routing
+      case ir::OpClass::kDiv:
+        return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace amdrel::platform

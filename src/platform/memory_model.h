@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+namespace amdrel::platform {
+
+/// Shared data memory of the platform (Figure 1 of the paper). It stores
+/// (a) array data accessed by both hardware types, (b) values passed
+/// between temporal partitions of the fine-grain hardware, and (c) values
+/// communicated between the fine- and coarse-grain parts when a kernel is
+/// moved (the t_comm term of equation (2)).
+struct MemoryModel {
+  /// Cost of transferring one word between the two reconfigurable blocks
+  /// through the shared memory, in FPGA clock cycles (write + read).
+  std::int64_t transfer_cycles_per_word = 1;
+
+  /// Cost of spilling/filling one live value across a temporal-partition
+  /// boundary of the fine-grain hardware, in FPGA clock cycles.
+  std::int64_t partition_boundary_cycles_per_word = 2;
+};
+
+}  // namespace amdrel::platform

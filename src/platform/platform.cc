@@ -1,0 +1,15 @@
+#include "platform/platform.h"
+
+namespace amdrel::platform {
+
+Platform make_paper_platform(double a_fpga, int cgc_count) {
+  Platform p;
+  p.fpga.usable_area = a_fpga;
+  p.cgc.count = cgc_count;
+  p.cgc.rows = 2;
+  p.cgc.cols = 2;
+  p.cgc.fpga_clock_ratio = 3;
+  return p;
+}
+
+}  // namespace amdrel::platform

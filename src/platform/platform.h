@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "platform/cgc_model.h"
+#include "platform/fpga_model.h"
+#include "platform/memory_model.h"
+
+namespace amdrel::platform {
+
+/// Characterization of a hybrid reconfigurable platform instance (the
+/// generic architecture of Figure 1): an embedded FPGA, a CGC data-path
+/// and the shared data memory. All cycle counts reported by the library
+/// are in FPGA clock cycles, matching the paper's tables ("the clock cycle
+/// period is set to the clock period of the fine-grain hardware").
+struct Platform {
+  FpgaModel fpga;
+  CgcModel cgc;
+  MemoryModel memory;
+
+  /// Converts a CGC-cycle latency to FPGA cycles, rounding up (a kernel
+  /// invocation occupies the data-path for whole FPGA cycles).
+  std::int64_t cgc_to_fpga_cycles(std::int64_t cgc_cycles) const {
+    const auto ratio = static_cast<std::int64_t>(cgc.fpga_clock_ratio);
+    return (cgc_cycles + ratio - 1) / ratio;
+  }
+};
+
+/// The platform configuration used throughout the paper's experiments:
+/// A_FPGA units of usable fine-grain area and `cgc_count` 2x2 CGCs, with
+/// T_FPGA = 3 T_CGC. Remaining knobs take the calibrated defaults
+/// documented in DESIGN.md / EXPERIMENTS.md.
+Platform make_paper_platform(double a_fpga, int cgc_count);
+
+}  // namespace amdrel::platform

@@ -1,0 +1,11 @@
+#include "support/error.h"
+
+namespace amdrel {
+
+void fail(const std::string& msg) { throw Error(msg); }
+
+void require(bool cond, const std::string& msg) {
+  if (!cond) fail(msg);
+}
+
+}  // namespace amdrel

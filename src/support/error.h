@@ -1,0 +1,23 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace amdrel {
+
+/// Library-wide exception type. All invariant violations and user errors
+/// (bad source programs, infeasible mappings, ...) surface as Error.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Throws Error with the given message.
+[[noreturn]] void fail(const std::string& msg);
+
+/// Throws Error(msg) unless cond holds. Used for precondition checks that
+/// must stay active in release builds (assert() is reserved for internal
+/// consistency checks that are free to compile out).
+void require(bool cond, const std::string& msg);
+
+}  // namespace amdrel

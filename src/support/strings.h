@@ -1,0 +1,26 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace amdrel {
+
+namespace detail {
+inline void cat_into(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void cat_into(std::ostringstream& os, const T& head, const Rest&... rest) {
+  os << head;
+  cat_into(os, rest...);
+}
+}  // namespace detail
+
+/// Concatenates all arguments with operator<< into one string.
+template <typename... Ts>
+std::string cat(const Ts&... parts) {
+  std::ostringstream os;
+  detail::cat_into(os, parts...);
+  return os.str();
+}
+
+}  // namespace amdrel

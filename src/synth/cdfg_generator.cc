@@ -1,0 +1,118 @@
+#include "synth/cdfg_generator.h"
+
+#include <random>
+
+#include "support/error.h"
+
+namespace amdrel::synth {
+
+namespace {
+
+using ir::BlockId;
+
+class AppBuilder {
+ public:
+  AppBuilder(const CdfgGenConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  SyntheticApp build() {
+    const BlockId entry = new_block(1, /*compute=*/false);
+    app_.cdfg.set_entry(entry);
+    BlockId tail = entry;
+    for (int s = 0; s < config_.segments; ++s) {
+      tail = emit_region(tail, /*multiplier=*/1, /*depth=*/0);
+    }
+    const BlockId exit = new_block(1, /*compute=*/false);
+    app_.cdfg.add_edge(tail, exit);
+    app_.cdfg.analyze_loops();
+    app_.cdfg.validate();
+    return std::move(app_);
+  }
+
+ private:
+  BlockId new_block(std::int64_t exec_count, bool compute) {
+    const BlockId id = app_.cdfg.add_block();
+    if (compute) {
+      DfgGenConfig dfg_config;
+      dfg_config.alu_ops = uniform(config_.min_alu, config_.max_alu);
+      dfg_config.mul_ops = uniform(config_.min_mul, config_.max_mul);
+      const int mem = uniform(config_.min_mem, config_.max_mem);
+      dfg_config.load_ops = mem - mem / 3;
+      dfg_config.store_ops = mem / 3;
+      dfg_config.div_ops = bernoulli(config_.div_probability) ? 1 : 0;
+      dfg_config.live_ins = uniform(2, 5);
+      dfg_config.live_outs = uniform(1, 3);
+      dfg_config.target_width = config_.target_width;
+      dfg_config.seed = rng_();
+      app_.cdfg.block(id).dfg = generate_dfg(dfg_config);
+    } else {
+      // Control-only glue block: a compare feeding the branch.
+      ir::Dfg& dfg = app_.cdfg.block(id).dfg;
+      const auto in = dfg.add_node(ir::OpKind::kInput, {}, "i");
+      const auto bound = dfg.add_const(7, "bound");
+      dfg.add_node(ir::OpKind::kCmpLt, {in, bound}, "cond");
+    }
+    app_.profile.set_count(id, static_cast<std::uint64_t>(exec_count));
+    return id;
+  }
+
+  /// Appends one region (plain block or loop) after `pred`; returns the
+  /// region's single exit block.
+  BlockId emit_region(BlockId pred, std::int64_t multiplier, int depth) {
+    const bool make_loop =
+        depth < config_.max_loop_depth && bernoulli(0.6);
+    if (!make_loop) {
+      const BlockId bb = new_block(multiplier, /*compute=*/true);
+      app_.cdfg.add_edge(pred, bb);
+      return bb;
+    }
+    const std::int64_t trip = uniform64(config_.min_trip, config_.max_trip);
+    // header executes (trip + 1) * multiplier times (loop test), the body
+    // trip * multiplier times.
+    const BlockId header =
+        new_block((trip + 1) * multiplier, /*compute=*/false);
+    app_.cdfg.add_edge(pred, header);
+
+    BlockId tail = header;
+    const int body_blocks = uniform(1, config_.max_blocks_per_body);
+    for (int i = 0; i < body_blocks; ++i) {
+      tail = emit_region(tail, trip * multiplier, depth + 1);
+    }
+    const BlockId latch = new_block(trip * multiplier, /*compute=*/true);
+    app_.cdfg.add_edge(tail, latch);
+    app_.cdfg.add_edge(latch, header);  // back edge
+    // Loop exit: a fresh block the header branches to.
+    const BlockId exit = new_block(multiplier, /*compute=*/false);
+    app_.cdfg.add_edge(header, exit);
+    return exit;
+  }
+
+  int uniform(int lo, int hi) {
+    require(lo <= hi, "generate_app: bad op count range");
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(rng_);
+  }
+
+  std::int64_t uniform64(std::int64_t lo, std::int64_t hi) {
+    require(lo <= hi && lo >= 1, "generate_app: bad trip count range");
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(rng_);
+  }
+
+  bool bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(rng_);
+  }
+
+  CdfgGenConfig config_;
+  std::mt19937_64 rng_;
+  SyntheticApp app_;
+};
+
+}  // namespace
+
+SyntheticApp generate_app(const CdfgGenConfig& config) {
+  return AppBuilder(config).build();
+}
+
+}  // namespace amdrel::synth

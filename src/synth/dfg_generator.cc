@@ -1,0 +1,116 @@
+#include "synth/dfg_generator.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "support/error.h"
+
+namespace amdrel::synth {
+
+namespace {
+
+using ir::Dfg;
+using ir::NodeId;
+using ir::OpKind;
+
+OpKind pick_alu_kind(std::mt19937_64& rng) {
+  static constexpr OpKind kinds[] = {
+      OpKind::kAdd, OpKind::kSub, OpKind::kAdd, OpKind::kAdd,
+      OpKind::kXor, OpKind::kAnd, OpKind::kOr,  OpKind::kShl,
+      OpKind::kShr, OpKind::kSub, OpKind::kCmpLt, OpKind::kAdd,
+  };
+  std::uniform_int_distribution<std::size_t> dist(0, std::size(kinds) - 1);
+  return kinds[dist(rng)];
+}
+
+}  // namespace
+
+ir::Dfg generate_dfg(const DfgGenConfig& config) {
+  require(config.live_ins + config.consts > 0,
+          "generate_dfg: need at least one source value");
+  require(config.target_width >= 1, "generate_dfg: target_width must be >= 1");
+
+  std::mt19937_64 rng(config.seed);
+  Dfg dfg;
+
+  // Source values.
+  std::vector<NodeId> values;  // nodes producing a consumable value
+  for (int i = 0; i < config.live_ins; ++i) {
+    values.push_back(dfg.add_node(OpKind::kInput, {}, "in" + std::to_string(i)));
+  }
+  for (int i = 0; i < config.consts; ++i) {
+    std::uniform_int_distribution<std::int64_t> cdist(-128, 127);
+    values.push_back(dfg.add_const(cdist(rng), "c" + std::to_string(i)));
+  }
+
+  // Multiset of operation kinds, shuffled so classes interleave.
+  std::vector<OpKind> kinds;
+  for (int i = 0; i < config.alu_ops; ++i) kinds.push_back(pick_alu_kind(rng));
+  for (int i = 0; i < config.mul_ops; ++i) kinds.push_back(OpKind::kMul);
+  for (int i = 0; i < config.div_ops; ++i) kinds.push_back(OpKind::kDiv);
+  for (int i = 0; i < config.load_ops; ++i) kinds.push_back(OpKind::kLoad);
+  std::shuffle(kinds.begin(), kinds.end(), rng);
+  // Stores go last so they can consume computed values.
+  for (int i = 0; i < config.store_ops; ++i) kinds.push_back(OpKind::kStore);
+
+  // Layered construction: each layer takes ~target_width ops whose
+  // operands come from the previous layer (with some reaching further
+  // back), so the ASAP depth tracks ops / target_width.
+  std::vector<NodeId> prev_layer = values;
+  std::vector<NodeId> current_layer;
+  int in_layer = 0;
+
+  auto pick_operand = [&]() -> NodeId {
+    // 70%: from the previous layer (creates depth); 30%: any earlier value
+    // (creates cross-layer parallelism and reconvergence).
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    if (!prev_layer.empty() && coin(rng) < 0.7) {
+      std::uniform_int_distribution<std::size_t> dist(0, prev_layer.size() - 1);
+      return prev_layer[dist(rng)];
+    }
+    std::uniform_int_distribution<std::size_t> dist(0, values.size() - 1);
+    return values[dist(rng)];
+  };
+
+  for (OpKind kind : kinds) {
+    NodeId node = ir::kNoNode;
+    switch (kind) {
+      case OpKind::kLoad:
+        node = dfg.add_node(OpKind::kLoad, {pick_operand()});
+        break;
+      case OpKind::kStore:
+        node = dfg.add_node(OpKind::kStore, {pick_operand(), pick_operand()});
+        break;
+      default:
+        node = dfg.add_node(kind, {pick_operand(), pick_operand()});
+        break;
+    }
+    if (kind != OpKind::kStore) values.push_back(node);
+    current_layer.push_back(node);
+    if (++in_layer >= config.target_width) {
+      prev_layer = current_layer;
+      current_layer.clear();
+      in_layer = 0;
+    }
+  }
+
+  // Live-out markers on the latest value-producing nodes (sinks first).
+  std::vector<NodeId> sinks;
+  for (NodeId id = dfg.size() - 1; id >= 0 && static_cast<int>(sinks.size()) <
+                                                  config.live_outs;
+       --id) {
+    const auto& node = dfg.node(id);
+    if (node.kind == OpKind::kStore || node.kind == OpKind::kOutput) continue;
+    if (!ir::is_schedulable(node.kind)) continue;
+    sinks.push_back(id);
+  }
+  for (NodeId sink : sinks) {
+    dfg.add_node(OpKind::kOutput, {sink});
+  }
+
+  dfg.validate();
+  return dfg;
+}
+
+}  // namespace amdrel::synth

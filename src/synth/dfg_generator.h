@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "ir/dfg.h"
+
+namespace amdrel::synth {
+
+/// Parameters of the random layered-DAG generator. Counts are exact (the
+/// paper-calibrated workload models rely on reproducing Table 1's op
+/// weights precisely); the shape knobs control how much instruction-level
+/// parallelism the DFG exposes, which is what the fine/coarse mappers
+/// trade off.
+struct DfgGenConfig {
+  int alu_ops = 20;
+  int mul_ops = 4;
+  int div_ops = 0;
+  int load_ops = 4;
+  int store_ops = 2;
+
+  int live_ins = 4;    ///< kInput nodes (values produced by other blocks)
+  int live_outs = 2;   ///< kOutput markers added on sink values
+  int consts = 2;
+
+  /// Target number of parallel operations per ASAP level. 1 produces a
+  /// chain, large values produce wide/shallow graphs.
+  int target_width = 4;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generates a connected, deterministic (seeded) DFG with exactly the
+/// requested operation mix. Loads consume an address value; stores consume
+/// an address and a data value; every non-source node draws its operands
+/// from earlier layers with a bias that realizes `target_width`.
+ir::Dfg generate_dfg(const DfgGenConfig& config);
+
+}  // namespace amdrel::synth

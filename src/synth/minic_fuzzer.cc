@@ -1,0 +1,254 @@
+#include "synth/minic_fuzzer.h"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <vector>
+
+namespace amdrel::synth {
+
+namespace {
+
+class ProgramFuzzer {
+ public:
+  explicit ProgramFuzzer(const FuzzConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  std::string run() {
+    os_ << "int in[16];\nint out[16];\nint g[32];\n";
+    os_ << "const int lut[8] = {3, -7, 11, 2, -1, 9, 4, 6};\n\n";
+
+    for (int f = 0; f < config_.functions; ++f) {
+      emit_function(f);
+    }
+    emit_main();
+    return os_.str();
+  }
+
+ private:
+  int pick(int lo, int hi) {
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(rng_);
+  }
+  bool chance(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(rng_);
+  }
+
+  // ---- scopes of scalar variables ----------------------------------------
+  // Loop counters are readable but never assignment targets, so every
+  // generated loop provably terminates.
+  struct Var {
+    std::string name;
+    bool mutable_target = true;
+  };
+  std::vector<std::vector<Var>> scopes_;
+  int next_var_ = 0;
+
+  std::string fresh_var() { return "v" + std::to_string(next_var_++); }
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+  void declare(const std::string& name, bool mutable_target = true) {
+    scopes_.back().push_back({name, mutable_target});
+  }
+  std::vector<std::string> visible(bool mutables_only) const {
+    std::vector<std::string> names;
+    for (const auto& scope : scopes_) {
+      for (const auto& var : scope) {
+        if (!mutables_only || var.mutable_target) names.push_back(var.name);
+      }
+    }
+    return names;
+  }
+  bool any_var() const { return !visible(false).empty(); }
+  std::string random_var() {
+    const auto names = visible(false);
+    return names[pick(0, static_cast<int>(names.size()) - 1)];
+  }
+  bool any_mutable() const { return !visible(true).empty(); }
+  std::string random_mutable() {
+    const auto names = visible(true);
+    return names[pick(0, static_cast<int>(names.size()) - 1)];
+  }
+
+  // ---- expressions --------------------------------------------------------
+  std::string expr(int depth) {
+    if (depth <= 0 || chance(0.25)) return leaf();
+    switch (pick(0, 9)) {
+      case 0: return "(" + expr(depth - 1) + " + " + expr(depth - 1) + ")";
+      case 1: return "(" + expr(depth - 1) + " - " + expr(depth - 1) + ")";
+      case 2: return "(" + expr(depth - 1) + " * " + expr(depth - 1) + ")";
+      case 3:
+        // guarded division: divisor in [1, 8]
+        return "(" + expr(depth - 1) + " / ((" + expr(depth - 1) +
+               " & 7) + 1))";
+      case 4:
+        return "(" + expr(depth - 1) + " % ((" + expr(depth - 1) +
+               " & 7) + 1))";
+      case 5: return "(" + expr(depth - 1) + " ^ " + expr(depth - 1) + ")";
+      case 6: return "(" + expr(depth - 1) + " >> " +
+                     std::to_string(pick(0, 7)) + ")";
+      case 7: return "(" + expr(depth - 1) + (chance(0.5) ? " < " : " == ") +
+                     expr(depth - 1) + ")";
+      case 8:
+        // the space avoids "--64" lexing as a decrement token
+        return std::string(chance(0.5) ? "(- " : "(~ ") + expr(depth - 1) +
+               ")";
+      case 9:
+        if (!callable_.empty() && chance(0.7)) {
+          const auto& name = callable_[pick(
+              0, static_cast<int>(callable_.size()) - 1)];
+          return name + "(" + expr(depth - 1) + ", " + expr(depth - 1) + ")";
+        }
+        return "(" + expr(depth - 1) + (chance(0.5) ? " && " : " || ") +
+               expr(depth - 1) + ")";
+    }
+    return leaf();
+  }
+
+  std::string leaf() {
+    switch (pick(0, 4)) {
+      case 0: return std::to_string(pick(-64, 64));
+      case 1:
+        if (any_var()) return random_var();
+        return std::to_string(pick(0, 9));
+      case 2: return "g[(" + simple() + ") & 31]";
+      case 3: return "in[(" + simple() + ") & 15]";
+      default: return "lut[(" + simple() + ") & 7]";
+    }
+  }
+
+  std::string simple() {
+    if (any_var() && chance(0.6)) return random_var();
+    return std::to_string(pick(0, 31));
+  }
+
+  // ---- statements -----------------------------------------------------------
+  void line(int indent, const std::string& text) {
+    for (int i = 0; i < indent; ++i) os_ << "  ";
+    os_ << text << "\n";
+  }
+
+  void emit_statement(int indent, int loop_nest, int budget) {
+    switch (pick(0, 7)) {
+      case 0: {  // declaration
+        const std::string name = fresh_var();
+        line(indent, "int " + name + " = " + expr(config_.max_expr_depth) +
+                         ";");
+        declare(name);
+        break;
+      }
+      case 1:  // scalar assignment
+        if (any_mutable()) {
+          line(indent, random_mutable() + " = " +
+                           expr(config_.max_expr_depth) + ";");
+        } else {
+          line(indent, "g[0] = " + expr(2) + ";");
+        }
+        break;
+      case 2:  // array store
+        line(indent, "g[(" + simple() + ") & 31] = " +
+                         expr(config_.max_expr_depth) + ";");
+        break;
+      case 3:  // compound assignment
+        if (any_mutable()) {
+          const char* ops[] = {"+=", "-=", "*=", "^=", "|=", "&="};
+          line(indent, random_mutable() + " " + ops[pick(0, 5)] + " " +
+                           expr(2) + ";");
+        }
+        break;
+      case 4: {  // if / else
+        line(indent, "if (" + expr(2) + ") {");
+        push_scope();
+        emit_body(indent + 1, loop_nest, budget / 2);
+        pop_scope();
+        if (chance(0.5)) {
+          line(indent, "} else {");
+          push_scope();
+          emit_body(indent + 1, loop_nest, budget / 2);
+          pop_scope();
+        }
+        line(indent, "}");
+        break;
+      }
+      case 5: {  // counted for loop
+        if (loop_nest >= config_.max_loop_nest) break;
+        const std::string i = fresh_var();
+        line(indent, "for (int " + i + " = 0; " + i + " < " +
+                         std::to_string(pick(2, 8)) + "; " + i + "++) {");
+        push_scope();
+        declare(i, /*mutable_target=*/false);
+        emit_body(indent + 1, loop_nest + 1, budget / 2);
+        pop_scope();
+        line(indent, "}");
+        break;
+      }
+      case 6: {  // bounded while with explicit counter
+        if (loop_nest >= config_.max_loop_nest) break;
+        const std::string w = fresh_var();
+        line(indent, "int " + w + " = " + std::to_string(pick(1, 6)) + ";");
+        declare(w, /*mutable_target=*/false);
+        line(indent, "while (" + w + " > 0) {");
+        push_scope();
+        emit_body(indent + 1, loop_nest + 1, budget / 2);
+        pop_scope();
+        line(indent + 1, w + "--;");
+        line(indent, "}");
+        break;
+      }
+      default:  // output store
+        line(indent, "out[(" + simple() + ") & 15] = " + expr(2) + ";");
+        break;
+    }
+  }
+
+  void emit_body(int indent, int loop_nest, int budget) {
+    const int count = std::max(1, std::min(budget, pick(1, 4)));
+    for (int s = 0; s < count; ++s) {
+      emit_statement(indent, loop_nest, budget);
+    }
+  }
+
+  void emit_function(int index) {
+    const std::string name = "f" + std::to_string(index);
+    os_ << "int " << name << "(int a, int b) {\n";
+    push_scope();
+    declare("a");
+    declare("b");
+    for (int s = 0; s < config_.statements / 2; ++s) {
+      emit_statement(1, config_.max_loop_nest - 1, 2);
+    }
+    line(1, "return " + expr(config_.max_expr_depth) + ";");
+    pop_scope();
+    os_ << "}\n\n";
+    callable_.push_back(name);
+  }
+
+  void emit_main() {
+    os_ << "int main() {\n";
+    push_scope();
+    for (int s = 0; s < config_.statements; ++s) {
+      emit_statement(1, 0, 4);
+    }
+    line(1, "int check = 0;");
+    declare("check");
+    line(1, "for (int i = 0; i < 16; i++) { check ^= out[i] + i; }");
+    line(1, "for (int i = 0; i < 32; i++) { check += g[i] >> 3; }");
+    line(1, "return check;");
+    pop_scope();
+    os_ << "}\n";
+  }
+
+  FuzzConfig config_;
+  std::mt19937_64 rng_;
+  std::ostringstream os_;
+  std::vector<std::string> callable_;
+};
+
+}  // namespace
+
+std::string generate_minic_program(const FuzzConfig& config) {
+  return ProgramFuzzer(config).run();
+}
+
+}  // namespace amdrel::synth

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace amdrel::synth {
+
+struct FuzzConfig {
+  int functions = 2;        ///< helper functions besides main
+  int statements = 10;      ///< statements per body
+  int max_expr_depth = 3;
+  int max_loop_nest = 2;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a random, well-typed, terminating MiniC program for
+/// differential testing:
+///  * all array indices are masked to the array size, so no out-of-bounds
+///    traps;
+///  * divisors are forced non-zero (and never -1 with INT_MIN), so no
+///    division traps;
+///  * loops have constant bounds and bounded nesting, so execution always
+///    terminates within a small instruction budget;
+///  * main reads the `in` array and writes `out`, returning a checksum.
+///
+/// Used by the property tests to check that the optimizer preserves
+/// semantics and that compilation + interpretation are deterministic.
+std::string generate_minic_program(const FuzzConfig& config);
+
+}  // namespace amdrel::synth

@@ -1,0 +1,311 @@
+#include "workloads/minic_sources.h"
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace amdrel::workloads {
+
+namespace {
+
+// Shared fixed-point tables (also mirrored by the golden references in
+// golden.cc; keep the two in sync).
+constexpr const char* kOfdmTables = R"(
+const int tw_re[32] = {
+  16384, 16305, 16069, 15679, 15137, 14449, 13623, 12665,
+  11585, 10394, 9102, 7723, 6270, 4756, 3196, 1606,
+  0, -1606, -3196, -4756, -6270, -7723, -9102, -10394,
+  -11585, -12665, -13623, -14449, -15137, -15679, -16069, -16305
+};
+const int tw_im[32] = {
+  0, 1606, 3196, 4756, 6270, 7723, 9102, 10394,
+  11585, 12665, 13623, 14449, 15137, 15679, 16069, 16305,
+  16384, 16305, 16069, 15679, 15137, 14449, 13623, 12665,
+  11585, 10394, 9102, 7723, 6270, 4756, 3196, 1606
+};
+const int brev[64] = {
+  0, 32, 16, 48, 8, 40, 24, 56, 4, 36, 20, 52, 12, 44, 28, 60,
+  2, 34, 18, 50, 10, 42, 26, 58, 6, 38, 22, 54, 14, 46, 30, 62,
+  1, 33, 17, 49, 9, 41, 25, 57, 5, 37, 21, 53, 13, 45, 29, 61,
+  3, 35, 19, 51, 11, 43, 27, 59, 7, 39, 23, 55, 15, 47, 31, 63
+};
+const int carriers[48] = {
+  38, 39, 40, 41, 42, 44, 45, 46, 47, 48, 49, 50, 51, 52, 53, 54,
+  55, 56, 58, 59, 60, 61, 62, 63, 1, 2, 3, 4, 5, 6, 8, 9,
+  10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 22, 23, 24, 25, 26
+};
+const int pilots[4] = {43, 57, 7, 21};
+)";
+
+constexpr const char* kJpegTables = R"(
+const int ct[64] = {
+  2896, 2896, 2896, 2896, 2896, 2896, 2896, 2896,
+  4017, 3406, 2276, 799, -799, -2276, -3406, -4017,
+  3784, 1567, -1567, -3784, -3784, -1567, 1567, 3784,
+  3406, -799, -4017, -2276, 2276, 4017, 799, -3406,
+  2896, -2896, -2896, 2896, 2896, -2896, -2896, 2896,
+  2276, -4017, 799, 3406, -3406, -799, 4017, -2276,
+  1567, -3784, 3784, -1567, -1567, 3784, -3784, 1567,
+  799, -2276, 3406, -4017, 4017, -3406, 2276, -799
+};
+const int qrecip[64] = {
+  4096, 5958, 6554, 4096, 2731, 1638, 1285, 1074,
+  5461, 5461, 4681, 3449, 2521, 1130, 1092, 1192,
+  4681, 5041, 4096, 2731, 1638, 1150, 950, 1170,
+  4681, 3855, 2979, 2260, 1285, 753, 819, 1057,
+  3641, 2979, 1771, 1170, 964, 601, 636, 851,
+  2731, 1872, 1192, 1024, 809, 630, 580, 712,
+  1337, 1024, 840, 753, 636, 542, 546, 649,
+  910, 712, 690, 669, 585, 655, 636, 662
+};
+const int zz[64] = {
+  0, 8, 1, 2, 9, 16, 24, 17, 10, 3, 4, 11, 18, 25, 32, 40,
+  33, 26, 19, 12, 5, 6, 13, 20, 27, 34, 41, 48, 56, 49, 42, 35,
+  28, 21, 14, 7, 15, 22, 29, 36, 43, 50, 57, 58, 51, 44, 37, 30,
+  23, 31, 38, 45, 52, 59, 60, 53, 46, 39, 47, 54, 61, 62, 55, 63
+};
+)";
+
+}  // namespace
+
+std::string ofdm_source(int symbols) {
+  require(symbols >= 1 && symbols <= 512, "ofdm_source: bad symbol count");
+  const int nbits = symbols * 96;
+  const int nout = symbols * 80;
+  return cat(kOfdmTables, R"(
+int bits[)", nbits, R"(];
+int out_re[)", nout, R"(];
+int out_im[)", nout, R"(];
+int sym_re[64];
+int sym_im[64];
+int fft_re[64];
+int fft_im[64];
+
+void qam_map(int s) {
+  for (int i = 0; i < 64; i++) { sym_re[i] = 0; sym_im[i] = 0; }
+  for (int c = 0; c < 48; c++) {
+    int b0 = bits[s * 96 + 2 * c];
+    int b1 = bits[s * 96 + 2 * c + 1];
+    sym_re[carriers[c]] = (2 * b0 - 1) * 11585;
+    sym_im[carriers[c]] = (2 * b1 - 1) * 11585;
+  }
+  for (int p = 0; p < 4; p++) {
+    sym_re[pilots[p]] = 11585;
+    sym_im[pilots[p]] = 0;
+  }
+}
+
+void ifft64() {
+  for (int i = 0; i < 64; i++) {
+    fft_re[i] = sym_re[brev[i]];
+    fft_im[i] = sym_im[brev[i]];
+  }
+  int half = 1;
+  int step = 32;
+  while (half < 64) {
+    for (int g = 0; g < 64; g = g + 2 * half) {
+      for (int k = 0; k < half; k++) {
+        int tr = tw_re[k * step];
+        int ti = tw_im[k * step];
+        int lo = g + k;
+        int hi = g + k + half;
+        int xr = (fft_re[hi] * tr - fft_im[hi] * ti) >> 14;
+        int xi = (fft_re[hi] * ti + fft_im[hi] * tr) >> 14;
+        fft_re[hi] = (fft_re[lo] - xr) >> 1;
+        fft_im[hi] = (fft_im[lo] - xi) >> 1;
+        fft_re[lo] = (fft_re[lo] + xr) >> 1;
+        fft_im[lo] = (fft_im[lo] + xi) >> 1;
+      }
+    }
+    half = half * 2;
+    step = step >> 1;
+  }
+}
+
+void add_prefix(int s) {
+  for (int i = 0; i < 16; i++) {
+    out_re[s * 80 + i] = fft_re[48 + i];
+    out_im[s * 80 + i] = fft_im[48 + i];
+  }
+  for (int i = 0; i < 64; i++) {
+    out_re[s * 80 + 16 + i] = fft_re[i];
+    out_im[s * 80 + 16 + i] = fft_im[i];
+  }
+}
+
+int main() {
+  for (int s = 0; s < )", symbols, R"(; s++) {
+    qam_map(s);
+    ifft64();
+    add_prefix(s);
+  }
+  int check = 0;
+  for (int i = 0; i < )", nout, R"(; i++) {
+    check += out_re[i] ^ out_im[i];
+  }
+  return check;
+}
+)");
+}
+
+std::string jpeg_source(int width, int height) {
+  require(width % 8 == 0 && height % 8 == 0 && width > 0 && height > 0,
+          "jpeg_source: dimensions must be positive multiples of 8");
+  const int pixels = width * height;
+  const int bw = width / 8;
+  return cat(kJpegTables, R"(
+int image[)", pixels, R"(];
+int coeffs[)", pixels, R"(];
+int blk[64];
+int tmp[64];
+int bitcost;
+int prev_dc;
+
+void load_block(int bx, int by) {
+  for (int r = 0; r < 8; r++) {
+    for (int c = 0; c < 8; c++) {
+      blk[r * 8 + c] = image[(by * 8 + r) * )", width, R"( + bx * 8 + c] - 128;
+    }
+  }
+}
+
+void dct_rows() {
+  for (int r = 0; r < 8; r++) {
+    for (int k = 0; k < 8; k++) {
+      int acc = 0;
+      for (int n = 0; n < 8; n++) {
+        acc += blk[r * 8 + n] * ct[k * 8 + n];
+      }
+      tmp[r * 8 + k] = acc >> 10;
+    }
+  }
+}
+
+void dct_cols() {
+  for (int c = 0; c < 8; c++) {
+    for (int k = 0; k < 8; k++) {
+      int acc = 0;
+      for (int n = 0; n < 8; n++) {
+        acc += tmp[n * 8 + c] * ct[k * 8 + n];
+      }
+      blk[k * 8 + c] = acc >> 16;
+    }
+  }
+}
+
+void quantize() {
+  for (int i = 0; i < 64; i++) {
+    int v = blk[i];
+    int neg = 0;
+    if (v < 0) { neg = 1; v = -v; }
+    int q = (v * qrecip[i]) >> 16;
+    if (neg == 1) { q = -q; }
+    tmp[i] = q;
+  }
+}
+
+void zigzag_scan(int base) {
+  for (int i = 0; i < 64; i++) {
+    coeffs[base + i] = tmp[zz[i]];
+  }
+}
+
+void entropy_cost(int base) {
+  int d = coeffs[base] - prev_dc;
+  prev_dc = coeffs[base];
+  if (d < 0) { d = -d; }
+  int dsize = 0;
+  while (d > 0) { dsize++; d = d >> 1; }
+  bitcost += 3 + dsize + dsize;
+  int run = 0;
+  for (int i = 1; i < 64; i++) {
+    int v = coeffs[base + i];
+    if (v == 0) {
+      run++;
+    } else {
+      while (run >= 16) { bitcost += 11; run -= 16; }
+      int m = v;
+      if (m < 0) { m = -m; }
+      int size = 0;
+      while (m > 0) { size++; m = m >> 1; }
+      bitcost += 4 + run + size + size;
+      run = 0;
+    }
+  }
+  if (run > 0) { bitcost += 4; }
+}
+
+int main() {
+  prev_dc = 0;
+  bitcost = 0;
+  for (int by = 0; by < )", height / 8, R"(; by++) {
+    for (int bx = 0; bx < )", bw, R"(; bx++) {
+      load_block(bx, by);
+      dct_rows();
+      dct_cols();
+      quantize();
+      zigzag_scan((by * )", bw, R"( + bx) * 64);
+      entropy_cost((by * )", bw, R"( + bx) * 64);
+    }
+  }
+  return bitcost;
+}
+)");
+}
+
+std::string fir_source(int n) {
+  require(n >= 1 && n <= 1 << 20, "fir_source: bad sample count");
+  return cat(R"(
+const int taps[16] = {
+  -2, -5, 3, 17, 38, 62, 84, 97, 97, 84, 62, 38, 17, 3, -5, -2
+};
+int samples[)", n + 16, R"(];
+int filtered[)", n, R"(];
+
+int main() {
+  for (int i = 0; i < )", n, R"(; i++) {
+    int acc = 0;
+    for (int t = 0; t < 16; t++) {
+      acc += samples[i + t] * taps[t];
+    }
+    filtered[i] = acc >> 8;
+  }
+  int check = 0;
+  for (int i = 0; i < )", n, R"(; i++) { check ^= filtered[i]; }
+  return check;
+}
+)");
+}
+
+std::string sobel_source(int width, int height) {
+  require(width >= 3 && height >= 3, "sobel_source: image too small");
+  const int pixels = width * height;
+  return cat(R"(
+int image[)", pixels, R"(];
+int edges[)", pixels, R"(];
+
+int main() {
+  for (int y = 1; y < )", height - 1, R"(; y++) {
+    for (int x = 1; x < )", width - 1, R"(; x++) {
+      int up = (y - 1) * )", width, R"( + x;
+      int mid = y * )", width, R"( + x;
+      int down = (y + 1) * )", width, R"( + x;
+      int gx = image[up + 1] - image[up - 1]
+             + 2 * image[mid + 1] - 2 * image[mid - 1]
+             + image[down + 1] - image[down - 1];
+      int gy = image[down - 1] + 2 * image[down] + image[down + 1]
+             - image[up - 1] - 2 * image[up] - image[up + 1];
+      if (gx < 0) { gx = -gx; }
+      if (gy < 0) { gy = -gy; }
+      int mag = gx + gy;
+      if (mag > 255) { mag = 255; }
+      edges[mid] = mag;
+    }
+  }
+  int check = 0;
+  for (int i = 0; i < )", pixels, R"(; i++) { check += edges[i]; }
+  return check;
+}
+)");
+}
+
+}  // namespace amdrel::workloads

@@ -1,0 +1,132 @@
+#include "analysis/kernels.h"
+#include "analysis/weights.h"
+
+#include <gtest/gtest.h>
+
+namespace amdrel::analysis {
+namespace {
+
+using ir::BlockId;
+using ir::Dfg;
+using ir::NodeId;
+using ir::OpKind;
+
+Dfg dfg_with(int alu, int mul, int mem) {
+  Dfg dfg;
+  const NodeId a = dfg.add_node(OpKind::kInput, {}, "a");
+  for (int i = 0; i < alu; ++i) dfg.add_node(OpKind::kAdd, {a, a});
+  for (int i = 0; i < mul; ++i) dfg.add_node(OpKind::kMul, {a, a});
+  for (int i = 0; i < mem; ++i) dfg.add_node(OpKind::kLoad, {a});
+  return dfg;
+}
+
+TEST(WeightsTest, PaperWeightsAluOneMulTwo) {
+  const WeightModel model;
+  EXPECT_EQ(block_weight(dfg_with(5, 3, 4), model), 5 + 2 * 3);
+}
+
+TEST(WeightsTest, MemWeightKnob) {
+  WeightModel model;
+  model.mem = 1;
+  EXPECT_EQ(block_weight(dfg_with(5, 3, 4), model), 5 + 6 + 4);
+}
+
+TEST(WeightsTest, StructuralNodesWeighNothing) {
+  Dfg dfg;
+  const NodeId a = dfg.add_node(OpKind::kInput, {}, "a");
+  dfg.add_const(5);
+  const NodeId n = dfg.add_node(OpKind::kCopy, {a});
+  dfg.add_node(OpKind::kOutput, {n});
+  EXPECT_EQ(block_weight(dfg, WeightModel{}), 0);
+}
+
+class KernelExtractionTest : public ::testing::Test {
+ protected:
+  /// entry -> k1(self loop) -> k2(self loop) -> straight -> exit
+  void SetUp() override {
+    entry_ = cdfg_.add_block("entry");
+    k1_ = cdfg_.add_block("k1");
+    k2_ = cdfg_.add_block("k2");
+    straight_ = cdfg_.add_block("straight");
+    exit_ = cdfg_.add_block("exit");
+    cdfg_.add_edge(entry_, k1_);
+    cdfg_.add_edge(k1_, k1_);
+    cdfg_.add_edge(k1_, k2_);
+    cdfg_.add_edge(k2_, k2_);
+    cdfg_.add_edge(k2_, straight_);
+    cdfg_.add_edge(straight_, exit_);
+    cdfg_.set_entry(entry_);
+
+    cdfg_.block(k1_).dfg = dfg_with(10, 2, 0);      // weight 14
+    cdfg_.block(k2_).dfg = dfg_with(4, 0, 0);       // weight 4
+    cdfg_.block(straight_).dfg = dfg_with(50, 10, 0);  // weight 70, no loop
+    cdfg_.analyze_loops();
+
+    profile_.set_count(entry_, 1);
+    profile_.set_count(k1_, 100);   // total 1400
+    profile_.set_count(k2_, 1000);  // total 4000
+    profile_.set_count(straight_, 1);
+    profile_.set_count(exit_, 1);
+  }
+
+  ir::Cdfg cdfg_{"t"};
+  ir::ProfileData profile_;
+  BlockId entry_, k1_, k2_, straight_, exit_;
+};
+
+TEST_F(KernelExtractionTest, OrdersByTotalWeightDescending) {
+  const auto kernels = extract_kernels(cdfg_, profile_);
+  ASSERT_EQ(kernels.size(), 2u);
+  EXPECT_EQ(kernels[0].block, k2_);
+  EXPECT_EQ(kernels[0].total_weight, 4000);
+  EXPECT_EQ(kernels[1].block, k1_);
+  EXPECT_EQ(kernels[1].total_weight, 1400);
+}
+
+TEST_F(KernelExtractionTest, LoopsOnlyExcludesStraightLineCode) {
+  const auto kernels = extract_kernels(cdfg_, profile_);
+  for (const auto& kernel : kernels) {
+    EXPECT_NE(kernel.block, straight_);
+    EXPECT_GE(kernel.loop_depth, 1);
+  }
+  AnalysisOptions options;
+  options.loops_only = false;
+  const auto all = extract_kernels(cdfg_, profile_, options);
+  bool found_straight = false;
+  for (const auto& kernel : all) found_straight |= kernel.block == straight_;
+  EXPECT_TRUE(found_straight);
+}
+
+TEST_F(KernelExtractionTest, EquationOneHolds) {
+  for (const auto& kernel : extract_kernels(cdfg_, profile_)) {
+    EXPECT_EQ(kernel.total_weight,
+              static_cast<std::int64_t>(kernel.exec_freq) * kernel.op_weight);
+  }
+}
+
+TEST_F(KernelExtractionTest, MinExecFreqFilters) {
+  AnalysisOptions options;
+  options.min_exec_freq = 500;
+  const auto kernels = extract_kernels(cdfg_, profile_, options);
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_EQ(kernels[0].block, k2_);
+}
+
+TEST_F(KernelExtractionTest, DivisionMarksIneligible) {
+  auto& dfg = cdfg_.block(k1_).dfg;
+  const NodeId a = dfg.add_node(OpKind::kInput, {}, "d");
+  dfg.add_node(OpKind::kDiv, {a, a});
+  const auto kernels = extract_kernels(cdfg_, profile_);
+  for (const auto& kernel : kernels) {
+    if (kernel.block == k1_) EXPECT_FALSE(kernel.cgc_eligible);
+    if (kernel.block == k2_) EXPECT_TRUE(kernel.cgc_eligible);
+  }
+}
+
+TEST_F(KernelExtractionTest, ZeroFrequencyBlocksDropped) {
+  ir::ProfileData empty;
+  EXPECT_TRUE(extract_kernels(cdfg_, empty).empty());
+}
+
+}  // namespace
+}  // namespace amdrel::analysis

@@ -1,0 +1,124 @@
+#include "core/energy.h"
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "workloads/paper_models.h"
+
+namespace amdrel::core {
+namespace {
+
+using workloads::build_jpeg_model;
+using workloads::build_ofdm_model;
+using workloads::PaperApp;
+
+TEST(PipelineTest, PipelineNeverSlowerThanSequential) {
+  const PaperApp app = build_ofdm_model();
+  const auto report = run_methodology(
+      app.cdfg, app.profile, platform::make_paper_platform(1500, 2),
+      workloads::kOfdmTimingConstraint);
+  for (const int frames : {1, 2, 6}) {
+    const PipelineEstimate estimate = estimate_pipeline(report, frames);
+    EXPECT_LE(estimate.pipelined_cycles, estimate.sequential_cycles)
+        << frames << " frames";
+    EXPECT_GE(estimate.speedup(), 1.0);
+  }
+}
+
+TEST(PipelineTest, SingleFrameHasNoOverlap) {
+  const PaperApp app = build_ofdm_model();
+  const auto report = run_methodology(
+      app.cdfg, app.profile, platform::make_paper_platform(1500, 2),
+      workloads::kOfdmTimingConstraint);
+  const PipelineEstimate estimate = estimate_pipeline(report, 1);
+  EXPECT_EQ(estimate.pipelined_cycles, estimate.sequential_cycles);
+}
+
+TEST(PipelineTest, ManyFramesApproachBottleneckRate) {
+  const PaperApp app = build_ofdm_model();
+  const auto report = run_methodology(
+      app.cdfg, app.profile, platform::make_paper_platform(1500, 2),
+      workloads::kOfdmTimingConstraint);
+  const PipelineEstimate estimate = estimate_pipeline(report, 6);
+  const std::int64_t bottleneck =
+      std::max(estimate.fine_per_frame, estimate.coarse_per_frame);
+  // makespan/frame -> bottleneck as frames grow.
+  EXPECT_LT(estimate.pipelined_cycles / 6 - bottleneck,
+            (estimate.fine_per_frame + estimate.coarse_per_frame) / 6 + 1);
+  // Both units stay busy (the paper's utilization claim): the bottleneck
+  // side is >90% utilized.
+  EXPECT_GT(std::max(estimate.fine_utilization(),
+                     estimate.coarse_utilization()),
+            0.9);
+}
+
+TEST(PipelineTest, RejectsBadFrameCount) {
+  PartitionReport report;
+  EXPECT_THROW(estimate_pipeline(report, 0), Error);
+}
+
+TEST(EnergyTest, AllFineBreakdownHasNoCoarseTerms) {
+  const PaperApp app = build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  const EnergyBreakdown breakdown =
+      estimate_energy(app.cdfg, app.profile, p, {});
+  EXPECT_GT(breakdown.fine_pj, 0.0);
+  EXPECT_EQ(breakdown.coarse_pj, 0.0);
+  EXPECT_GT(breakdown.reconfig_pj, 0.0);  // BB22 splits at A=1500
+}
+
+TEST(EnergyTest, MovingHotKernelSavesEnergy) {
+  const PaperApp app = build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  const double all_fine =
+      estimate_energy(app.cdfg, app.profile, p, {}).total_pj();
+  const double with_move =
+      estimate_energy(app.cdfg, app.profile, p,
+                      {app.block_by_label("BB22")})
+          .total_pj();
+  EXPECT_LT(with_move, all_fine);
+}
+
+TEST(EnergyTest, LargerFpgaNeedsNoReconfigEnergy) {
+  const PaperApp app = build_ofdm_model();
+  const auto p = platform::make_paper_platform(5000, 2);
+  const EnergyBreakdown breakdown =
+      estimate_energy(app.cdfg, app.profile, p, {});
+  EXPECT_EQ(breakdown.reconfig_pj, 0.0);  // everything fits resident
+}
+
+TEST(EnergyTest, EnergyMethodologyMeetsBudget) {
+  const PaperApp app = build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  const double all_fine =
+      estimate_energy(app.cdfg, app.profile, p, {}).total_pj();
+  const EnergyPartitionReport report = run_energy_methodology(
+      app.cdfg, app.profile, p, /*budget_pj=*/all_fine * 0.6);
+  EXPECT_TRUE(report.met);
+  EXPECT_FALSE(report.moved.empty());
+  EXPECT_LE(report.energy.total_pj(), all_fine * 0.6);
+  EXPECT_GT(report.reduction_percent(), 0.0);
+}
+
+TEST(EnergyTest, TrivialBudgetNeedsNoMoves) {
+  const PaperApp app = build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  const EnergyPartitionReport report = run_energy_methodology(
+      app.cdfg, app.profile, p, /*budget_pj=*/1e18);
+  EXPECT_TRUE(report.met);
+  EXPECT_TRUE(report.moved.empty());
+}
+
+TEST(EnergyTest, ImpossibleBudgetReportsBestEffort) {
+  const PaperApp app = build_jpeg_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  const EnergyPartitionReport report =
+      run_energy_methodology(app.cdfg, app.profile, p, /*budget_pj=*/1.0);
+  EXPECT_FALSE(report.met);
+  EXPECT_FALSE(report.moved.empty());
+  EXPECT_LT(report.energy.total_pj(), report.initial_pj);
+}
+
+}  // namespace
+}  // namespace amdrel::core

@@ -1,0 +1,95 @@
+// Differential testing over randomly generated MiniC programs: the
+// optimizer must preserve observable behaviour (return value, memory),
+// compilation must be deterministic, and the whole analysis pipeline must
+// accept whatever the front-end produces.
+
+#include <gtest/gtest.h>
+
+#include "analysis/kernels.h"
+#include "core/methodology.h"
+#include "interp/interpreter.h"
+#include "ir/build_cdfg.h"
+#include "minic/frontend.h"
+#include "minic/optimizer.h"
+#include "synth/minic_fuzzer.h"
+#include "workloads/golden.h"
+
+namespace amdrel {
+namespace {
+
+class FuzzedProgramProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static std::string source() {
+    synth::FuzzConfig config;
+    config.seed = GetParam();
+    config.statements = 12;
+    return synth::generate_minic_program(config);
+  }
+  static constexpr std::uint64_t kBudget = 20'000'000;
+};
+
+TEST_P(FuzzedProgramProperty, CompilesAndTerminates) {
+  const ir::TacProgram tac = minic::compile(source(), "fuzz");
+  EXPECT_NO_THROW(tac.validate());
+  interp::Interpreter interp(tac);
+  interp.set_input("in", workloads::random_samples(16, GetParam()));
+  const auto result = interp.run(kBudget);
+  EXPECT_GT(result.instructions_executed, 0u);
+}
+
+TEST_P(FuzzedProgramProperty, OptimizerPreservesBehaviour) {
+  const std::string src = source();
+  ir::TacProgram plain = minic::compile(src, "fuzz");
+  ir::TacProgram optimized = plain;
+  minic::optimize(optimized);
+
+  const auto input = workloads::random_samples(16, GetParam() * 31 + 7);
+  interp::Interpreter a(std::move(plain));
+  interp::Interpreter b(std::move(optimized));
+  a.set_input("in", input);
+  b.set_input("in", input);
+  const auto ra = a.run(kBudget);
+  const auto rb = b.run(kBudget);
+  EXPECT_EQ(ra.return_value, rb.return_value) << src;
+  EXPECT_EQ(a.array("out"), b.array("out")) << src;
+  EXPECT_EQ(a.array("g"), b.array("g")) << src;
+  EXPECT_LE(rb.instructions_executed, ra.instructions_executed);
+}
+
+TEST_P(FuzzedProgramProperty, CompilationIsDeterministic) {
+  const std::string src = source();
+  const ir::TacProgram a = minic::compile(src, "fuzz");
+  const ir::TacProgram b = minic::compile(src, "fuzz");
+  EXPECT_EQ(a.to_string(), b.to_string());
+}
+
+TEST_P(FuzzedProgramProperty, AnalysisPipelineAcceptsFuzzedPrograms) {
+  const ir::TacProgram tac = minic::compile(source(), "fuzz");
+  interp::Interpreter interp(tac);
+  interp.set_input("in", workloads::random_samples(16, GetParam()));
+  const auto run = interp.run(kBudget);
+
+  const ir::Cdfg cdfg = ir::build_cdfg(tac);
+  const auto kernels = analysis::extract_kernels(cdfg, run.profile);
+  for (const auto& kernel : kernels) {
+    EXPECT_GE(kernel.loop_depth, 1);
+    EXPECT_GT(kernel.exec_freq, 0u);
+  }
+  // Fuzzed programs contain divisions; the methodology must keep those
+  // kernels on the FPGA and still produce a consistent report.
+  const auto p = platform::make_paper_platform(800, 2);
+  core::HybridMapper mapper(cdfg, p);
+  const auto report = core::run_methodology(
+      cdfg, run.profile, p, mapper.all_fine_cycles(run.profile) / 2);
+  EXPECT_EQ(report.final_cycles,
+            report.cost.t_fpga + report.cost.t_coarse + report.cost.t_comm);
+  for (const ir::BlockId block : report.moved) {
+    EXPECT_FALSE(cdfg.block(block).dfg.has_division());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzedProgramProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace amdrel

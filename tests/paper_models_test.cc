@@ -1,0 +1,107 @@
+#include "workloads/paper_models.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/kernels.h"
+#include "support/error.h"
+
+namespace amdrel::workloads {
+namespace {
+
+struct Table1Row {
+  const char* label;
+  std::uint64_t exec_freq;
+  std::int64_t op_weight;
+  std::int64_t total_weight;
+};
+
+// Table 1 of the paper, verbatim.
+constexpr Table1Row kOfdmTop8[] = {
+    {"BB22", 336, 115, 38640}, {"BB12", 1200, 25, 30000},
+    {"BB3", 864, 6, 5184},     {"BB5", 370, 12, 4440},
+    {"BB42", 800, 5, 4000},    {"BB32", 560, 6, 3360},
+    {"BB29", 448, 7, 3136},    {"BB21", 147, 18, 2646},
+};
+
+constexpr Table1Row kJpegTop8[] = {
+    {"BB6", 355024, 3, 1065072}, {"BB2", 8192, 85, 696320},
+    {"BB1", 8192, 83, 679936},   {"BB22", 65536, 5, 327680},
+    {"BB8", 30927, 8, 247416},   {"BB3", 65536, 3, 196608},
+    {"BB16", 63540, 3, 190620},  {"BB17", 63540, 2, 127080},
+};
+
+void check_table1(const PaperApp& app, const Table1Row* rows,
+                  std::size_t count, std::size_t expected_blocks) {
+  // Paper block counts: "composed by 18 basic blocks" / "22 BBs" — our
+  // models add entry/exit stubs on top.
+  EXPECT_EQ(app.specs.size(), expected_blocks);
+
+  const auto kernels = analysis::extract_kernels(app.cdfg, app.profile);
+  ASSERT_GE(kernels.size(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& kernel = kernels[i];
+    EXPECT_EQ(app.cdfg.block(kernel.block).name, rows[i].label)
+        << "rank " << i;
+    EXPECT_EQ(kernel.exec_freq, rows[i].exec_freq) << rows[i].label;
+    EXPECT_EQ(kernel.op_weight, rows[i].op_weight) << rows[i].label;
+    EXPECT_EQ(kernel.total_weight, rows[i].total_weight) << rows[i].label;
+  }
+}
+
+TEST(PaperModelsTest, OfdmReproducesTable1Exactly) {
+  check_table1(build_ofdm_model(), kOfdmTop8, std::size(kOfdmTop8), 18);
+}
+
+TEST(PaperModelsTest, JpegReproducesTable1Exactly) {
+  check_table1(build_jpeg_model(), kJpegTop8, std::size(kJpegTop8), 22);
+}
+
+TEST(PaperModelsTest, AllKernelBlocksAreLoopResident) {
+  for (const PaperApp& app : {build_ofdm_model(), build_jpeg_model()}) {
+    for (const auto& spec : app.specs) {
+      const auto block = app.block_by_label(spec.label);
+      EXPECT_EQ(app.cdfg.block(block).loop_depth, spec.in_loop ? 1 : 0)
+          << app.cdfg.name() << "/" << spec.label;
+    }
+  }
+}
+
+TEST(PaperModelsTest, NoDivisionsInEitherApp) {
+  // The paper: "thus no divisions are present in the DFGs".
+  for (const PaperApp& app : {build_ofdm_model(), build_jpeg_model()}) {
+    for (const auto& block : app.cdfg.blocks()) {
+      EXPECT_FALSE(block.dfg.has_division())
+          << app.cdfg.name() << "/" << block.name;
+    }
+  }
+}
+
+TEST(PaperModelsTest, DeterministicConstruction) {
+  const PaperApp a = build_ofdm_model();
+  const PaperApp b = build_ofdm_model();
+  ASSERT_EQ(a.cdfg.size(), b.cdfg.size());
+  for (ir::BlockId id = 0; id < a.cdfg.size(); ++id) {
+    EXPECT_EQ(a.cdfg.block(id).dfg.size(), b.cdfg.block(id).dfg.size());
+    EXPECT_EQ(a.cdfg.block(id).name, b.cdfg.block(id).name);
+  }
+}
+
+TEST(PaperModelsTest, SpecMixesMatchDfgs) {
+  for (const PaperApp& app : {build_ofdm_model(), build_jpeg_model()}) {
+    for (const auto& spec : app.specs) {
+      const auto block = app.block_by_label(spec.label);
+      const ir::OpMix mix = app.cdfg.block(block).dfg.op_mix();
+      EXPECT_EQ(mix.alu, spec.alu) << spec.label;
+      EXPECT_EQ(mix.mul, spec.mul) << spec.label;
+      EXPECT_EQ(mix.mem, spec.mem) << spec.label;
+    }
+  }
+}
+
+TEST(PaperModelsTest, BlockByLabelThrowsOnUnknown) {
+  const PaperApp app = build_ofdm_model();
+  EXPECT_THROW(app.block_by_label("BB999"), Error);
+}
+
+}  // namespace
+}  // namespace amdrel::workloads

@@ -1,0 +1,82 @@
+#include "platform/platform.h"
+
+#include <gtest/gtest.h>
+
+#include "coarsegrain/cgc_scheduler.h"
+
+namespace amdrel::platform {
+namespace {
+
+TEST(FpgaModelTest, FromDeviceAreaAppliesRoutabilityFraction) {
+  const FpgaModel model = FpgaModel::from_device_area(10000.0);
+  EXPECT_DOUBLE_EQ(model.usable_area, 7000.0);  // the paper's 70% guidance
+  const FpgaModel custom = FpgaModel::from_device_area(10000.0, 0.5);
+  EXPECT_DOUBLE_EQ(custom.usable_area, 5000.0);
+}
+
+TEST(FpgaModelTest, AreaAndDelayFollowOpClass) {
+  const FpgaModel model;
+  EXPECT_DOUBLE_EQ(model.area(ir::OpKind::kAdd), model.area_alu);
+  EXPECT_DOUBLE_EQ(model.area(ir::OpKind::kCmpLt), model.area_alu);
+  EXPECT_DOUBLE_EQ(model.area(ir::OpKind::kMul), model.area_mul);
+  EXPECT_DOUBLE_EQ(model.area(ir::OpKind::kLoad), model.area_mem);
+  EXPECT_DOUBLE_EQ(model.area(ir::OpKind::kConst), 0.0);
+  EXPECT_EQ(model.delay_cycles(ir::OpKind::kStore), model.delay_mem);
+  EXPECT_EQ(model.delay_cycles(ir::OpKind::kInput), 0);
+}
+
+TEST(CgcModelTest, SupportsComputesButNotDivision) {
+  const CgcModel cgc;
+  EXPECT_TRUE(cgc.supports(ir::OpKind::kAdd));
+  EXPECT_TRUE(cgc.supports(ir::OpKind::kMul));
+  EXPECT_TRUE(cgc.supports(ir::OpKind::kLoad));
+  EXPECT_FALSE(cgc.supports(ir::OpKind::kDiv));
+  EXPECT_FALSE(cgc.supports(ir::OpKind::kMod));
+  CgcModel no_ports = cgc;
+  no_ports.mem_ports = 0;
+  EXPECT_FALSE(no_ports.supports(ir::OpKind::kLoad));
+}
+
+TEST(CgcModelTest, SlotsPerCycle) {
+  CgcModel cgc;
+  cgc.count = 3;
+  cgc.rows = 2;
+  cgc.cols = 4;
+  EXPECT_EQ(cgc.slots_per_cycle(), 24);
+}
+
+TEST(PlatformTest, CgcToFpgaCyclesRoundsUp) {
+  const Platform p = make_paper_platform(1500, 2);
+  EXPECT_EQ(p.cgc_to_fpga_cycles(0), 0);
+  EXPECT_EQ(p.cgc_to_fpga_cycles(1), 1);
+  EXPECT_EQ(p.cgc_to_fpga_cycles(3), 1);
+  EXPECT_EQ(p.cgc_to_fpga_cycles(4), 2);
+  EXPECT_EQ(p.cgc_to_fpga_cycles(7), 3);
+}
+
+TEST(PlatformTest, PaperPresetMatchesPaperGrid) {
+  const Platform p = make_paper_platform(5000, 3);
+  EXPECT_DOUBLE_EQ(p.fpga.usable_area, 5000.0);
+  EXPECT_EQ(p.cgc.count, 3);
+  EXPECT_EQ(p.cgc.rows, 2);
+  EXPECT_EQ(p.cgc.cols, 2);
+  EXPECT_EQ(p.cgc.fpga_clock_ratio, 3);
+}
+
+TEST(ChainingAblationTest, DisablingChainingSlowsDependentOps) {
+  ir::Dfg dfg;
+  const auto a = dfg.add_node(ir::OpKind::kInput, {}, "a");
+  const auto m = dfg.add_node(ir::OpKind::kMul, {a, a});
+  const auto s = dfg.add_node(ir::OpKind::kAdd, {m, a});
+  dfg.add_node(ir::OpKind::kOutput, {s});
+
+  CgcModel with;
+  CgcModel without = with;
+  without.enable_chaining = false;
+  EXPECT_EQ(coarsegrain::schedule_dfg_on_cgc(dfg, with).total_cgc_cycles, 1);
+  EXPECT_EQ(coarsegrain::schedule_dfg_on_cgc(dfg, without).total_cgc_cycles,
+            2);
+}
+
+}  // namespace
+}  // namespace amdrel::platform

@@ -1,0 +1,191 @@
+// amdrelc — command-line driver for the partitioning framework.
+//
+//   amdrelc analyze   <file.mc> [options]   Table-1 style kernel analysis
+//   amdrelc partition <file.mc> [options]   run the full methodology
+//   amdrelc dump-tac  <file.mc> [options]   lowered three-address code
+//   amdrelc dump-dot  <file.mc> [options]   CDFG in Graphviz DOT
+//
+// options:
+//   --area N         usable fine-grain area A_FPGA       (default 1500)
+//   --cgcs N         number of 2x2 CGCs                  (default 2)
+//   --constraint N   timing constraint in FPGA cycles    (default: half of
+//                    the all-fine-grain cycles)
+//   --input NAME=v0,v1,...   initialize array NAME before profiling
+//   --optimize       run the TAC optimizer before analysis
+//   --top N          rows to print in analyze            (default 10)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/kernels.h"
+#include "core/methodology.h"
+#include "core/report.h"
+#include "interp/interpreter.h"
+#include "ir/build_cdfg.h"
+#include "ir/dot.h"
+#include "minic/frontend.h"
+#include "minic/optimizer.h"
+#include "support/error.h"
+
+using namespace amdrel;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string file;
+  double area = 1500;
+  int cgcs = 2;
+  std::optional<std::int64_t> constraint;
+  bool optimize = false;
+  int top = 10;
+  std::vector<std::pair<std::string, std::vector<std::int32_t>>> inputs;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: amdrelc <analyze|partition|dump-tac|dump-dot> "
+               "<file.mc> [--area N] [--cgcs N] [--constraint N] "
+               "[--input NAME=v0,v1,...] [--optimize] [--top N]\n");
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  if (argc < 3) usage();
+  Options options;
+  options.command = argv[1];
+  options.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage();
+      return argv[i];
+    };
+    if (arg == "--area") {
+      options.area = std::stod(next());
+    } else if (arg == "--cgcs") {
+      options.cgcs = std::stoi(next());
+    } else if (arg == "--constraint") {
+      options.constraint = std::stoll(next());
+    } else if (arg == "--optimize") {
+      options.optimize = true;
+    } else if (arg == "--top") {
+      options.top = std::stoi(next());
+    } else if (arg == "--input") {
+      const std::string spec = next();
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) usage();
+      std::vector<std::int32_t> values;
+      std::stringstream ss(spec.substr(eq + 1));
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        values.push_back(static_cast<std::int32_t>(std::stol(item)));
+      }
+      options.inputs.emplace_back(spec.substr(0, eq), std::move(values));
+    } else {
+      usage();
+    }
+  }
+  return options;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct CompiledApp {
+  ir::TacProgram tac;
+  ir::Cdfg cdfg{"app"};
+  ir::ProfileData profile;
+};
+
+CompiledApp compile_and_profile(const Options& options) {
+  CompiledApp app;
+  app.tac = minic::compile(read_file(options.file), options.file);
+  if (options.optimize) {
+    const int rewrites = minic::optimize(app.tac);
+    std::fprintf(stderr, "optimizer: %d rewrites\n", rewrites);
+  }
+  interp::Interpreter interp(app.tac);
+  for (const auto& [name, values] : options.inputs) {
+    interp.set_input(name, values);
+  }
+  const auto run = interp.run(4'000'000'000ULL);
+  std::fprintf(stderr,
+               "profiled: %llu instructions, main returned %d\n",
+               static_cast<unsigned long long>(run.instructions_executed),
+               run.return_value);
+  app.profile = run.profile;
+  app.cdfg = ir::build_cdfg(app.tac);
+  return app;
+}
+
+int cmd_analyze(const Options& options) {
+  const CompiledApp app = compile_and_profile(options);
+  const auto kernels = analysis::extract_kernels(app.cdfg, app.profile);
+  core::TextTable table(
+      {"rank", "block", "exec freq", "op weight", "total weight", "depth"});
+  for (std::size_t i = 0; i < kernels.size() &&
+                          i < static_cast<std::size_t>(options.top);
+       ++i) {
+    const auto& k = kernels[i];
+    table.add_row({std::to_string(i + 1), app.cdfg.block(k.block).name,
+                   std::to_string(k.exec_freq), std::to_string(k.op_weight),
+                   core::with_thousands(k.total_weight),
+                   std::to_string(k.loop_depth)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_partition(const Options& options) {
+  const CompiledApp app = compile_and_profile(options);
+  const auto p = platform::make_paper_platform(options.area, options.cgcs);
+  core::HybridMapper probe(app.cdfg, p);
+  const std::int64_t all_fine = probe.all_fine_cycles(app.profile);
+  const std::int64_t constraint = options.constraint.value_or(all_fine / 2);
+  const auto report =
+      core::run_methodology(app.cdfg, app.profile, p, constraint);
+  std::printf("%s", core::describe(report, app.cdfg).c_str());
+  return report.met ? 0 : 1;
+}
+
+int cmd_dump_tac(const Options& options) {
+  ir::TacProgram tac = minic::compile(read_file(options.file), options.file);
+  if (options.optimize) minic::optimize(tac);
+  std::printf("%s", tac.to_string().c_str());
+  return 0;
+}
+
+int cmd_dump_dot(const Options& options) {
+  ir::TacProgram tac = minic::compile(read_file(options.file), options.file);
+  if (options.optimize) minic::optimize(tac);
+  const ir::Cdfg cdfg = ir::build_cdfg(tac);
+  std::printf("%s", ir::to_dot(cdfg).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options options = parse_args(argc, argv);
+    if (options.command == "analyze") return cmd_analyze(options);
+    if (options.command == "partition") return cmd_partition(options);
+    if (options.command == "dump-tac") return cmd_dump_tac(options);
+    if (options.command == "dump-dot") return cmd_dump_dot(options);
+    usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "amdrelc: %s\n", e.what());
+    return 1;
+  }
+}
