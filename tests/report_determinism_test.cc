@@ -1,0 +1,90 @@
+// Golden-file regression test for report determinism.
+//
+// Runs the OFDM paper model end-to-end (core::run_methodology +
+// core::describe) over the paper's Table-2 experiment grid, twice, and
+// asserts the rendered reports are byte-identical between runs and match
+// the committed golden file. This pins the Table-2 numbers against
+// drift: any change to the mapper, scheduler, or report formatting that
+// alters the output shows up as a diff against tests/golden/.
+//
+// To regenerate after an intentional change:
+//   ./build/tests/report_determinism_test --regen
+// then review the diff of tests/golden/ofdm_report.golden.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/methodology.h"
+#include "core/report.h"
+#include "platform/platform.h"
+#include "workloads/paper_models.h"
+
+#ifndef AMDREL_GOLDEN_DIR
+#error "AMDREL_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace amdrel {
+namespace {
+
+struct GridPoint {
+  double a_fpga;
+  int cgc_count;
+};
+
+constexpr GridPoint kTable2Grid[] = {
+    {1500, 2}, {1500, 3}, {5000, 2}, {5000, 3}};
+
+// Renders the full Table-2 sweep as one deterministic text blob.
+std::string render_ofdm_reports() {
+  const workloads::PaperApp app = workloads::build_ofdm_model();
+  std::ostringstream out;
+  for (const GridPoint& point : kTable2Grid) {
+    const platform::Platform p =
+        platform::make_paper_platform(point.a_fpga, point.cgc_count);
+    const core::PartitionReport report = core::run_methodology(
+        app.cdfg, app.profile, p, workloads::kOfdmTimingConstraint);
+    out << "=== A_FPGA=" << point.a_fpga << " CGCs=" << point.cgc_count
+        << " ===\n"
+        << core::describe(report, app.cdfg) << "\n";
+  }
+  return out.str();
+}
+
+std::string golden_path() {
+  return std::string(AMDREL_GOLDEN_DIR) + "/ofdm_report.golden";
+}
+
+TEST(ReportDeterminismTest, TwoRunsAreByteIdentical) {
+  const std::string first = render_ofdm_reports();
+  const std::string second = render_ofdm_reports();
+  EXPECT_EQ(first, second);
+}
+
+TEST(ReportDeterminismTest, MatchesCommittedGolden) {
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " (run with --regen to create it)";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), render_ofdm_reports())
+      << "OFDM Table-2 report drifted from " << golden_path()
+      << "; if intentional, regenerate with --regen and review the diff";
+}
+
+}  // namespace
+}  // namespace amdrel
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regen") {
+      std::ofstream out(amdrel::golden_path(), std::ios::binary);
+      out << amdrel::render_ofdm_reports();
+      return out.good() ? 0 : 1;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
