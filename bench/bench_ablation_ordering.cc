@@ -11,6 +11,7 @@
 #include "core/baselines.h"
 #include "core/methodology.h"
 #include "core/report.h"
+#include "core/strategy.h"
 #include "workloads/paper_models.h"
 
 namespace {
@@ -34,25 +35,21 @@ void print_ordering_ablation(const workloads::PaperApp& app,
   };
 
   core::MethodologyOptions options;
-  options.ordering = core::KernelOrdering::kWeightDescending;
-  add("weight desc (paper)",
-      core::run_methodology(app.cdfg, app.profile, p, constraint, options));
-
-  options.ordering = core::KernelOrdering::kBenefitDescending;
-  add("benefit desc",
-      core::run_methodology(app.cdfg, app.profile, p, constraint, options));
-
-  options.ordering = core::KernelOrdering::kCodeOrder;
-  add("code order",
-      core::run_methodology(app.cdfg, app.profile, p, constraint, options));
-
-  options.ordering = core::KernelOrdering::kRandom;
-  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
-    options.random_seed = seed;
-    char name[32];
-    std::snprintf(name, sizeof name, "random (seed %llu)",
-                  static_cast<unsigned long long>(seed));
-    add(name,
+  for (const core::KernelOrdering ordering : core::all_kernel_orderings()) {
+    options.ordering = ordering;
+    if (ordering == core::KernelOrdering::kRandom) {
+      for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        options.random_seed = seed;
+        char name[32];
+        std::snprintf(name, sizeof name, "%s (seed %llu)",
+                      core::kernel_ordering_name(ordering),
+                      static_cast<unsigned long long>(seed));
+        add(name, core::run_methodology(app.cdfg, app.profile, p, constraint,
+                                        options));
+      }
+      continue;
+    }
+    add(core::kernel_ordering_name(ordering),
         core::run_methodology(app.cdfg, app.profile, p, constraint, options));
   }
 

@@ -1,0 +1,136 @@
+// Strategy comparison: the three PartitionStrategy implementations on
+// both paper workloads (solution quality), plus scaling evidence that the
+// engine's incremental split costing prices each kernel movement in O(1).
+// BM_EngineIncremental runs the refactored greedy engine; the
+// BM_EngineFullReprice reference replicates the pre-refactor loop that
+// re-summed every block per move via HybridMapper::evaluate. On an
+// app with B blocks and K candidate moves the former is O(B + K), the
+// latter O(B * K) — visible in the reported Complexity.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/explorer.h"
+#include "core/methodology.h"
+#include "core/report.h"
+#include "core/strategy.h"
+#include "synth/cdfg_generator.h"
+#include "workloads/paper_models.h"
+
+namespace {
+
+using namespace amdrel;
+
+void print_strategy_comparison(const workloads::PaperApp& app,
+                               std::int64_t constraint, const char* caption) {
+  const auto p = platform::make_paper_platform(1500, 2);
+  std::printf("%s (A_FPGA=1500, two 2x2 CGCs, constraint %s)\n", caption,
+              core::with_thousands(constraint).c_str());
+
+  core::TextTable table({"strategy", "kernels moved", "final cycles",
+                         "% reduction", "met", "splits priced"});
+  core::HybridMapper mapper(app.cdfg, p);
+  for (const core::StrategyKind strategy : core::all_strategies()) {
+    core::MethodologyOptions options;
+    options.strategy = strategy;
+    const auto report =
+        core::run_methodology(mapper, app.profile, constraint, options);
+    char reduction[32];
+    std::snprintf(reduction, sizeof reduction, "%.1f",
+                  report.reduction_percent());
+    table.add_row({core::strategy_name(strategy),
+                   std::to_string(report.moved.size()),
+                   core::with_thousands(report.final_cycles), reduction,
+                   report.met ? "yes" : "no",
+                   std::to_string(report.engine_iterations)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+synth::SyntheticApp make_scaling_app(int segments) {
+  synth::CdfgGenConfig config;
+  config.segments = segments;
+  config.max_loop_depth = 2;
+  config.seed = 42;
+  return synth::generate_app(config);
+}
+
+core::MethodologyOptions full_sweep_options() {
+  core::MethodologyOptions options;
+  options.stop_when_met = false;  // force the engine over every candidate
+  return options;
+}
+
+void BM_EngineIncremental(benchmark::State& state) {
+  const auto app = make_scaling_app(static_cast<int>(state.range(0)));
+  const auto p = platform::make_paper_platform(1500, 2);
+  core::HybridMapper mapper(app.cdfg, p);
+  const auto options = full_sweep_options();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_methodology(mapper, app.profile, /*constraint=*/1, options));
+  }
+  state.SetComplexityN(app.cdfg.size());
+}
+BENCHMARK(BM_EngineIncremental)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+
+// The pre-refactor engine loop: one full HybridMapper::evaluate per
+// candidate movement, kept here as the scaling reference.
+void BM_EngineFullReprice(benchmark::State& state) {
+  const auto app = make_scaling_app(static_cast<int>(state.range(0)));
+  const auto p = platform::make_paper_platform(1500, 2);
+  core::HybridMapper mapper(app.cdfg, p);
+  const auto kernels = analysis::extract_kernels(app.cdfg, app.profile);
+  for (auto _ : state) {
+    core::SplitCost best;
+    best.t_fpga = mapper.all_fine_cycles(app.profile);
+    std::vector<ir::BlockId> moved;
+    for (const auto& kernel : kernels) {
+      if (!kernel.cgc_eligible) continue;
+      std::vector<ir::BlockId> trial = moved;
+      trial.push_back(kernel.block);
+      const core::SplitCost cost = mapper.evaluate(app.profile, trial);
+      moved = std::move(trial);
+      if (cost.total() < best.total()) best = cost;
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetComplexityN(app.cdfg.size());
+}
+BENCHMARK(BM_EngineFullReprice)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+
+void BM_ExploreDesignSpace(benchmark::State& state) {
+  const auto app = workloads::build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  core::ExploreSpec spec;
+  spec.constraints = {workloads::kOfdmTimingConstraint / 2,
+                      workloads::kOfdmTimingConstraint,
+                      2 * workloads::kOfdmTimingConstraint};
+  spec.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::explore_design_space(app.cdfg, app.profile, p, spec));
+  }
+}
+BENCHMARK(BM_ExploreDesignSpace)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_strategy_comparison(workloads::build_ofdm_model(),
+                            workloads::kOfdmTimingConstraint,
+                            "Strategy comparison, OFDM");
+  print_strategy_comparison(workloads::build_jpeg_model(),
+                            workloads::kJpegTimingConstraint,
+                            "Strategy comparison, JPEG");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,11 +1,13 @@
 // Design-space exploration on synthetic applications: sweeps the FPGA
 // area and the CGC data-path size over randomly generated loop-nest
-// CDFGs, reporting how the achievable cycle reduction moves — the
-// experiment to run before committing to a platform configuration.
+// CDFGs, then runs the multi-threaded DesignSpaceExplorer over the
+// constraint x strategy x ordering grid — the experiments to run before
+// committing to a platform configuration.
 
 #include <cstdio>
 
 #include "core/baselines.h"
+#include "core/explorer.h"
 #include "core/methodology.h"
 #include "core/report.h"
 #include "synth/cdfg_generator.h"
@@ -70,5 +72,18 @@ int main() {
               optimal.fewest_moves ? optimal.fewest_moves->size() : 0,
               core::with_thousands(optimal.fewest_moves_cycles).c_str(),
               optimal.subsets_evaluated);
+
+  // Full design-space exploration: constraints x strategies x orderings
+  // on a thread pool, Pareto front over (final cycles, kernels moved).
+  // Constraints are left empty, so the explorer sweeps 1/4, 1/2 and 3/4
+  // of the all-fine-grain cycles.
+  core::ExploreSpec spec;
+  spec.orderings = {core::KernelOrdering::kWeightDescending,
+                    core::KernelOrdering::kBenefitDescending};
+  spec.threads = 4;
+  const auto summary =
+      core::explore_design_space(app.cdfg, app.profile, p, spec);
+  std::printf("\nexplorer sweep (%zu grid points, 4 threads):\n%s",
+              summary.points.size(), core::describe(summary).c_str());
   return 0;
 }

@@ -1,0 +1,118 @@
+#include "core/explorer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "core/report.h"
+#include "support/error.h"
+
+namespace amdrel::core {
+
+ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
+                                    const ir::ProfileData& profile,
+                                    const platform::Platform& platform,
+                                    const ExploreSpec& spec) {
+  require(!spec.strategies.empty() && !spec.orderings.empty(),
+          "explore_design_space: empty strategy/ordering grid");
+
+  std::vector<std::int64_t> constraints = spec.constraints;
+  if (constraints.empty()) {
+    const std::int64_t all_fine =
+        HybridMapper(cdfg, platform).all_fine_cycles(profile);
+    constraints = {all_fine / 4, all_fine / 2, (3 * all_fine) / 4};
+  }
+
+  ExploreSummary summary;
+  for (const std::int64_t constraint : constraints) {
+    for (const StrategyKind strategy : spec.strategies) {
+      for (const KernelOrdering ordering : spec.orderings) {
+        ExplorePoint point;
+        point.constraint = constraint;
+        point.strategy = strategy;
+        point.ordering = ordering;
+        summary.points.push_back(point);
+      }
+    }
+  }
+
+  const std::size_t jobs = summary.points.size();
+  int threads = spec.threads > 0
+                    ? spec.threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::max(1, std::min<int>(threads, static_cast<int>(jobs)));
+
+  // Each worker owns one mapper for the (cdfg, platform) pair and reuses
+  // it across every job it claims; runs are independent and written to
+  // their own slot, so scheduling cannot change the output.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    HybridMapper mapper(cdfg, platform);
+    for (;;) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= jobs) return;
+      ExplorePoint& point = summary.points[index];
+      MethodologyOptions options = spec.base;
+      options.strategy = point.strategy;
+      options.ordering = point.ordering;
+      point.report =
+          run_methodology(mapper, profile, point.constraint, options);
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Pareto front over (final cycles, kernels moved), both minimized. A
+  // point is dominated when another is no worse on both axes and strictly
+  // better on one.
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const PartitionReport& a = summary.points[i].report;
+    bool dominated = false;
+    for (std::size_t j = 0; j < jobs && !dominated; ++j) {
+      if (i == j) continue;
+      const PartitionReport& b = summary.points[j].report;
+      const bool no_worse = b.final_cycles <= a.final_cycles &&
+                            b.moved.size() <= a.moved.size();
+      const bool better = b.final_cycles < a.final_cycles ||
+                          b.moved.size() < a.moved.size();
+      dominated = no_worse && better;
+    }
+    if (!dominated) {
+      summary.points[i].on_pareto_front = true;
+      summary.pareto.push_back(i);
+    }
+  }
+  return summary;
+}
+
+std::string describe(const ExploreSummary& summary) {
+  TextTable table({"constraint", "strategy", "ordering", "moved",
+                   "final cycles", "% reduction", "met", "pareto"});
+  for (const ExplorePoint& point : summary.points) {
+    char reduction[32];
+    std::snprintf(reduction, sizeof reduction, "%.1f",
+                  point.report.reduction_percent());
+    table.add_row({with_thousands(point.constraint),
+                   strategy_name(point.strategy),
+                   kernel_ordering_name(point.ordering),
+                   std::to_string(point.report.moved.size()),
+                   with_thousands(point.report.final_cycles), reduction,
+                   point.report.met ? "yes" : "no",
+                   point.on_pareto_front ? "*" : ""});
+  }
+  std::ostringstream os;
+  os << table.to_string();
+  os << summary.pareto.size() << " of " << summary.points.size()
+     << " grid points on the pareto front (final cycles vs kernels moved)\n";
+  return os.str();
+}
+
+}  // namespace amdrel::core

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/methodology.h"
+#include "core/strategy.h"
+
+namespace amdrel::core {
+
+/// The grid a design-space exploration sweeps: timing constraints x
+/// partitioning strategies x kernel orderings, on one (cdfg, platform).
+struct ExploreSpec {
+  /// Timing constraints to sweep; empty defaults to 1/4, 1/2 and 3/4 of
+  /// the app's all-fine-grain cycle count.
+  std::vector<std::int64_t> constraints;
+  std::vector<StrategyKind> strategies = all_strategies();
+  std::vector<KernelOrdering> orderings = {KernelOrdering::kWeightDescending};
+  /// Per-run options (seed, annealing budget, ...); strategy and ordering
+  /// are overwritten per grid point.
+  MethodologyOptions base;
+  /// Worker threads; 0 picks the hardware concurrency. Results are
+  /// identical for any thread count.
+  int threads = 0;
+};
+
+/// One grid point of an exploration, with its methodology result.
+struct ExplorePoint {
+  std::int64_t constraint = 0;
+  StrategyKind strategy = StrategyKind::kGreedyPaper;
+  KernelOrdering ordering = KernelOrdering::kWeightDescending;
+  PartitionReport report;
+  bool on_pareto_front = false;
+};
+
+/// Exploration output: every grid point in deterministic grid order
+/// (constraint-major, then strategy, then ordering) plus the Pareto front
+/// over (final cycles, kernels moved) — both minimized, fewer moved
+/// kernels meaning more of the application stays on the fine-grain
+/// hardware.
+struct ExploreSummary {
+  std::vector<ExplorePoint> points;
+  std::vector<std::size_t> pareto;  ///< indices into points, ascending
+};
+
+/// Sweeps the spec's grid across a thread pool. Each worker builds one
+/// HybridMapper for the (cdfg, platform) pair and reuses it for every run
+/// it picks up, so the per-point cost is the engine search, not
+/// re-mapping every block. Deterministic: the output depends only on the
+/// spec (not on thread scheduling).
+ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
+                                    const ir::ProfileData& profile,
+                                    const platform::Platform& platform,
+                                    const ExploreSpec& spec);
+
+/// Renders the summary as a fixed-width table (one row per grid point,
+/// Pareto-front rows marked), for the CLI and the examples.
+std::string describe(const ExploreSummary& summary);
+
+}  // namespace amdrel::core

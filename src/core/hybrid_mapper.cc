@@ -46,6 +46,23 @@ std::int64_t HybridMapper::comm_cycles_per_invocation(
   return words * platform_->memory.transfer_cycles_per_word;
 }
 
+std::int64_t HybridMapper::fine_contribution_cycles(
+    ir::BlockId block, const ir::ProfileData& profile) const {
+  const finegrain::FpgaBlockMapping& mapping = fine(block);
+  const auto iterations = static_cast<std::int64_t>(profile.count(block));
+  return mapping.cycles_per_invocation(platform_->fpga) * iterations +
+         mapping.amortized_reconfigs * platform_->fpga.reconfig_cycles;
+}
+
+std::int64_t HybridMapper::move_benefit_cycles(ir::BlockId block,
+                                               std::uint64_t exec_freq) {
+  if (!cgc_eligible(block)) return 0;
+  return (fine_cycles_per_invocation(block) -
+          coarse_cycles_per_invocation(block) -
+          comm_cycles_per_invocation(block)) *
+         static_cast<std::int64_t>(exec_freq);
+}
+
 SplitCost HybridMapper::evaluate(const ir::ProfileData& profile,
                                  const std::vector<ir::BlockId>& moved) {
   SplitCost cost;
@@ -71,6 +88,57 @@ SplitCost HybridMapper::evaluate(const ir::ProfileData& profile,
 std::int64_t HybridMapper::all_fine_cycles(
     const ir::ProfileData& profile) const {
   return finegrain::fpga_total_cycles(fine_, profile, platform_->fpga);
+}
+
+IncrementalSplit::IncrementalSplit(HybridMapper& mapper,
+                                   const ir::ProfileData& profile)
+    : mapper_(&mapper),
+      profile_(&profile),
+      order_index_(static_cast<std::size_t>(mapper.cdfg().size()), -1) {
+  cost_.t_fpga = mapper.all_fine_cycles(profile);
+}
+
+bool IncrementalSplit::is_moved(ir::BlockId block) const {
+  require(block >= 0 &&
+              block < static_cast<ir::BlockId>(order_index_.size()),
+          cat("IncrementalSplit::is_moved: bad block ", block));
+  return order_index_[block] >= 0;
+}
+
+void IncrementalSplit::move(ir::BlockId block) {
+  require(!is_moved(block),
+          cat("IncrementalSplit::move: block ", block, " moved twice"));
+  const auto iterations =
+      static_cast<std::int64_t>(profile_->count(block));
+  // Compute every delta before mutating, so a throw from coarse
+  // scheduling (CGC-ineligible block) leaves the split untouched.
+  const std::int64_t coarse =
+      mapper_->coarse_cycles_per_invocation(block) * iterations;
+  const std::int64_t fine = mapper_->fine_contribution_cycles(block, *profile_);
+  const std::int64_t comm =
+      mapper_->comm_cycles_per_invocation(block) * iterations;
+  cost_.t_fpga -= fine;
+  cost_.t_coarse += coarse;
+  cost_.t_comm += comm;
+  order_index_[block] = static_cast<std::ptrdiff_t>(order_.size());
+  order_.push_back(block);
+}
+
+void IncrementalSplit::unmove(ir::BlockId block) {
+  require(is_moved(block),
+          cat("IncrementalSplit::unmove: block ", block, " is not moved"));
+  const auto iterations =
+      static_cast<std::int64_t>(profile_->count(block));
+  cost_.t_fpga += mapper_->fine_contribution_cycles(block, *profile_);
+  cost_.t_coarse -= mapper_->coarse_cycles_per_invocation(block) * iterations;
+  cost_.t_comm -= mapper_->comm_cycles_per_invocation(block) * iterations;
+  // Swap-remove from the order list, keeping the index map consistent.
+  const std::ptrdiff_t index = order_index_[block];
+  const ir::BlockId last = order_.back();
+  order_[static_cast<std::size_t>(index)] = last;
+  order_index_[last] = index;
+  order_.pop_back();
+  order_index_[block] = -1;
 }
 
 }  // namespace amdrel::core

@@ -48,6 +48,19 @@ class HybridMapper {
   /// invocation (the t_comm contribution).
   std::int64_t comm_cycles_per_invocation(ir::BlockId block) const;
 
+  /// The block's whole contribution to equation (4): invocation cycles
+  /// times execution count plus its amortized reconfiguration charge.
+  /// all_fine_cycles() is exactly the sum of this over every block, which
+  /// is what makes O(1) split deltas exact.
+  std::int64_t fine_contribution_cycles(ir::BlockId block,
+                                        const ir::ProfileData& profile) const;
+
+  /// Cycles saved by running `block` on the CGC for `exec_freq`
+  /// invocations (fine minus coarse minus communication). The shared
+  /// benefit model behind kBenefitDescending ordering and the search
+  /// strategies' candidate ranking; zero for CGC-ineligible blocks.
+  std::int64_t move_benefit_cycles(ir::BlockId block, std::uint64_t exec_freq);
+
   /// Prices the split where `moved` blocks run on the CGC data-path and
   /// everything else on the fine-grain hardware (equations (2)-(4)).
   SplitCost evaluate(const ir::ProfileData& profile,
@@ -61,6 +74,41 @@ class HybridMapper {
   const platform::Platform* platform_;
   std::vector<finegrain::FpgaBlockMapping> fine_;
   std::map<ir::BlockId, coarsegrain::CgcBlockMapping> coarse_;
+};
+
+/// Incrementally-priced fine/coarse split. Starts at the all-fine-grain
+/// solution and applies O(1) cost deltas on every move()/unmove(), so an
+/// engine loop pays O(blocks) once at construction instead of per
+/// candidate. cost() is bit-identical to HybridMapper::evaluate() on the
+/// same moved set (all terms are integer and per-block additive).
+class IncrementalSplit {
+ public:
+  IncrementalSplit(HybridMapper& mapper, const ir::ProfileData& profile);
+
+  const SplitCost& cost() const { return cost_; }
+  bool is_moved(ir::BlockId block) const;
+  std::size_t moved_count() const { return order_.size(); }
+
+  /// The moved blocks. Movement order is preserved as long as unmove()
+  /// always targets the most recent move (the greedy engine's pattern);
+  /// an unmove from the middle swaps the last entry into the gap, which
+  /// keeps both operations O(1) for the annealing walk.
+  const std::vector<ir::BlockId>& moved() const { return order_; }
+
+  /// Reassigns `block` to the CGC data-path. Throws Error when the block
+  /// is already moved or cannot execute on the CGC.
+  void move(ir::BlockId block);
+
+  /// Returns `block` to the fine-grain hardware. Throws Error when the
+  /// block is not currently moved.
+  void unmove(ir::BlockId block);
+
+ private:
+  HybridMapper* mapper_;
+  const ir::ProfileData* profile_;
+  SplitCost cost_;
+  std::vector<std::ptrdiff_t> order_index_;  ///< position in order_; -1 = fine
+  std::vector<ir::BlockId> order_;
 };
 
 }  // namespace amdrel::core

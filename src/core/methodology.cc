@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <random>
 
+#include "core/strategy.h"
+
 namespace amdrel::core {
 
 namespace {
 
 std::vector<analysis::KernelInfo> order_kernels(
     std::vector<analysis::KernelInfo> kernels, HybridMapper& mapper,
-    const ir::ProfileData& profile, const MethodologyOptions& options) {
+    const MethodologyOptions& options) {
   switch (options.ordering) {
     case KernelOrdering::kWeightDescending:
       // extract_kernels already returns this order.
@@ -27,15 +29,8 @@ std::vector<analysis::KernelInfo> order_kernels(
       std::vector<std::pair<std::int64_t, std::size_t>> benefit;
       for (std::size_t i = 0; i < kernels.size(); ++i) {
         const auto& k = kernels[i];
-        std::int64_t gain = 0;
-        if (k.cgc_eligible) {
-          const auto iterations = static_cast<std::int64_t>(k.exec_freq);
-          gain = (mapper.fine_cycles_per_invocation(k.block) -
-                  mapper.coarse_cycles_per_invocation(k.block) -
-                  mapper.comm_cycles_per_invocation(k.block)) *
-                 iterations;
-        }
-        benefit.emplace_back(gain, i);
+        benefit.emplace_back(mapper.move_benefit_cycles(k.block, k.exec_freq),
+                             i);
       }
       std::sort(benefit.begin(), benefit.end(), [](const auto& a, const auto& b) {
         if (a.first != b.first) return a.first > b.first;
@@ -53,16 +48,13 @@ std::vector<analysis::KernelInfo> order_kernels(
 
 }  // namespace
 
-PartitionReport run_methodology(const ir::Cdfg& cdfg,
+PartitionReport run_methodology(HybridMapper& mapper,
                                 const ir::ProfileData& profile,
-                                const platform::Platform& platform,
                                 std::int64_t timing_constraint_cycles,
                                 const MethodologyOptions& options) {
   PartitionReport report;
-  report.app = cdfg.name();
+  report.app = mapper.cdfg().name();
   report.timing_constraint = timing_constraint_cycles;
-
-  HybridMapper mapper(cdfg, platform);
 
   // Step 2: map everything to the fine-grain hardware; exit when the
   // timing constraint is already met.
@@ -76,48 +68,33 @@ PartitionReport run_methodology(const ir::Cdfg& cdfg,
   }
 
   // Step 3: analysis — kernel extraction and ordering.
-  report.kernels =
-      order_kernels(analysis::extract_kernels(cdfg, profile, options.analysis),
-                    mapper, profile, options);
+  report.kernels = order_kernels(
+      analysis::extract_kernels(mapper.cdfg(), profile, options.analysis),
+      mapper, options);
 
-  // Steps 4-5: the partitioning engine moves kernels one by one to the
-  // coarse-grain hardware, re-evaluating equations (2)-(4) after each
-  // movement.
-  SplitCost best_cost = report.cost;
-  std::vector<ir::BlockId> best_moved;
-  std::vector<ir::BlockId> moved;
+  // Steps 4-5: the partitioning engine, dispatched to the selected
+  // strategy (the paper's greedy flow by default).
+  const StrategyResult result = make_strategy(options.strategy)
+                                    ->run({mapper, profile,
+                                           timing_constraint_cycles, options,
+                                           report.kernels});
 
-  for (const analysis::KernelInfo& kernel : report.kernels) {
-    if (!kernel.cgc_eligible) continue;  // divisions stay on the FPGA
-    report.engine_iterations++;
-
-    std::vector<ir::BlockId> trial = moved;
-    trial.push_back(kernel.block);
-    const SplitCost cost = mapper.evaluate(profile, trial);
-
-    if (options.skip_unprofitable && cost.total() > best_cost.total()) {
-      continue;  // ablation mode only; the paper always commits the move
-    }
-    moved = std::move(trial);
-    if (cost.total() < best_cost.total()) {
-      best_cost = cost;
-      best_moved = moved;
-    }
-    if (options.stop_when_met && cost.total() <= timing_constraint_cycles) {
-      best_cost = cost;
-      best_moved = moved;
-      break;
-    }
-  }
-
-  // The committed result is the last evaluated split when the paper flow
-  // stops early, otherwise the best split seen.
-  report.moved = best_moved;
-  report.cost = best_cost;
-  report.final_cycles = best_cost.total();
-  report.cycles_in_cgc = best_cost.t_coarse;
+  report.moved = result.moved;
+  report.cost = result.cost;
+  report.final_cycles = result.cost.total();
+  report.cycles_in_cgc = result.cost.t_coarse;
   report.met = report.final_cycles <= timing_constraint_cycles;
+  report.engine_iterations = result.engine_iterations;
   return report;
+}
+
+PartitionReport run_methodology(const ir::Cdfg& cdfg,
+                                const ir::ProfileData& profile,
+                                const platform::Platform& platform,
+                                std::int64_t timing_constraint_cycles,
+                                const MethodologyOptions& options) {
+  HybridMapper mapper(cdfg, platform);
+  return run_methodology(mapper, profile, timing_constraint_cycles, options);
 }
 
 }  // namespace amdrel::core

@@ -23,18 +23,33 @@ enum class KernelOrdering {
   kRandom,             ///< seeded shuffle
 };
 
+/// Which PartitionStrategy the engine dispatches to (see core/strategy.h).
+enum class StrategyKind {
+  kGreedyPaper,  ///< paper Figure 2 steps 4-5: move kernels in order
+  kExhaustive,   ///< branch-and-bound optimum over small kernel sets
+  kAnnealing,    ///< seeded simulated annealing for large kernel sets
+};
+
 struct MethodologyOptions {
   analysis::AnalysisOptions analysis;
+  StrategyKind strategy = StrategyKind::kGreedyPaper;
   KernelOrdering ordering = KernelOrdering::kWeightDescending;
   std::uint64_t random_seed = 1;
-  /// Stop moving kernels as soon as the constraint is met (the paper's
-  /// behaviour). When false, the engine keeps moving every candidate and
-  /// reports the best split found.
+  /// Stop as soon as the constraint is met (the paper's behaviour).
+  /// When false, greedy keeps moving every candidate and annealing runs
+  /// its full proposal budget, each reporting the best split found.
+  /// Ignored by the exhaustive search, which always proves its optimum.
   bool stop_when_met = true;
   /// Skip moves that would increase total time. The paper's engine does
   /// not check profitability (a kernel is assumed to accelerate on the
-  /// CGC); enable for the ablation.
+  /// CGC); enable for the ablation. Greedy only.
   bool skip_unprofitable = false;
+  /// Candidate cap for kExhaustive: only the first N eligible kernels (in
+  /// the chosen ordering) enter the branch-and-bound search.
+  int exhaustive_max_kernels = 18;
+  /// Proposal count for kAnnealing; the random walk is seeded from
+  /// random_seed, so runs are reproducible.
+  int anneal_iterations = 4000;
 };
 
 /// Result of the whole methodology run — one column of the paper's
@@ -63,11 +78,20 @@ struct PartitionReport {
 };
 
 /// Runs the complete flow of paper Figure 2: CDFG in, fine-grain mapping,
-/// timing check, analysis, then the partitioning engine moving kernels to
-/// the coarse-grain data-path until the constraint is satisfied.
+/// timing check, analysis, then the partitioning engine (the strategy
+/// selected by options.strategy) moving kernels to the coarse-grain
+/// data-path until the constraint is satisfied.
 PartitionReport run_methodology(const ir::Cdfg& cdfg,
                                 const ir::ProfileData& profile,
                                 const platform::Platform& platform,
+                                std::int64_t timing_constraint_cycles,
+                                const MethodologyOptions& options = {});
+
+/// Same flow on a caller-owned mapper, so sweeps over many constraints or
+/// strategies reuse one (cdfg, platform) mapping instead of re-mapping
+/// every block per run (the DesignSpaceExplorer's hot path).
+PartitionReport run_methodology(HybridMapper& mapper,
+                                const ir::ProfileData& profile,
                                 std::int64_t timing_constraint_cycles,
                                 const MethodologyOptions& options = {});
 

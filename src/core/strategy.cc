@@ -1,0 +1,265 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <random>
+
+#include "support/error.h"
+
+namespace amdrel::core {
+
+StrategyResult GreedyPaperStrategy::run(const StrategyContext& ctx) {
+  StrategyResult result;
+  IncrementalSplit split(ctx.mapper, ctx.profile);
+  SplitCost best_cost = split.cost();
+  std::vector<ir::BlockId> best_moved;
+
+  for (const analysis::KernelInfo& kernel : ctx.kernels) {
+    if (!kernel.cgc_eligible) continue;  // divisions stay on the FPGA
+    result.engine_iterations++;
+
+    split.move(kernel.block);
+    const SplitCost cost = split.cost();
+
+    if (ctx.options.skip_unprofitable && cost.total() > best_cost.total()) {
+      split.unmove(kernel.block);
+      continue;  // ablation mode only; the paper always commits the move
+    }
+    if (cost.total() < best_cost.total()) {
+      best_cost = cost;
+      best_moved = split.moved();
+    }
+    if (ctx.options.stop_when_met &&
+        cost.total() <= ctx.timing_constraint) {
+      best_cost = cost;
+      best_moved = split.moved();
+      break;
+    }
+  }
+  result.moved = std::move(best_moved);
+  result.cost = best_cost;
+  return result;
+}
+
+StrategyResult ExhaustiveStrategy::run(const StrategyContext& ctx) {
+  StrategyResult result;
+  IncrementalSplit split(ctx.mapper, ctx.profile);
+  const SplitCost all_fine = split.cost();
+
+  // Candidates: the first eligible kernels in the analysis order (capped),
+  // then sorted most-beneficial-first so the bound prunes early.
+  struct Candidate {
+    ir::BlockId block;
+    std::int64_t delta;  ///< total-cycle change of moving the block
+  };
+  std::vector<Candidate> candidates;
+  const auto cap =
+      static_cast<std::size_t>(std::max(0, ctx.options.exhaustive_max_kernels));
+  for (const analysis::KernelInfo& kernel : ctx.kernels) {
+    if (!kernel.cgc_eligible) continue;
+    if (candidates.size() >= cap) break;
+    split.move(kernel.block);
+    const std::int64_t delta = split.cost().total() - all_fine.total();
+    split.unmove(kernel.block);
+    candidates.push_back({kernel.block, delta});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.delta < b.delta;
+                   });
+
+  const std::size_t n = candidates.size();
+  // suffix_gain[i]: the best possible further reduction from position i on
+  // (sum of the remaining negative deltas) — the admissible bound.
+  std::vector<std::int64_t> suffix_gain(n + 1, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    suffix_gain[i] =
+        suffix_gain[i + 1] + std::min<std::int64_t>(0, candidates[i].delta);
+  }
+
+  std::vector<char> taken(n, 0);
+  bool met_found = false;
+  std::size_t met_moves = 0;
+  SplitCost met_cost;
+  std::vector<char> met_taken;
+  SplitCost best_any = all_fine;
+  std::vector<char> best_any_taken(n, 0);
+
+  const std::function<void(std::size_t)> dfs = [&](std::size_t i) {
+    result.engine_iterations++;
+    const SplitCost cost = split.cost();
+    if (cost.total() < best_any.total()) {
+      best_any = cost;
+      best_any_taken = taken;
+    }
+    if (cost.total() <= ctx.timing_constraint) {
+      const std::size_t moves = split.moved_count();
+      if (!met_found || moves < met_moves ||
+          (moves == met_moves && cost.total() < met_cost.total())) {
+        met_found = true;
+        met_moves = moves;
+        met_cost = cost;
+        met_taken = taken;
+      }
+    }
+    if (i == n) return;
+
+    const std::int64_t optimistic = cost.total() + suffix_gain[i];
+    const bool can_improve_any = optimistic < best_any.total();
+    const bool can_improve_met =
+        optimistic <= ctx.timing_constraint &&
+        (!met_found || split.moved_count() + 1 <= met_moves);
+    if (!can_improve_any && !can_improve_met) return;
+
+    split.move(candidates[i].block);
+    taken[i] = 1;
+    dfs(i + 1);
+    split.unmove(candidates[i].block);
+    taken[i] = 0;
+    dfs(i + 1);
+  };
+  dfs(0);
+
+  const std::vector<char>& chosen = met_found ? met_taken : best_any_taken;
+  result.cost = met_found ? met_cost : best_any;
+  // Emit the moved blocks in the analysis (priority) order for readable
+  // reports, independent of the internal search order.
+  std::vector<char> is_chosen(static_cast<std::size_t>(
+                                  ctx.mapper.cdfg().size()),
+                              0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < chosen.size() && chosen[i]) is_chosen[candidates[i].block] = 1;
+  }
+  for (const analysis::KernelInfo& kernel : ctx.kernels) {
+    if (is_chosen[kernel.block]) result.moved.push_back(kernel.block);
+  }
+  return result;
+}
+
+StrategyResult AnnealingStrategy::run(const StrategyContext& ctx) {
+  StrategyResult result;
+  IncrementalSplit split(ctx.mapper, ctx.profile);
+
+  std::vector<ir::BlockId> candidates;
+  for (const analysis::KernelInfo& kernel : ctx.kernels) {
+    if (kernel.cgc_eligible) candidates.push_back(kernel.block);
+  }
+  SplitCost best = split.cost();
+  std::vector<char> best_state(candidates.size(), 0);
+  result.cost = best;
+  if (candidates.empty()) return result;
+
+  std::mt19937_64 rng(ctx.options.random_seed);
+  std::uniform_int_distribution<std::size_t> pick(0, candidates.size() - 1);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  const int iterations = std::max(1, ctx.options.anneal_iterations);
+  // Hot enough that early uphill flips of the heaviest kernel are
+  // plausible, cooling geometrically to ~1 cycle by the final step.
+  double temperature =
+      std::max(1.0, static_cast<double>(best.total()) * 0.05);
+  const double cooling = std::pow(1.0 / temperature, 1.0 / iterations);
+
+  std::vector<char> state(candidates.size(), 0);
+  std::int64_t current = best.total();
+  for (int step = 0; step < iterations; ++step) {
+    result.engine_iterations++;
+    const std::size_t i = pick(rng);
+    const ir::BlockId block = candidates[i];
+    if (state[i]) {
+      split.unmove(block);
+    } else {
+      split.move(block);
+    }
+    const std::int64_t proposed = split.cost().total();
+    const double delta = static_cast<double>(proposed - current);
+    if (delta <= 0.0 || uniform(rng) < std::exp(-delta / temperature)) {
+      state[i] ^= 1;
+      current = proposed;
+      if (proposed < best.total()) {
+        best = split.cost();
+        best_state = state;
+      }
+      if (ctx.options.stop_when_met &&
+          current <= ctx.timing_constraint) {
+        break;  // paper-flow semantics: stop once the constraint holds
+      }
+    } else {
+      // Rejected: revert the flip.
+      if (state[i]) {
+        split.move(block);
+      } else {
+        split.unmove(block);
+      }
+    }
+    temperature = std::max(1.0, temperature * cooling);
+  }
+
+  result.cost = best;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (best_state[i]) result.moved.push_back(candidates[i]);
+  }
+  return result;
+}
+
+std::unique_ptr<PartitionStrategy> make_strategy(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kGreedyPaper:
+      return std::make_unique<GreedyPaperStrategy>();
+    case StrategyKind::kExhaustive:
+      return std::make_unique<ExhaustiveStrategy>();
+    case StrategyKind::kAnnealing:
+      return std::make_unique<AnnealingStrategy>();
+  }
+  throw Error("make_strategy: unknown strategy kind");
+}
+
+const std::vector<StrategyKind>& all_strategies() {
+  static const std::vector<StrategyKind> kinds = {
+      StrategyKind::kGreedyPaper, StrategyKind::kExhaustive,
+      StrategyKind::kAnnealing};
+  return kinds;
+}
+
+const char* strategy_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kGreedyPaper: return "greedy";
+    case StrategyKind::kExhaustive: return "exhaustive";
+    case StrategyKind::kAnnealing: return "annealing";
+  }
+  return "?";
+}
+
+std::optional<StrategyKind> parse_strategy(std::string_view name) {
+  for (const StrategyKind kind : all_strategies()) {
+    if (name == strategy_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+const std::vector<KernelOrdering>& all_kernel_orderings() {
+  static const std::vector<KernelOrdering> orderings = {
+      KernelOrdering::kWeightDescending, KernelOrdering::kBenefitDescending,
+      KernelOrdering::kCodeOrder, KernelOrdering::kRandom};
+  return orderings;
+}
+
+const char* kernel_ordering_name(KernelOrdering ordering) {
+  switch (ordering) {
+    case KernelOrdering::kWeightDescending: return "weight";
+    case KernelOrdering::kBenefitDescending: return "benefit";
+    case KernelOrdering::kCodeOrder: return "code";
+    case KernelOrdering::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::optional<KernelOrdering> parse_kernel_ordering(std::string_view name) {
+  for (const KernelOrdering ordering : all_kernel_orderings()) {
+    if (name == kernel_ordering_name(ordering)) return ordering;
+  }
+  return std::nullopt;
+}
+
+}  // namespace amdrel::core

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/methodology.h"
+
+namespace amdrel::core {
+
+/// Everything a partitioning strategy needs to search the split space:
+/// the (cdfg, platform) mapper, the profile, the constraint, the run
+/// options and the ordered kernel candidates from the analysis step.
+struct StrategyContext {
+  HybridMapper& mapper;
+  const ir::ProfileData& profile;
+  std::int64_t timing_constraint = 0;
+  const MethodologyOptions& options;
+  const std::vector<analysis::KernelInfo>& kernels;  ///< already ordered
+};
+
+/// What a strategy hands back to the run_methodology dispatcher.
+struct StrategyResult {
+  std::vector<ir::BlockId> moved;  ///< in movement/priority order
+  SplitCost cost;
+  int engine_iterations = 0;  ///< splits priced / search nodes visited
+};
+
+/// The partitioning engine of paper Figure 2 steps 4-5, abstracted: a
+/// strategy receives the analyzed kernels and decides which blocks run on
+/// the coarse-grain data-path. Implementations must be deterministic for
+/// a fixed (context, options.random_seed).
+///
+/// To add a new strategy: subclass, then register the new kind in
+/// StrategyKind (core/methodology.h) and in make_strategy /
+/// strategy_name / parse_strategy / all_strategies below.
+class PartitionStrategy {
+ public:
+  virtual ~PartitionStrategy() = default;
+  virtual const char* name() const = 0;
+  virtual StrategyResult run(const StrategyContext& ctx) = 0;
+};
+
+/// The paper's engine: commit kernels one by one in the analysis order,
+/// re-pricing the split after each movement (now via O(1) incremental
+/// deltas), until the timing constraint is met.
+class GreedyPaperStrategy final : public PartitionStrategy {
+ public:
+  const char* name() const override { return "greedy"; }
+  StrategyResult run(const StrategyContext& ctx) override;
+};
+
+/// Branch-and-bound over subsets of the top options.exhaustive_max_kernels
+/// eligible kernels. Returns the subset meeting the constraint with the
+/// fewest moves (ties: fewest cycles); when no subset meets it, the
+/// subset minimizing total cycles.
+class ExhaustiveStrategy final : public PartitionStrategy {
+ public:
+  const char* name() const override { return "exhaustive"; }
+  StrategyResult run(const StrategyContext& ctx) override;
+};
+
+/// Seeded simulated annealing over all eligible kernels: random membership
+/// flips with a geometric cooling schedule, minimizing total cycles. Meant
+/// for kernel sets too large for the exhaustive search.
+class AnnealingStrategy final : public PartitionStrategy {
+ public:
+  const char* name() const override { return "annealing"; }
+  StrategyResult run(const StrategyContext& ctx) override;
+};
+
+std::unique_ptr<PartitionStrategy> make_strategy(StrategyKind kind);
+
+/// All registered strategy kinds, in presentation order.
+const std::vector<StrategyKind>& all_strategies();
+
+const char* strategy_name(StrategyKind kind);
+
+/// Inverse of strategy_name ("greedy", "exhaustive", "annealing");
+/// nullopt for unknown names. Shared by the CLI and the benches.
+std::optional<StrategyKind> parse_strategy(std::string_view name);
+
+/// All kernel orderings, in presentation order.
+const std::vector<KernelOrdering>& all_kernel_orderings();
+
+const char* kernel_ordering_name(KernelOrdering ordering);
+
+/// Inverse of kernel_ordering_name ("weight", "benefit", "code",
+/// "random"); nullopt for unknown names.
+std::optional<KernelOrdering> parse_kernel_ordering(std::string_view name);
+
+}  // namespace amdrel::core

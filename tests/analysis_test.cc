@@ -118,8 +118,12 @@ TEST_F(KernelExtractionTest, DivisionMarksIneligible) {
   dfg.add_node(OpKind::kDiv, {a, a});
   const auto kernels = extract_kernels(cdfg_, profile_);
   for (const auto& kernel : kernels) {
-    if (kernel.block == k1_) EXPECT_FALSE(kernel.cgc_eligible);
-    if (kernel.block == k2_) EXPECT_TRUE(kernel.cgc_eligible);
+    if (kernel.block == k1_) {
+      EXPECT_FALSE(kernel.cgc_eligible);
+    }
+    if (kernel.block == k2_) {
+      EXPECT_TRUE(kernel.cgc_eligible);
+    }
   }
 }
 

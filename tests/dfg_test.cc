@@ -9,11 +9,11 @@ namespace {
 
 Dfg make_diamond() {
   // in0  in1
-  //   \  /
+  //   |  |
   //    add        (level 1)
-  //   /   \
+  //   |    |
   // mul    sub    (level 2)
-  //   \   /
+  //    |  |
   //    xor        (level 3)
   Dfg dfg;
   const NodeId in0 = dfg.add_node(OpKind::kInput, {}, "a");

@@ -1,0 +1,139 @@
+#include "core/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "workloads/paper_models.h"
+
+namespace amdrel::core {
+namespace {
+
+using workloads::build_ofdm_model;
+using workloads::PaperApp;
+
+ExploreSpec ofdm_spec(int threads) {
+  ExploreSpec spec;
+  spec.constraints = {workloads::kOfdmTimingConstraint / 2,
+                      workloads::kOfdmTimingConstraint,
+                      2 * workloads::kOfdmTimingConstraint};
+  spec.orderings = {KernelOrdering::kWeightDescending,
+                    KernelOrdering::kBenefitDescending};
+  spec.threads = threads;
+  return spec;
+}
+
+TEST(ExplorerTest, GridOrderAndSize) {
+  const PaperApp app = build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  const ExploreSpec spec = ofdm_spec(2);
+  const auto summary = explore_design_space(app.cdfg, app.profile, p, spec);
+  ASSERT_EQ(summary.points.size(), spec.constraints.size() *
+                                       spec.strategies.size() *
+                                       spec.orderings.size());
+  // Constraint-major, then strategy, then ordering.
+  std::size_t index = 0;
+  for (const std::int64_t constraint : spec.constraints) {
+    for (const StrategyKind strategy : spec.strategies) {
+      for (const KernelOrdering ordering : spec.orderings) {
+        const ExplorePoint& point = summary.points[index++];
+        EXPECT_EQ(point.constraint, constraint);
+        EXPECT_EQ(point.strategy, strategy);
+        EXPECT_EQ(point.ordering, ordering);
+      }
+    }
+  }
+}
+
+TEST(ExplorerTest, DeterministicAcrossThreadCounts) {
+  const PaperApp app = build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  const auto serial =
+      explore_design_space(app.cdfg, app.profile, p, ofdm_spec(1));
+  const auto parallel =
+      explore_design_space(app.cdfg, app.profile, p, ofdm_spec(4));
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_EQ(serial.points[i].report.moved, parallel.points[i].report.moved)
+        << "point " << i;
+    EXPECT_EQ(serial.points[i].report.final_cycles,
+              parallel.points[i].report.final_cycles)
+        << "point " << i;
+  }
+  EXPECT_EQ(serial.pareto, parallel.pareto);
+  EXPECT_EQ(describe(serial), describe(parallel));
+}
+
+TEST(ExplorerTest, PointsMatchDirectMethodologyRuns) {
+  const PaperApp app = build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  const auto summary =
+      explore_design_space(app.cdfg, app.profile, p, ofdm_spec(3));
+  for (const ExplorePoint& point : summary.points) {
+    MethodologyOptions options;
+    options.strategy = point.strategy;
+    options.ordering = point.ordering;
+    const auto direct = run_methodology(app.cdfg, app.profile, p,
+                                        point.constraint, options);
+    EXPECT_EQ(point.report.moved, direct.moved);
+    EXPECT_EQ(point.report.final_cycles, direct.final_cycles);
+    EXPECT_EQ(point.report.met, direct.met);
+  }
+}
+
+TEST(ExplorerTest, ParetoFrontInvariants) {
+  const PaperApp app = build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  const auto summary =
+      explore_design_space(app.cdfg, app.profile, p, ofdm_spec(2));
+  ASSERT_FALSE(summary.pareto.empty());
+
+  auto dominates = [](const PartitionReport& a, const PartitionReport& b) {
+    const bool no_worse = a.final_cycles <= b.final_cycles &&
+                          a.moved.size() <= b.moved.size();
+    const bool better = a.final_cycles < b.final_cycles ||
+                        a.moved.size() < b.moved.size();
+    return no_worse && better;
+  };
+  for (const std::size_t i : summary.pareto) {
+    ASSERT_LT(i, summary.points.size());
+    EXPECT_TRUE(summary.points[i].on_pareto_front);
+    for (const ExplorePoint& other : summary.points) {
+      EXPECT_FALSE(dominates(other.report, summary.points[i].report));
+    }
+  }
+  // Every dominated point is off the front, and every off-front point is
+  // dominated by someone.
+  for (const ExplorePoint& point : summary.points) {
+    if (point.on_pareto_front) continue;
+    bool dominated = false;
+    for (const std::size_t i : summary.pareto) {
+      dominated = dominated || dominates(summary.points[i].report, point.report);
+    }
+    EXPECT_TRUE(dominated);
+  }
+}
+
+TEST(ExplorerTest, EmptyConstraintsSweepFractionsOfAllFine) {
+  const PaperApp app = build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  ExploreSpec spec;  // no constraints: 1/4, 1/2, 3/4 of all-fine
+  const auto summary = explore_design_space(app.cdfg, app.profile, p, spec);
+  const std::int64_t all_fine =
+      HybridMapper(app.cdfg, p).all_fine_cycles(app.profile);
+  ASSERT_EQ(summary.points.size(),
+            3 * spec.strategies.size() * spec.orderings.size());
+  EXPECT_EQ(summary.points.front().constraint, all_fine / 4);
+  EXPECT_EQ(summary.points.back().constraint, (3 * all_fine) / 4);
+}
+
+TEST(ExplorerTest, EmptyStrategyGridRejected) {
+  const PaperApp app = build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  ExploreSpec spec;
+  spec.constraints = {1000};
+  spec.strategies.clear();
+  EXPECT_THROW(explore_design_space(app.cdfg, app.profile, p, spec), Error);
+}
+
+}  // namespace
+}  // namespace amdrel::core

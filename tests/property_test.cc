@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 #include <set>
 
 #include "coarsegrain/cgc_scheduler.h"
@@ -13,6 +14,7 @@
 #include "core/energy.h"
 #include "core/methodology.h"
 #include "core/pipeline.h"
+#include "core/strategy.h"
 #include "finegrain/fpga_mapper.h"
 #include "interp/interpreter.h"
 #include "ir/build_cdfg.h"
@@ -305,6 +307,59 @@ TEST_P(MethodologyProperty, EnergyBreakdownConsistent) {
   const auto repriced =
       core::estimate_energy(app.cdfg, app.profile, p, report.moved);
   EXPECT_DOUBLE_EQ(repriced.total_pj(), report.energy.total_pj());
+}
+
+TEST_P(MethodologyProperty, IncrementalSplitMatchesEvaluate) {
+  // Delta-based costing must equal the from-scratch evaluate() after
+  // every move/unmove of a random movement sequence (the engine-loop
+  // invariant the strategies rely on).
+  const auto app = make_app();
+  const auto p = platform::make_paper_platform(1500, 2);
+  core::HybridMapper mapper(app.cdfg, p);
+  core::IncrementalSplit split(mapper, app.profile);
+
+  std::vector<ir::BlockId> eligible;
+  for (const auto& block : app.cdfg.blocks()) {
+    if (mapper.cgc_eligible(block.id)) eligible.push_back(block.id);
+  }
+  ASSERT_FALSE(eligible.empty());
+
+  std::mt19937_64 rng(GetParam() * 7919 + 1);
+  std::uniform_int_distribution<std::size_t> pick(0, eligible.size() - 1);
+  for (int step = 0; step < 200; ++step) {
+    const ir::BlockId block = eligible[pick(rng)];
+    if (split.is_moved(block)) {
+      split.unmove(block);
+    } else {
+      split.move(block);
+    }
+    const core::SplitCost reference =
+        mapper.evaluate(app.profile, split.moved());
+    ASSERT_EQ(split.cost().t_fpga, reference.t_fpga) << "step " << step;
+    ASSERT_EQ(split.cost().t_coarse, reference.t_coarse) << "step " << step;
+    ASSERT_EQ(split.cost().t_comm, reference.t_comm) << "step " << step;
+    ASSERT_EQ(split.moved_count(), split.moved().size());
+  }
+}
+
+TEST_P(MethodologyProperty, StrategiesAgreeOnSplitPricing) {
+  // Whatever split a strategy reports, re-pricing it from scratch must
+  // reproduce the reported cost — for every registered strategy.
+  const auto app = make_app();
+  const auto p = platform::make_paper_platform(1500, 2);
+  core::HybridMapper mapper(app.cdfg, p);
+  const std::int64_t constraint = mapper.all_fine_cycles(app.profile) / 2;
+  for (const core::StrategyKind kind : core::all_strategies()) {
+    core::MethodologyOptions options;
+    options.strategy = kind;
+    const auto report =
+        core::run_methodology(mapper, app.profile, constraint, options);
+    const core::SplitCost cost = mapper.evaluate(app.profile, report.moved);
+    EXPECT_EQ(cost.total(), report.final_cycles)
+        << core::strategy_name(kind);
+    EXPECT_LE(report.final_cycles, report.initial_cycles)
+        << core::strategy_name(kind);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MethodologyProperty,

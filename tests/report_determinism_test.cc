@@ -1,15 +1,16 @@
-// Golden-file regression test for report determinism.
+// Golden-file regression tests for report determinism.
 //
-// Runs the OFDM paper model end-to-end (core::run_methodology +
-// core::describe) over the paper's Table-2 experiment grid, twice, and
-// asserts the rendered reports are byte-identical between runs and match
-// the committed golden file. This pins the Table-2 numbers against
-// drift: any change to the mapper, scheduler, or report formatting that
-// alters the output shows up as a diff against tests/golden/.
+// Runs both paper models end-to-end (core::run_methodology +
+// core::describe) over the paper's Table-2/Table-3 experiment grids,
+// twice, and asserts the rendered reports are byte-identical between
+// runs and match the committed golden files. This pins the tables'
+// numbers against drift: any change to the mapper, scheduler, engine
+// strategy, or report formatting that alters the output shows up as a
+// diff against tests/golden/.
 //
 // To regenerate after an intentional change:
 //   ./build/tests/report_determinism_test --regen
-// then review the diff of tests/golden/ofdm_report.golden.
+// then review the diff of tests/golden/.
 
 #include <fstream>
 #include <sstream>
@@ -34,18 +35,18 @@ struct GridPoint {
   int cgc_count;
 };
 
-constexpr GridPoint kTable2Grid[] = {
+constexpr GridPoint kPaperGrid[] = {
     {1500, 2}, {1500, 3}, {5000, 2}, {5000, 3}};
 
-// Renders the full Table-2 sweep as one deterministic text blob.
-std::string render_ofdm_reports() {
-  const workloads::PaperApp app = workloads::build_ofdm_model();
+// Renders one app's full table sweep as one deterministic text blob.
+std::string render_reports(const workloads::PaperApp& app,
+                           std::int64_t constraint) {
   std::ostringstream out;
-  for (const GridPoint& point : kTable2Grid) {
+  for (const GridPoint& point : kPaperGrid) {
     const platform::Platform p =
         platform::make_paper_platform(point.a_fpga, point.cgc_count);
-    const core::PartitionReport report = core::run_methodology(
-        app.cdfg, app.profile, p, workloads::kOfdmTimingConstraint);
+    const core::PartitionReport report =
+        core::run_methodology(app.cdfg, app.profile, p, constraint);
     out << "=== A_FPGA=" << point.a_fpga << " CGCs=" << point.cgc_count
         << " ===\n"
         << core::describe(report, app.cdfg) << "\n";
@@ -53,25 +54,45 @@ std::string render_ofdm_reports() {
   return out.str();
 }
 
-std::string golden_path() {
-  return std::string(AMDREL_GOLDEN_DIR) + "/ofdm_report.golden";
+std::string render_ofdm_reports() {
+  return render_reports(workloads::build_ofdm_model(),
+                        workloads::kOfdmTimingConstraint);
 }
 
-TEST(ReportDeterminismTest, TwoRunsAreByteIdentical) {
-  const std::string first = render_ofdm_reports();
-  const std::string second = render_ofdm_reports();
-  EXPECT_EQ(first, second);
+std::string render_jpeg_reports() {
+  return render_reports(workloads::build_jpeg_model(),
+                        workloads::kJpegTimingConstraint);
 }
 
-TEST(ReportDeterminismTest, MatchesCommittedGolden) {
-  std::ifstream in(golden_path());
-  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+std::string golden_path(const char* name) {
+  return std::string(AMDREL_GOLDEN_DIR) + "/" + name;
+}
+
+void expect_matches_golden(const std::string& rendered, const char* name) {
+  std::ifstream in(golden_path(name));
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path(name)
                          << " (run with --regen to create it)";
   std::ostringstream ss;
   ss << in.rdbuf();
-  EXPECT_EQ(ss.str(), render_ofdm_reports())
-      << "OFDM Table-2 report drifted from " << golden_path()
+  EXPECT_EQ(ss.str(), rendered)
+      << "report drifted from " << golden_path(name)
       << "; if intentional, regenerate with --regen and review the diff";
+}
+
+TEST(ReportDeterminismTest, OfdmTwoRunsAreByteIdentical) {
+  EXPECT_EQ(render_ofdm_reports(), render_ofdm_reports());
+}
+
+TEST(ReportDeterminismTest, JpegTwoRunsAreByteIdentical) {
+  EXPECT_EQ(render_jpeg_reports(), render_jpeg_reports());
+}
+
+TEST(ReportDeterminismTest, OfdmMatchesCommittedGolden) {
+  expect_matches_golden(render_ofdm_reports(), "ofdm_report.golden");
+}
+
+TEST(ReportDeterminismTest, JpegMatchesCommittedGolden) {
+  expect_matches_golden(render_jpeg_reports(), "jpeg_report.golden");
 }
 
 }  // namespace
@@ -80,9 +101,13 @@ TEST(ReportDeterminismTest, MatchesCommittedGolden) {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--regen") {
-      std::ofstream out(amdrel::golden_path(), std::ios::binary);
-      out << amdrel::render_ofdm_reports();
-      return out.good() ? 0 : 1;
+      std::ofstream ofdm(amdrel::golden_path("ofdm_report.golden"),
+                         std::ios::binary);
+      ofdm << amdrel::render_ofdm_reports();
+      std::ofstream jpeg(amdrel::golden_path("jpeg_report.golden"),
+                         std::ios::binary);
+      jpeg << amdrel::render_jpeg_reports();
+      return ofdm.good() && jpeg.good() ? 0 : 1;
     }
   }
   ::testing::InitGoogleTest(&argc, argv);

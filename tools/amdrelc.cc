@@ -2,6 +2,8 @@
 //
 //   amdrelc analyze   <file.mc> [options]   Table-1 style kernel analysis
 //   amdrelc partition <file.mc> [options]   run the full methodology
+//   amdrelc explore   <file.mc> [options]   constraint x strategy x
+//                                           ordering design-space sweep
 //   amdrelc dump-tac  <file.mc> [options]   lowered three-address code
 //   amdrelc dump-dot  <file.mc> [options]   CDFG in Graphviz DOT
 //
@@ -10,9 +12,20 @@
 //   --cgcs N         number of 2x2 CGCs                  (default 2)
 //   --constraint N   timing constraint in FPGA cycles    (default: half of
 //                    the all-fine-grain cycles)
+//   --strategy S     partitioning strategy: greedy | exhaustive |
+//                    annealing                           (default greedy)
+//   --ordering O     kernel ordering: weight | benefit | code | random
+//                                                        (default weight)
+//   --seed N         seed for random ordering / annealing (default 1)
 //   --input NAME=v0,v1,...   initialize array NAME before profiling
 //   --optimize       run the TAC optimizer before analysis
 //   --top N          rows to print in analyze            (default 10)
+// explore only:
+//   --constraints c1,c2,...  constraint sweep (default: 1/4, 1/2 and 3/4
+//                    of the all-fine-grain cycles)
+//   --strategies s1,s2,...   strategies to sweep  (default: all)
+//   --orderings o1,o2,...    orderings to sweep   (default: weight,benefit)
+//   --threads N      worker threads               (default 2)
 
 #include <cstdio>
 #include <cstring>
@@ -23,8 +36,10 @@
 #include <vector>
 
 #include "analysis/kernels.h"
+#include "core/explorer.h"
 #include "core/methodology.h"
 #include "core/report.h"
+#include "core/strategy.h"
 #include "interp/interpreter.h"
 #include "ir/build_cdfg.h"
 #include "ir/dot.h"
@@ -42,17 +57,73 @@ struct Options {
   double area = 1500;
   int cgcs = 2;
   std::optional<std::int64_t> constraint;
+  std::optional<core::StrategyKind> strategy;
+  std::optional<core::KernelOrdering> ordering;
+  std::uint64_t seed = 1;
   bool optimize = false;
   int top = 10;
   std::vector<std::pair<std::string, std::vector<std::int32_t>>> inputs;
+
+  // explore sweep lists (empty = the documented defaults)
+  std::vector<std::int64_t> constraints;
+  std::vector<core::StrategyKind> strategies;
+  std::vector<core::KernelOrdering> orderings;
+  int threads = 2;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: amdrelc <analyze|partition|dump-tac|dump-dot> "
+               "usage: amdrelc <analyze|partition|explore|dump-tac|dump-dot> "
                "<file.mc> [--area N] [--cgcs N] [--constraint N] "
-               "[--input NAME=v0,v1,...] [--optimize] [--top N]\n");
+               "[--strategy greedy|exhaustive|annealing] "
+               "[--ordering weight|benefit|code|random] [--seed N] "
+               "[--input NAME=v0,v1,...] [--optimize] [--top N] "
+               "[--constraints c1,c2,...] [--strategies s1,s2,...] "
+               "[--orderings o1,o2,...] [--threads N]\n");
   std::exit(2);
+}
+
+std::vector<std::string> split_list(const std::string& spec) {
+  std::vector<std::string> items;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) items.push_back(item);
+  return items;
+}
+
+// Malformed numeric flag values are usage errors, matching how unknown
+// strategy/ordering names are handled (std::sto* would otherwise throw
+// std::invalid_argument past main's Error handler).
+std::int64_t parse_i64(const std::string& text) {
+  try {
+    return std::stoll(text);
+  } catch (const std::exception&) {
+    usage();
+  }
+}
+
+std::uint64_t parse_u64(const std::string& text) {
+  try {
+    return std::stoull(text);
+  } catch (const std::exception&) {
+    usage();
+  }
+}
+
+int parse_int(const std::string& text) {
+  try {
+    return std::stoi(text);
+  } catch (const std::exception&) {
+    usage();
+  }
+}
+
+double parse_double(const std::string& text) {
+  try {
+    return std::stod(text);
+  } catch (const std::exception&) {
+    usage();
+  }
 }
 
 Options parse_args(int argc, char** argv) {
@@ -67,15 +138,41 @@ Options parse_args(int argc, char** argv) {
       return argv[i];
     };
     if (arg == "--area") {
-      options.area = std::stod(next());
+      options.area = parse_double(next());
     } else if (arg == "--cgcs") {
-      options.cgcs = std::stoi(next());
+      options.cgcs = parse_int(next());
     } else if (arg == "--constraint") {
-      options.constraint = std::stoll(next());
+      options.constraint = parse_i64(next());
+    } else if (arg == "--strategy") {
+      options.strategy = core::parse_strategy(next());
+      if (!options.strategy) usage();
+    } else if (arg == "--ordering") {
+      options.ordering = core::parse_kernel_ordering(next());
+      if (!options.ordering) usage();
+    } else if (arg == "--seed") {
+      options.seed = parse_u64(next());
+    } else if (arg == "--threads") {
+      options.threads = parse_int(next());
+    } else if (arg == "--constraints") {
+      for (const std::string& item : split_list(next())) {
+        options.constraints.push_back(parse_i64(item));
+      }
+    } else if (arg == "--strategies") {
+      for (const std::string& item : split_list(next())) {
+        const auto strategy = core::parse_strategy(item);
+        if (!strategy) usage();
+        options.strategies.push_back(*strategy);
+      }
+    } else if (arg == "--orderings") {
+      for (const std::string& item : split_list(next())) {
+        const auto ordering = core::parse_kernel_ordering(item);
+        if (!ordering) usage();
+        options.orderings.push_back(*ordering);
+      }
     } else if (arg == "--optimize") {
       options.optimize = true;
     } else if (arg == "--top") {
-      options.top = std::stoi(next());
+      options.top = parse_int(next());
     } else if (arg == "--input") {
       const std::string spec = next();
       const auto eq = spec.find('=');
@@ -84,7 +181,7 @@ Options parse_args(int argc, char** argv) {
       std::stringstream ss(spec.substr(eq + 1));
       std::string item;
       while (std::getline(ss, item, ',')) {
-        values.push_back(static_cast<std::int32_t>(std::stol(item)));
+        values.push_back(static_cast<std::int32_t>(parse_i64(item)));
       }
       options.inputs.emplace_back(spec.substr(0, eq), std::move(values));
     } else {
@@ -147,16 +244,65 @@ int cmd_analyze(const Options& options) {
   return 0;
 }
 
+core::MethodologyOptions methodology_options(const Options& options) {
+  core::MethodologyOptions mo;
+  mo.strategy = options.strategy.value_or(core::StrategyKind::kGreedyPaper);
+  mo.ordering =
+      options.ordering.value_or(core::KernelOrdering::kWeightDescending);
+  mo.random_seed = options.seed;
+  return mo;
+}
+
 int cmd_partition(const Options& options) {
   const CompiledApp app = compile_and_profile(options);
   const auto p = platform::make_paper_platform(options.area, options.cgcs);
-  core::HybridMapper probe(app.cdfg, p);
-  const std::int64_t all_fine = probe.all_fine_cycles(app.profile);
+  core::HybridMapper mapper(app.cdfg, p);
+  const std::int64_t all_fine = mapper.all_fine_cycles(app.profile);
   const std::int64_t constraint = options.constraint.value_or(all_fine / 2);
-  const auto report =
-      core::run_methodology(app.cdfg, app.profile, p, constraint);
+  const core::MethodologyOptions mo = methodology_options(options);
+  const auto report = core::run_methodology(mapper, app.profile, constraint, mo);
+  std::fprintf(stderr, "strategy: %s, ordering: %s\n",
+               core::strategy_name(mo.strategy),
+               core::kernel_ordering_name(mo.ordering));
   std::printf("%s", core::describe(report, app.cdfg).c_str());
   return report.met ? 0 : 1;
+}
+
+int cmd_explore(const Options& options) {
+  const CompiledApp app = compile_and_profile(options);
+  const auto p = platform::make_paper_platform(options.area, options.cgcs);
+
+  // Plural flags win; a singular --constraint/--strategy/--ordering
+  // narrows the sweep to that one value rather than being ignored.
+  core::ExploreSpec spec;
+  spec.base = methodology_options(options);
+  spec.threads = options.threads;
+  spec.constraints = options.constraints;  // empty = explorer's defaults
+  if (spec.constraints.empty() && options.constraint) {
+    spec.constraints = {*options.constraint};
+  }
+  if (!options.strategies.empty()) {
+    spec.strategies = options.strategies;
+  } else if (options.strategy) {
+    spec.strategies = {*options.strategy};
+  }
+  if (!options.orderings.empty()) {
+    spec.orderings = options.orderings;
+  } else if (options.ordering) {
+    spec.orderings = {*options.ordering};
+  } else {
+    spec.orderings = {core::KernelOrdering::kWeightDescending,
+                      core::KernelOrdering::kBenefitDescending};
+  }
+
+  const auto summary =
+      core::explore_design_space(app.cdfg, app.profile, p, spec);
+  std::printf("design-space exploration: %s (A_FPGA=%g, %d CGCs, "
+              "%d thread(s))\n",
+              app.cdfg.name().c_str(), options.area, options.cgcs,
+              options.threads);
+  std::printf("%s", core::describe(summary).c_str());
+  return 0;
 }
 
 int cmd_dump_tac(const Options& options) {
@@ -181,6 +327,7 @@ int main(int argc, char** argv) {
     const Options options = parse_args(argc, argv);
     if (options.command == "analyze") return cmd_analyze(options);
     if (options.command == "partition") return cmd_partition(options);
+    if (options.command == "explore") return cmd_explore(options);
     if (options.command == "dump-tac") return cmd_dump_tac(options);
     if (options.command == "dump-dot") return cmd_dump_dot(options);
     usage();
