@@ -1,0 +1,73 @@
+// Scaling of the platform-grid x corpus sweep: wall time of the sharded
+// explorer against worker-thread count and corpus size. The shard unit is
+// one (app, platform) cell group, so speedup should track the shard
+// count until it saturates.
+
+#include <benchmark/benchmark.h>
+
+#include "core/explorer.h"
+#include "core/sweep_io.h"
+#include "synth/cdfg_generator.h"
+#include "workloads/paper_models.h"
+
+namespace {
+
+using namespace amdrel;
+
+std::vector<core::CorpusApp> make_corpus(int synthetic_apps) {
+  std::vector<core::CorpusApp> corpus = workloads::paper_corpus();
+  for (int i = 0; i < synthetic_apps; ++i) {
+    synth::CdfgGenConfig config;
+    config.segments = 5;
+    config.seed = 100 + static_cast<std::uint64_t>(i);
+    synth::SyntheticApp synthetic = synth::generate_app(config);
+    core::CorpusApp app;
+    app.name = "synthetic" + std::to_string(i);
+    app.cdfg = std::move(synthetic.cdfg);
+    app.profile = std::move(synthetic.profile);
+    corpus.push_back(std::move(app));
+  }
+  return corpus;
+}
+
+core::SweepSpec make_spec(int threads) {
+  core::SweepSpec spec;
+  spec.grid.areas = {800, 1500, 5000};
+  spec.grid.cgc_counts = {2, 3};
+  spec.strategies = {core::StrategyKind::kGreedyPaper,
+                     core::StrategyKind::kAnnealing};
+  spec.threads = threads;
+  return spec;
+}
+
+void BM_CorpusSweepThreads(benchmark::State& state) {
+  const auto corpus = make_corpus(6);
+  const auto spec = make_spec(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sweep_design_space(corpus, spec));
+  }
+}
+BENCHMARK(BM_CorpusSweepThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CorpusSweepApps(benchmark::State& state) {
+  const auto corpus = make_corpus(static_cast<int>(state.range(0)));
+  const auto spec = make_spec(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sweep_design_space(corpus, spec));
+  }
+}
+BENCHMARK(BM_CorpusSweepApps)->Arg(2)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SweepJsonEmission(benchmark::State& state) {
+  const auto summary = core::sweep_design_space(make_corpus(6), make_spec(4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sweep_to_json(summary));
+  }
+}
+BENCHMARK(BM_SweepJsonEmission);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <thread>
 
 #include "core/report.h"
 #include "support/error.h"
+#include "support/strings.h"
 
 namespace amdrel::core {
 
@@ -39,10 +42,7 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
   }
 
   const std::size_t jobs = summary.points.size();
-  int threads = spec.threads > 0
-                    ? spec.threads
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  threads = std::max(1, std::min<int>(threads, static_cast<int>(jobs)));
+  const int threads = worker_count(jobs, spec.threads);
 
   // Each worker owns one mapper for the (cdfg, platform) pair and reuses
   // it across every job it claims; runs are independent and written to
@@ -93,6 +93,188 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
   return summary;
 }
 
+int worker_count(std::size_t jobs, int requested) {
+  int threads = requested > 0
+                    ? requested
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  return std::max(1, std::min<int>(threads, static_cast<int>(jobs)));
+}
+
+std::optional<PlatformGrid> parse_platform_grid(std::string_view spec) {
+  const std::size_t cross = spec.find('x');
+  if (cross == std::string_view::npos) return std::nullopt;
+  if (spec.find('x', cross + 1) != std::string_view::npos) return std::nullopt;
+
+  const std::string areas_part(spec.substr(0, cross));
+  const std::string counts_part(spec.substr(cross + 1));
+  // split() drops a trailing empty field, so "1500,x2" would otherwise
+  // silently parse as "1500x2".
+  if (areas_part.empty() || areas_part.back() == ',') return std::nullopt;
+  if (counts_part.empty() || counts_part.back() == ',') return std::nullopt;
+
+  // std::sto* skip leading whitespace; the spec grammar does not.
+  auto strict = [](const std::string& item) {
+    return !item.empty() &&
+           !std::isspace(static_cast<unsigned char>(item.front()));
+  };
+
+  PlatformGrid grid;
+  grid.areas.clear();
+  grid.cgc_counts.clear();
+  for (const std::string& item : split(areas_part)) {
+    if (!strict(item)) return std::nullopt;
+    try {
+      std::size_t used = 0;
+      const double area = std::stod(item, &used);
+      if (used != item.size()) return std::nullopt;
+      if (!std::isfinite(area) || area <= 0) return std::nullopt;
+      grid.areas.push_back(area);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  for (const std::string& item : split(counts_part)) {
+    if (!strict(item)) return std::nullopt;
+    try {
+      std::size_t used = 0;
+      const int count = std::stoi(item, &used);
+      if (used != item.size()) return std::nullopt;
+      if (count < 1 || count > 1024) return std::nullopt;
+      grid.cgc_counts.push_back(count);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (grid.areas.empty() || grid.cgc_counts.empty()) return std::nullopt;
+  return grid;
+}
+
+SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
+                                const SweepSpec& spec) {
+  require(!corpus.empty(), "sweep_design_space: empty corpus");
+  require(!spec.grid.areas.empty() && !spec.grid.cgc_counts.empty(),
+          "sweep_design_space: empty platform grid");
+  require(!spec.strategies.empty() && !spec.orderings.empty(),
+          "sweep_design_space: empty strategy/ordering grid");
+  // App names key the JSON app_pareto map; duplicates would emit
+  // duplicate keys.
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    for (std::size_t j = i + 1; j < corpus.size(); ++j) {
+      require(corpus[i].name != corpus[j].name,
+              "sweep_design_space: duplicate corpus app name '" +
+                  corpus[i].name + "'");
+    }
+  }
+
+  // A shard is one (app, platform) cell group; its constraint slots are
+  // resolved inside the shard (the default fractions depend on the
+  // shard's all-fine-grain cycles), but the slot COUNT is fixed up
+  // front, so every cell has a precomputed output slot and thread
+  // scheduling cannot reorder anything.
+  const std::size_t constraint_slots =
+      spec.constraints.empty() ? 3 : spec.constraints.size();
+  const std::size_t cells_per_shard =
+      constraint_slots * spec.strategies.size() * spec.orderings.size();
+  const std::size_t shards = corpus.size() * spec.grid.size();
+
+  SweepSummary summary;
+  summary.apps.reserve(corpus.size());
+  for (const CorpusApp& app : corpus) summary.apps.push_back(app.name);
+  summary.cells.resize(shards * cells_per_shard);
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t shard = next.fetch_add(1);
+      if (shard >= shards) return;
+      const std::size_t app_index = shard / spec.grid.size();
+      const std::size_t platform_index = shard % spec.grid.size();
+      const double area =
+          spec.grid.areas[platform_index / spec.grid.cgc_counts.size()];
+      const int cgcs =
+          spec.grid.cgc_counts[platform_index % spec.grid.cgc_counts.size()];
+      const CorpusApp& app = corpus[app_index];
+      const platform::Platform p = platform::make_paper_platform(area, cgcs);
+      const double cost = platform::platform_cost(p);
+
+      HybridMapper mapper(app.cdfg, p);
+      std::vector<std::int64_t> constraints = spec.constraints;
+      if (constraints.empty()) {
+        const std::int64_t all_fine = mapper.all_fine_cycles(app.profile);
+        constraints = {all_fine / 4, all_fine / 2, (3 * all_fine) / 4};
+      }
+
+      std::size_t index = shard * cells_per_shard;
+      for (const std::int64_t constraint : constraints) {
+        for (const StrategyKind strategy : spec.strategies) {
+          for (const KernelOrdering ordering : spec.orderings) {
+            SweepCell& cell = summary.cells[index++];
+            cell.app = app_index;
+            cell.a_fpga = area;
+            cell.cgcs = cgcs;
+            cell.platform_cost = cost;
+            cell.constraint = constraint;
+            cell.strategy = strategy;
+            cell.ordering = ordering;
+            MethodologyOptions options = spec.base;
+            options.strategy = strategy;
+            options.ordering = ordering;
+            cell.report =
+                run_methodology(mapper, app.profile, constraint, options);
+            cell.moved_names.reserve(cell.report.moved.size());
+            for (const ir::BlockId block : cell.report.moved) {
+              cell.moved_names.push_back(app.cdfg.block(block).name);
+            }
+          }
+        }
+      }
+    }
+  };
+
+  const int threads = worker_count(shards, spec.threads);
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Pareto fronts over (final cycles, kernels moved, platform cost), all
+  // minimized: one per app and one merged over every cell.
+  auto dominates = [](const SweepCell& b, const SweepCell& a) {
+    const bool no_worse = b.report.final_cycles <= a.report.final_cycles &&
+                          b.report.moved.size() <= a.report.moved.size() &&
+                          b.platform_cost <= a.platform_cost;
+    const bool better = b.report.final_cycles < a.report.final_cycles ||
+                        b.report.moved.size() < a.report.moved.size() ||
+                        b.platform_cost < a.platform_cost;
+    return no_worse && better;
+  };
+  summary.app_pareto.resize(corpus.size());
+  for (std::size_t i = 0; i < summary.cells.size(); ++i) {
+    SweepCell& cell = summary.cells[i];
+    bool app_dominated = false;
+    bool global_dominated = false;
+    for (const SweepCell& other : summary.cells) {
+      if (&other == &cell || !dominates(other, cell)) continue;
+      global_dominated = true;
+      app_dominated = app_dominated || other.app == cell.app;
+      if (app_dominated) break;
+    }
+    if (!app_dominated) {
+      cell.on_app_pareto = true;
+      summary.app_pareto[cell.app].push_back(i);
+    }
+    if (!global_dominated) {
+      cell.on_global_pareto = true;
+      summary.global_pareto.push_back(i);
+    }
+  }
+  return summary;
+}
+
 std::string describe(const ExploreSummary& summary) {
   TextTable table({"constraint", "strategy", "ordering", "moved",
                    "final cycles", "% reduction", "met", "pareto"});
@@ -112,6 +294,38 @@ std::string describe(const ExploreSummary& summary) {
   os << table.to_string();
   os << summary.pareto.size() << " of " << summary.points.size()
      << " grid points on the pareto front (final cycles vs kernels moved)\n";
+  return os.str();
+}
+
+std::string describe(const SweepSummary& summary) {
+  TextTable table({"app", "A_FPGA", "CGCs", "constraint", "strategy",
+                   "ordering", "moved", "final cycles", "% reduction", "met",
+                   "pareto"});
+  std::size_t on_app_front = 0;
+  for (const SweepCell& cell : summary.cells) {
+    on_app_front += cell.on_app_pareto ? 1 : 0;
+    char area[32];
+    std::snprintf(area, sizeof area, "%g", cell.a_fpga);
+    char reduction[32];
+    std::snprintf(reduction, sizeof reduction, "%.1f",
+                  cell.report.reduction_percent());
+    table.add_row({summary.apps[cell.app], area, std::to_string(cell.cgcs),
+                   with_thousands(cell.constraint),
+                   strategy_name(cell.strategy),
+                   kernel_ordering_name(cell.ordering),
+                   std::to_string(cell.report.moved.size()),
+                   with_thousands(cell.report.final_cycles), reduction,
+                   cell.report.met ? "yes" : "no",
+                   cell.on_global_pareto ? "**"
+                   : cell.on_app_pareto  ? "*"
+                                         : ""});
+  }
+  std::ostringstream os;
+  os << table.to_string();
+  os << on_app_front << " of " << summary.cells.size()
+     << " cells on a per-app pareto front, " << summary.global_pareto.size()
+     << " on the merged global front "
+     << "(final cycles vs kernels moved vs platform cost)\n";
   return os.str();
 }
 

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/methodology.h"
@@ -57,5 +59,99 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
 /// Renders the summary as a fixed-width table (one row per grid point,
 /// Pareto-front rows marked), for the CLI and the examples.
 std::string describe(const ExploreSummary& summary);
+
+// ---------------------------------------------------------------------------
+// Platform-grid x corpus sweeps: the "what platform should we build, and
+// for which applications" question. Where explore_design_space sweeps the
+// engine's knobs on one (app, platform), sweep_design_space crosses a
+// grid of platform instances with a corpus of applications.
+// ---------------------------------------------------------------------------
+
+/// The platform axes of a sweep: every (A_FPGA, CGC count) pair of the
+/// cross product is instantiated with make_paper_platform. Order is
+/// area-major, matching the paper's Table 2/3 column order.
+struct PlatformGrid {
+  std::vector<double> areas = {1500};
+  std::vector<int> cgc_counts = {2};
+  std::size_t size() const { return areas.size() * cgc_counts.size(); }
+};
+
+/// Parses the CLI grid spec "a1,a2,...xc1,c2,..." (areas, an 'x', CGC
+/// counts — e.g. "1500,5000x2,3"). Returns nullopt for anything
+/// malformed: missing/extra 'x', empty lists, non-numeric items,
+/// non-positive or non-finite areas, CGC counts outside [1, 1024].
+std::optional<PlatformGrid> parse_platform_grid(std::string_view spec);
+
+/// One application of a sweep corpus: a profiled CDFG plus the name used
+/// in reports and machine-readable output.
+struct CorpusApp {
+  std::string name;
+  ir::Cdfg cdfg{"app"};
+  ir::ProfileData profile;
+};
+
+/// The full sweep grid: platform axes crossed with the engine axes of
+/// ExploreSpec, applied to every corpus app.
+struct SweepSpec {
+  PlatformGrid grid;
+  /// Timing constraints; empty sweeps 1/4, 1/2 and 3/4 of each
+  /// (app, platform) cell's all-fine-grain cycle count, exactly like
+  /// ExploreSpec (the fractions adapt to the app's scale, so one spec
+  /// serves OFDM's 10^5 cycles and JPEG's 10^7 alike).
+  std::vector<std::int64_t> constraints;
+  std::vector<StrategyKind> strategies = all_strategies();
+  std::vector<KernelOrdering> orderings = {KernelOrdering::kWeightDescending};
+  MethodologyOptions base;
+  /// Worker threads; 0 picks the hardware concurrency. Results are
+  /// identical for any thread count.
+  int threads = 0;
+};
+
+/// One cell of a sweep: an (app, platform, constraint, strategy,
+/// ordering) coordinate with its methodology result.
+struct SweepCell {
+  std::size_t app = 0;  ///< index into SweepSummary::apps
+  double a_fpga = 0;
+  int cgcs = 0;
+  double platform_cost = 0;  ///< platform::platform_cost of the cell
+  std::int64_t constraint = 0;
+  StrategyKind strategy = StrategyKind::kGreedyPaper;
+  KernelOrdering ordering = KernelOrdering::kWeightDescending;
+  PartitionReport report;
+  std::vector<std::string> moved_names;  ///< report.moved as block names
+  bool on_app_pareto = false;
+  bool on_global_pareto = false;
+};
+
+/// Sweep output. Cells are in deterministic grid order: app-major, then
+/// area, CGC count, constraint, strategy, ordering. Two kinds of Pareto
+/// front over (final cycles, kernels moved, platform cost), all
+/// minimized: one per app (cells of that app only) and one merged global
+/// front over every cell.
+struct SweepSummary {
+  std::vector<std::string> apps;
+  std::vector<SweepCell> cells;
+  std::vector<std::vector<std::size_t>> app_pareto;  ///< [app] -> cell indices
+  std::vector<std::size_t> global_pareto;            ///< cell indices, ascending
+};
+
+/// Worker threads a sweep or exploration actually runs for `jobs`
+/// independent work units: `requested` (0 = the hardware concurrency)
+/// clamped to [1, jobs]. Shared by the explorer and the CLI's reporting.
+int worker_count(std::size_t jobs, int requested);
+
+/// Runs the whole grid x corpus sweep on a thread pool. Work is sharded
+/// by (app, platform) cell group: a worker claims one group, builds one
+/// HybridMapper for that (cdfg, platform) pair and reuses it across every
+/// (constraint, strategy, ordering) cell of the group — each cell
+/// identical to a standalone explore_design_space / run_methodology call.
+/// Deterministic: output depends only on (corpus, spec), never on thread
+/// scheduling.
+SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
+                                const SweepSpec& spec);
+
+/// Renders the sweep as a fixed-width table: one row per cell, per-app
+/// Pareto cells marked "*", cells also on the merged global front "**".
+std::string describe(const SweepSummary& summary);
 
 }  // namespace amdrel::core

@@ -1,0 +1,163 @@
+#include "core/sweep_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/strategy.h"
+
+namespace amdrel::core {
+
+namespace {
+
+// %.10g keeps integral platform values ("1500", "2076") free of trailing
+// zeros while round-tripping any realistic area exactly.
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  return buffer;
+}
+
+std::string format_percent(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.2f", value);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// RFC-4180 quoting: fields containing the separator, quotes or newlines
+// are wrapped in double quotes with embedded quotes doubled. App names
+// can be arbitrary (CLI file paths); block names are generator-chosen.
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+template <typename T>
+void append_index_list(std::ostringstream& os, const std::vector<T>& indices) {
+  os << '[';
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (i) os << ", ";
+    os << indices[i];
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string sweep_to_json(const SweepSummary& summary) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema_version\": " << kSweepSchemaVersion << ",\n";
+  os << "  \"generator\": \"amdrel\",\n";
+  os << "  \"apps\": [";
+  for (std::size_t i = 0; i < summary.apps.size(); ++i) {
+    if (i) os << ", ";
+    os << '"' << json_escape(summary.apps[i]) << '"';
+  }
+  os << "],\n";
+  os << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < summary.cells.size(); ++i) {
+    const SweepCell& cell = summary.cells[i];
+    os << "    {\"app\": \"" << json_escape(summary.apps[cell.app]) << "\", "
+       << "\"a_fpga\": " << format_double(cell.a_fpga) << ", "
+       << "\"cgcs\": " << cell.cgcs << ", "
+       << "\"platform_cost\": " << format_double(cell.platform_cost) << ", "
+       << "\"constraint\": " << cell.constraint << ", "
+       << "\"strategy\": \"" << strategy_name(cell.strategy) << "\", "
+       << "\"ordering\": \"" << kernel_ordering_name(cell.ordering) << "\", "
+       << "\"initial_cycles\": " << cell.report.initial_cycles << ", "
+       << "\"final_cycles\": " << cell.report.final_cycles << ", "
+       << "\"cycles_in_cgc\": " << cell.report.cycles_in_cgc << ", "
+       << "\"t_fpga\": " << cell.report.cost.t_fpga << ", "
+       << "\"t_coarse\": " << cell.report.cost.t_coarse << ", "
+       << "\"t_comm\": " << cell.report.cost.t_comm << ", "
+       << "\"moved\": " << cell.report.moved.size() << ", "
+       << "\"moved_blocks\": [";
+    for (std::size_t m = 0; m < cell.moved_names.size(); ++m) {
+      if (m) os << ", ";
+      os << '"' << json_escape(cell.moved_names[m]) << '"';
+    }
+    os << "], "
+       << "\"met\": " << (cell.report.met ? "true" : "false") << ", "
+       << "\"reduction_percent\": \""
+       << format_percent(cell.report.reduction_percent()) << "\", "
+       << "\"engine_iterations\": " << cell.report.engine_iterations << ", "
+       << "\"app_pareto\": " << (cell.on_app_pareto ? "true" : "false")
+       << ", "
+       << "\"global_pareto\": " << (cell.on_global_pareto ? "true" : "false")
+       << '}' << (i + 1 < summary.cells.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n";
+  os << "  \"app_pareto\": {";
+  for (std::size_t app = 0; app < summary.apps.size(); ++app) {
+    if (app) os << ", ";
+    os << '"' << json_escape(summary.apps[app]) << "\": ";
+    append_index_list(os, summary.app_pareto[app]);
+  }
+  os << "},\n";
+  os << "  \"global_pareto\": ";
+  append_index_list(os, summary.global_pareto);
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string sweep_to_csv(const SweepSummary& summary) {
+  std::ostringstream os;
+  os << "app,a_fpga,cgcs,platform_cost,constraint,strategy,ordering,"
+        "initial_cycles,final_cycles,cycles_in_cgc,t_fpga,t_coarse,t_comm,"
+        "moved,moved_blocks,met,reduction_percent,engine_iterations,"
+        "app_pareto,global_pareto\n";
+  for (const SweepCell& cell : summary.cells) {
+    std::string blocks;
+    for (const std::string& name : cell.moved_names) {
+      if (!blocks.empty()) blocks += ';';
+      blocks += name;
+    }
+    blocks = csv_escape(blocks);
+    os << csv_escape(summary.apps[cell.app]) << ','
+       << format_double(cell.a_fpga) << ','
+       << cell.cgcs << ',' << format_double(cell.platform_cost) << ','
+       << cell.constraint << ',' << strategy_name(cell.strategy) << ','
+       << kernel_ordering_name(cell.ordering) << ','
+       << cell.report.initial_cycles << ',' << cell.report.final_cycles << ','
+       << cell.report.cycles_in_cgc << ',' << cell.report.cost.t_fpga << ','
+       << cell.report.cost.t_coarse << ',' << cell.report.cost.t_comm << ','
+       << cell.report.moved.size() << ',' << blocks << ','
+       << (cell.report.met ? "true" : "false") << ','
+       << format_percent(cell.report.reduction_percent()) << ','
+       << cell.report.engine_iterations << ','
+       << (cell.on_app_pareto ? "true" : "false") << ','
+       << (cell.on_global_pareto ? "true" : "false") << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace amdrel::core

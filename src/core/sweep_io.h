@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+
+#include "core/explorer.h"
+
+namespace amdrel::core {
+
+/// Version of the machine-readable sweep schema. Bump on any change to
+/// the field set, field meaning, or formatting of sweep_to_json /
+/// sweep_to_csv — the golden tests pin the emissions byte-for-byte, so a
+/// format change must be an explicit, reviewed event.
+inline constexpr int kSweepSchemaVersion = 1;
+
+/// Serializes a sweep as a stable-schema JSON document:
+///
+///   {
+///     "schema_version": 1,
+///     "generator": "amdrel",
+///     "apps": ["ofdm", ...],
+///     "cells": [ { "app": "ofdm", "a_fpga": 1500, "cgcs": 2,
+///                  "platform_cost": 2076, "constraint": 60000,
+///                  "strategy": "greedy", "ordering": "weight",
+///                  "initial_cycles": N, "final_cycles": N,
+///                  "cycles_in_cgc": N, "t_fpga": N, "t_coarse": N,
+///                  "t_comm": N, "moved": N, "moved_blocks": ["BB22", ...],
+///                  "met": true, "reduction_percent": "46.10",
+///                  "engine_iterations": N, "app_pareto": true,
+///                  "global_pareto": false }, ... ],
+///     "app_pareto": { "ofdm": [0, 3], ... },
+///     "global_pareto": [0, 17]
+///   }
+///
+/// Cells appear in SweepSummary order (app-major, then area, CGC count,
+/// constraint, strategy, ordering); pareto lists hold indices into
+/// "cells". reduction_percent is a string so the emission stays
+/// byte-stable (fixed "%.2f" rendering, no float round-trip drift).
+/// Output is deterministic: byte-identical for identical sweeps,
+/// regardless of thread count.
+std::string sweep_to_json(const SweepSummary& summary);
+
+/// Serializes a sweep as CSV: a fixed header row then one row per cell,
+/// same order and fields as the JSON (moved_blocks joined with ';',
+/// booleans as true/false). Deterministic like sweep_to_json.
+std::string sweep_to_csv(const SweepSummary& summary);
+
+}  // namespace amdrel::core

@@ -12,4 +12,12 @@ Platform make_paper_platform(double a_fpga, int cgc_count) {
   return p;
 }
 
+double platform_cost(const Platform& platform) {
+  const double per_node = platform.fpga.area_mul + platform.fpga.area_alu;
+  const double nodes =
+      static_cast<double>(platform.cgc.count) * platform.cgc.rows *
+      platform.cgc.cols;
+  return platform.fpga.usable_area + nodes * per_node;
+}
+
 }  // namespace amdrel::platform

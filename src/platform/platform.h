@@ -32,4 +32,11 @@ struct Platform {
 /// documented in DESIGN.md / EXPERIMENTS.md.
 Platform make_paper_platform(double a_fpga, int cgc_count);
 
+/// Area-equivalent cost of a platform instance, in the same abstract
+/// units as A_FPGA: the usable fine-grain area plus every CGC node priced
+/// as one multiplier + one ALU of fine-grain fabric. The platform-grid
+/// sweep's third Pareto axis — a bigger device may buy fewer cycles, and
+/// this makes that trade explicit.
+double platform_cost(const Platform& platform);
+
 }  // namespace amdrel::platform

@@ -2,6 +2,8 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace amdrel {
 
@@ -21,6 +23,20 @@ std::string cat(const Ts&... parts) {
   std::ostringstream os;
   detail::cat_into(os, parts...);
   return os.str();
+}
+
+/// Splits on a separator. Note getline semantics: a trailing separator
+/// produces NO final empty item ("a," -> {"a"}), while interior empties
+/// are kept ("a,,b" -> {"a", "", "b"}) — callers validating list specs
+/// must reject a trailing separator themselves. Shared by the CLI flag
+/// lists and the platform-grid spec parser.
+inline std::vector<std::string> split(const std::string& text,
+                                      char separator = ',') {
+  std::vector<std::string> items;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, separator)) items.push_back(item);
+  return items;
 }
 
 }  // namespace amdrel

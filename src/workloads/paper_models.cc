@@ -121,4 +121,17 @@ PaperApp build_jpeg_model() {
   return build_app("jpeg_enc", std::move(specs), /*base_seed=*/0x01BE6102u);
 }
 
+std::vector<core::CorpusApp> paper_corpus() {
+  std::vector<core::CorpusApp> corpus(2);
+  PaperApp ofdm = build_ofdm_model();
+  corpus[0].name = "ofdm";
+  corpus[0].cdfg = std::move(ofdm.cdfg);
+  corpus[0].profile = std::move(ofdm.profile);
+  PaperApp jpeg = build_jpeg_model();
+  corpus[1].name = "jpeg";
+  corpus[1].cdfg = std::move(jpeg.cdfg);
+  corpus[1].profile = std::move(jpeg.profile);
+  return corpus;
+}
+
 }  // namespace amdrel::workloads

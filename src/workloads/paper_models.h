@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/explorer.h"
 #include "ir/cdfg.h"
 #include "ir/profile.h"
 
@@ -54,5 +55,9 @@ PaperApp build_jpeg_model();
 /// The timing constraints used in the paper's experiments (Tables 2/3).
 inline constexpr std::int64_t kOfdmTimingConstraint = 60000;
 inline constexpr std::int64_t kJpegTimingConstraint = 11000000;
+
+/// Both paper applications as a sweep corpus ({"ofdm", "jpeg"}), for the
+/// grid x corpus explorer, its tests and the benches.
+std::vector<core::CorpusApp> paper_corpus();
 
 }  // namespace amdrel::workloads

@@ -3,9 +3,13 @@
 // compilation must be deterministic, and the whole analysis pipeline must
 // accept whatever the front-end produces.
 
+#include <cmath>
+#include <random>
+
 #include <gtest/gtest.h>
 
 #include "analysis/kernels.h"
+#include "core/explorer.h"
 #include "core/methodology.h"
 #include "interp/interpreter.h"
 #include "ir/build_cdfg.h"
@@ -90,6 +94,62 @@ TEST_P(FuzzedProgramProperty, AnalysisPipelineAcceptsFuzzedPrograms) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzedProgramProperty,
                          ::testing::Range<std::uint64_t>(1, 41));
+
+// The --grid spec parser fronts the CLI, so it must shrug off arbitrary
+// garbage: never crash or throw, and only ever accept specs whose parsed
+// grid satisfies the documented invariants.
+TEST(GridSpecFuzz, ParserRejectsOrSanelyAcceptsGarbage) {
+  const std::string charset = "0123456789x,.-+eE 15";
+  std::mt19937_64 rng(2026);
+  for (int round = 0; round < 5000; ++round) {
+    std::string spec;
+    const std::size_t length = rng() % 24;
+    for (std::size_t i = 0; i < length; ++i) {
+      spec += charset[rng() % charset.size()];
+    }
+    const auto grid = core::parse_platform_grid(spec);
+    if (!grid) continue;
+    EXPECT_FALSE(grid->areas.empty()) << spec;
+    EXPECT_FALSE(grid->cgc_counts.empty()) << spec;
+    for (const double area : grid->areas) {
+      EXPECT_TRUE(std::isfinite(area) && area > 0) << spec;
+    }
+    for (const int count : grid->cgc_counts) {
+      EXPECT_TRUE(count >= 1 && count <= 1024) << spec;
+    }
+  }
+}
+
+// Valid specs round-trip: re-rendering the parsed grid in the spec
+// grammar and parsing again yields the same axes.
+TEST(GridSpecFuzz, ValidSpecsRoundTrip) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 200; ++round) {
+    core::PlatformGrid grid;
+    grid.areas.clear();
+    grid.cgc_counts.clear();
+    const std::size_t n_areas = 1 + rng() % 4;
+    const std::size_t n_counts = 1 + rng() % 4;
+    std::string spec;
+    for (std::size_t i = 0; i < n_areas; ++i) {
+      const int area = 100 + static_cast<int>(rng() % 9000);
+      grid.areas.push_back(area);
+      if (i) spec += ',';
+      spec += std::to_string(area);
+    }
+    spec += 'x';
+    for (std::size_t i = 0; i < n_counts; ++i) {
+      const int count = 1 + static_cast<int>(rng() % 8);
+      grid.cgc_counts.push_back(count);
+      if (i) spec += ',';
+      spec += std::to_string(count);
+    }
+    const auto parsed = core::parse_platform_grid(spec);
+    ASSERT_TRUE(parsed.has_value()) << spec;
+    EXPECT_EQ(parsed->areas, grid.areas) << spec;
+    EXPECT_EQ(parsed->cgc_counts, grid.cgc_counts) << spec;
+  }
+}
 
 }  // namespace
 }  // namespace amdrel

@@ -1,0 +1,116 @@
+// Golden-file and determinism tests for the machine-readable sweep
+// output (core/sweep_io.h).
+//
+// A fixed platform grid x {OFDM, JPEG} corpus sweep is rendered to JSON
+// and CSV and pinned byte-for-byte against tests/golden/sweep.json.golden
+// and tests/golden/sweep.csv.golden. The same sweep must also be
+// byte-identical across thread counts (1, 2, hardware_concurrency) and
+// across repeated runs — the determinism contract every later scaling PR
+// (process sharding, caching) builds on. The JSON carries a
+// schema_version field, so any intentional format change is an explicit,
+// reviewed event:
+//   ./build/tests/sweep_determinism_test --regen
+// then review the diff of tests/golden/.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.h"
+#include "core/sweep_io.h"
+#include "workloads/paper_models.h"
+
+#ifndef AMDREL_GOLDEN_DIR
+#error "AMDREL_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace amdrel {
+namespace {
+
+// The pinned sweep: the paper's Table-2/3 platform grid, default
+// constraints (1/4, 1/2, 3/4 of each cell's all-fine cycles, so the same
+// spec fits both apps' scales), all three strategies with a bounded
+// branch-and-bound, the paper's kernel ordering.
+core::SweepSpec golden_spec(int threads) {
+  core::SweepSpec spec;
+  spec.grid.areas = {1500, 5000};
+  spec.grid.cgc_counts = {2, 3};
+  spec.strategies = {core::StrategyKind::kGreedyPaper,
+                     core::StrategyKind::kExhaustive,
+                     core::StrategyKind::kAnnealing};
+  spec.orderings = {core::KernelOrdering::kWeightDescending};
+  spec.base.exhaustive_max_kernels = 12;
+  spec.threads = threads;
+  return spec;
+}
+
+core::SweepSummary run_sweep(int threads) {
+  return core::sweep_design_space(workloads::paper_corpus(),
+                                  golden_spec(threads));
+}
+
+std::string golden_path(const char* name) {
+  return std::string(AMDREL_GOLDEN_DIR) + "/" + name;
+}
+
+void expect_matches_golden(const std::string& rendered, const char* name) {
+  std::ifstream in(golden_path(name), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path(name)
+                         << " (run with --regen to create it)";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), rendered)
+      << "sweep output drifted from " << golden_path(name)
+      << "; if intentional, bump kSweepSchemaVersion when the schema "
+         "changed, regenerate with --regen and review the diff";
+}
+
+TEST(SweepDeterminismTest, JsonMatchesCommittedGolden) {
+  expect_matches_golden(core::sweep_to_json(run_sweep(2)),
+                        "sweep.json.golden");
+}
+
+TEST(SweepDeterminismTest, CsvMatchesCommittedGolden) {
+  expect_matches_golden(core::sweep_to_csv(run_sweep(2)), "sweep.csv.golden");
+}
+
+TEST(SweepDeterminismTest, ByteIdenticalAcrossThreadCounts) {
+  const std::string serial = core::sweep_to_json(run_sweep(1));
+  EXPECT_EQ(serial, core::sweep_to_json(run_sweep(2)));
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(serial, core::sweep_to_json(run_sweep(hw)));
+}
+
+TEST(SweepDeterminismTest, RepeatedRunsAreByteIdentical) {
+  EXPECT_EQ(core::sweep_to_json(run_sweep(2)),
+            core::sweep_to_json(run_sweep(2)));
+  EXPECT_EQ(core::sweep_to_csv(run_sweep(2)),
+            core::sweep_to_csv(run_sweep(2)));
+}
+
+TEST(SweepDeterminismTest, TableRenderingIsDeterministicToo) {
+  EXPECT_EQ(core::describe(run_sweep(1)), core::describe(run_sweep(4)));
+}
+
+}  // namespace
+}  // namespace amdrel
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regen") {
+      const auto summary = amdrel::run_sweep(2);
+      std::ofstream json(amdrel::golden_path("sweep.json.golden"),
+                         std::ios::binary);
+      json << amdrel::core::sweep_to_json(summary);
+      std::ofstream csv(amdrel::golden_path("sweep.csv.golden"),
+                        std::ios::binary);
+      csv << amdrel::core::sweep_to_csv(summary);
+      return json.good() && csv.good() ? 0 : 1;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,283 @@
+// Platform-grid x corpus sweep: grid-spec parsing, cell enumeration
+// order, Pareto-front invariants, and the cross-check property that pins
+// the sharded sweep to the old semantics — every cell of a batched sweep
+// must be identical to an independent single-platform, single-app
+// DesignSpaceExplorer run.
+
+#include "core/explorer.h"
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "core/sweep_io.h"
+#include "support/error.h"
+#include "synth/cdfg_generator.h"
+#include "workloads/paper_models.h"
+
+namespace amdrel::core {
+namespace {
+
+using workloads::build_ofdm_model;
+using workloads::paper_corpus;
+
+TEST(PlatformGridTest, ParsesAreasCrossCgcCounts) {
+  const auto grid = parse_platform_grid("1500,5000x2,3");
+  ASSERT_TRUE(grid.has_value());
+  EXPECT_EQ(grid->areas, (std::vector<double>{1500, 5000}));
+  EXPECT_EQ(grid->cgc_counts, (std::vector<int>{2, 3}));
+  EXPECT_EQ(grid->size(), 4u);
+}
+
+TEST(PlatformGridTest, ParsesSingleCell) {
+  const auto grid = parse_platform_grid("800x1");
+  ASSERT_TRUE(grid.has_value());
+  EXPECT_EQ(grid->size(), 1u);
+  EXPECT_EQ(grid->areas.front(), 800);
+  EXPECT_EQ(grid->cgc_counts.front(), 1);
+}
+
+TEST(PlatformGridTest, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "",          "1500",        "x",         "1500x",     "x2",
+      "1500x2x3",  "1500,x2",     "1500x2,",   "a,bx2",     "1500x2.5",
+      "-1500x2",   "0x2",         "1500x0",    "1500x-2",   "1500x9999",
+      "nanx2",     "infx2",       "1500 x2",   "1500x 2",   "1,,2x3",
+  };
+  for (const char* spec : bad) {
+    EXPECT_FALSE(parse_platform_grid(spec).has_value()) << "'" << spec << "'";
+  }
+}
+
+TEST(PlatformCostTest, AreaPlusCgcNodeEquivalent) {
+  // Default fine-grain areas: MUL 60 + ALU 12 = 72 per CGC node; a 2x2
+  // CGC adds 288 area-equivalent units.
+  EXPECT_DOUBLE_EQ(
+      platform::platform_cost(platform::make_paper_platform(1500, 2)),
+      1500 + 2 * 4 * 72.0);
+  EXPECT_DOUBLE_EQ(
+      platform::platform_cost(platform::make_paper_platform(5000, 3)),
+      5000 + 3 * 4 * 72.0);
+}
+
+TEST(SweepTest, CellOrderIsAppMajorThenPlatformThenEngineGrid) {
+  const auto corpus = paper_corpus();
+  SweepSpec spec;
+  spec.grid.areas = {1500, 5000};
+  spec.grid.cgc_counts = {2, 3};
+  spec.constraints = {50'000, 200'000};
+  spec.strategies = {StrategyKind::kGreedyPaper, StrategyKind::kAnnealing};
+  spec.orderings = {KernelOrdering::kWeightDescending,
+                    KernelOrdering::kBenefitDescending};
+  spec.threads = 2;
+  const auto summary = sweep_design_space(corpus, spec);
+  ASSERT_EQ(summary.apps, (std::vector<std::string>{"ofdm", "jpeg"}));
+  ASSERT_EQ(summary.cells.size(), 2u * 4u * 2u * 2u * 2u);
+  std::size_t index = 0;
+  for (std::size_t app = 0; app < corpus.size(); ++app) {
+    for (const double area : spec.grid.areas) {
+      for (const int cgcs : spec.grid.cgc_counts) {
+        for (const std::int64_t constraint : spec.constraints) {
+          for (const StrategyKind strategy : spec.strategies) {
+            for (const KernelOrdering ordering : spec.orderings) {
+              const SweepCell& cell = summary.cells[index++];
+              EXPECT_EQ(cell.app, app);
+              EXPECT_EQ(cell.a_fpga, area);
+              EXPECT_EQ(cell.cgcs, cgcs);
+              EXPECT_EQ(cell.constraint, constraint);
+              EXPECT_EQ(cell.strategy, strategy);
+              EXPECT_EQ(cell.ordering, ordering);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The tentpole property: random platform grids, batched sweep vs the
+// standalone single-platform, single-app explorer — every cell must carry
+// the same report, rendered byte-identical.
+class SweepCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SweepCrossCheck, CellsEqualStandaloneExplorerRuns) {
+  std::mt19937_64 rng(GetParam());
+  const std::vector<double> area_pool = {800, 1500, 3000, 5000, 8000};
+  const std::vector<int> cgc_pool = {1, 2, 3, 4};
+
+  SweepSpec spec;
+  spec.grid.areas.clear();
+  spec.grid.cgc_counts.clear();
+  const std::size_t n_areas = 1 + rng() % 3;
+  const std::size_t n_cgcs = 1 + rng() % 2;
+  for (std::size_t i = 0; i < n_areas; ++i) {
+    spec.grid.areas.push_back(area_pool[rng() % area_pool.size()]);
+  }
+  for (std::size_t i = 0; i < n_cgcs; ++i) {
+    spec.grid.cgc_counts.push_back(cgc_pool[rng() % cgc_pool.size()]);
+  }
+  spec.strategies = {StrategyKind::kGreedyPaper, StrategyKind::kExhaustive};
+  spec.orderings = {KernelOrdering::kWeightDescending};
+  spec.base.exhaustive_max_kernels = 10;
+  spec.threads = 3;
+
+  std::vector<CorpusApp> corpus(2);
+  workloads::PaperApp ofdm = build_ofdm_model();
+  corpus[0].name = "ofdm";
+  corpus[0].cdfg = std::move(ofdm.cdfg);
+  corpus[0].profile = std::move(ofdm.profile);
+  synth::CdfgGenConfig config;
+  config.segments = 4;
+  config.seed = GetParam();
+  synth::SyntheticApp synthetic = synth::generate_app(config);
+  corpus[1].name = "synthetic";
+  corpus[1].cdfg = std::move(synthetic.cdfg);
+  corpus[1].profile = std::move(synthetic.profile);
+
+  const auto summary = sweep_design_space(corpus, spec);
+
+  // Replay every (app, platform) group through the standalone explorer
+  // with an identical engine grid and compare cell by cell.
+  std::size_t index = 0;
+  for (const CorpusApp& app : corpus) {
+    for (const double area : spec.grid.areas) {
+      for (const int cgcs : spec.grid.cgc_counts) {
+        const auto p = platform::make_paper_platform(area, cgcs);
+        ExploreSpec standalone;
+        standalone.constraints = spec.constraints;
+        standalone.strategies = spec.strategies;
+        standalone.orderings = spec.orderings;
+        standalone.base = spec.base;
+        standalone.threads = 1;
+        const auto expected =
+            explore_design_space(app.cdfg, app.profile, p, standalone);
+        for (const ExplorePoint& point : expected.points) {
+          const SweepCell& cell = summary.cells[index++];
+          EXPECT_EQ(cell.constraint, point.constraint);
+          EXPECT_EQ(cell.strategy, point.strategy);
+          EXPECT_EQ(cell.ordering, point.ordering);
+          EXPECT_EQ(cell.report.moved, point.report.moved);
+          EXPECT_EQ(cell.report.final_cycles, point.report.final_cycles);
+          EXPECT_EQ(cell.report.met, point.report.met);
+          EXPECT_EQ(cell.report.engine_iterations,
+                    point.report.engine_iterations);
+          // Byte-identical when rendered through the same report path.
+          EXPECT_EQ(describe(cell.report, app.cdfg),
+                    describe(point.report, app.cdfg));
+        }
+      }
+    }
+  }
+  EXPECT_EQ(index, summary.cells.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+TEST(SweepTest, ParetoFrontInvariants) {
+  const auto corpus = paper_corpus();
+  SweepSpec spec;
+  spec.grid.areas = {1500, 5000};
+  spec.grid.cgc_counts = {2, 3};
+  spec.strategies = {StrategyKind::kGreedyPaper};
+  spec.threads = 2;
+  const auto summary = sweep_design_space(corpus, spec);
+
+  auto dominates = [](const SweepCell& b, const SweepCell& a) {
+    const bool no_worse = b.report.final_cycles <= a.report.final_cycles &&
+                          b.report.moved.size() <= a.report.moved.size() &&
+                          b.platform_cost <= a.platform_cost;
+    const bool better = b.report.final_cycles < a.report.final_cycles ||
+                        b.report.moved.size() < a.report.moved.size() ||
+                        b.platform_cost < a.platform_cost;
+    return no_worse && better;
+  };
+
+  ASSERT_EQ(summary.app_pareto.size(), corpus.size());
+  for (std::size_t app = 0; app < corpus.size(); ++app) {
+    EXPECT_FALSE(summary.app_pareto[app].empty());
+    for (const std::size_t i : summary.app_pareto[app]) {
+      ASSERT_LT(i, summary.cells.size());
+      EXPECT_EQ(summary.cells[i].app, app);
+      EXPECT_TRUE(summary.cells[i].on_app_pareto);
+      for (const SweepCell& other : summary.cells) {
+        if (other.app != app) continue;
+        EXPECT_FALSE(dominates(other, summary.cells[i]));
+      }
+    }
+  }
+  EXPECT_FALSE(summary.global_pareto.empty());
+  for (const std::size_t i : summary.global_pareto) {
+    EXPECT_TRUE(summary.cells[i].on_global_pareto);
+    // Global front cells are on their app's front too (app cells are a
+    // subset of all cells).
+    EXPECT_TRUE(summary.cells[i].on_app_pareto);
+    for (const SweepCell& other : summary.cells) {
+      EXPECT_FALSE(dominates(other, summary.cells[i]));
+    }
+  }
+  // Off-front cells are dominated by a same-app cell.
+  for (const SweepCell& cell : summary.cells) {
+    if (cell.on_app_pareto) continue;
+    bool dominated = false;
+    for (const SweepCell& other : summary.cells) {
+      if (other.app != cell.app) continue;
+      dominated = dominated || dominates(other, cell);
+    }
+    EXPECT_TRUE(dominated);
+  }
+}
+
+TEST(SweepTest, MovedNamesMatchReportBlocks) {
+  const auto corpus = paper_corpus();
+  SweepSpec spec;
+  spec.strategies = {StrategyKind::kGreedyPaper};
+  spec.threads = 1;
+  const auto summary = sweep_design_space(corpus, spec);
+  for (const SweepCell& cell : summary.cells) {
+    ASSERT_EQ(cell.moved_names.size(), cell.report.moved.size());
+    for (std::size_t m = 0; m < cell.moved_names.size(); ++m) {
+      EXPECT_EQ(cell.moved_names[m],
+                corpus[cell.app].cdfg.block(cell.report.moved[m]).name);
+    }
+  }
+}
+
+TEST(SweepTest, EmptyCorpusAndEmptyGridRejected) {
+  const auto corpus = paper_corpus();
+  EXPECT_THROW(sweep_design_space({}, SweepSpec{}), Error);
+  SweepSpec no_grid;
+  no_grid.grid.areas.clear();
+  EXPECT_THROW(sweep_design_space(corpus, no_grid), Error);
+  SweepSpec no_strategies;
+  no_strategies.strategies.clear();
+  EXPECT_THROW(sweep_design_space(corpus, no_strategies), Error);
+
+  // Duplicate app names would emit duplicate JSON app_pareto keys.
+  auto duplicated = paper_corpus();
+  duplicated[1].name = duplicated[0].name;
+  SweepSpec tiny;
+  tiny.strategies = {StrategyKind::kGreedyPaper};
+  EXPECT_THROW(sweep_design_space(duplicated, tiny), Error);
+}
+
+TEST(SweepIoTest, JsonDeclaresSchemaVersionAndCellCountMatchesCsv) {
+  const auto corpus = paper_corpus();
+  SweepSpec spec;
+  spec.strategies = {StrategyKind::kGreedyPaper};
+  spec.threads = 1;
+  const auto summary = sweep_design_space(corpus, spec);
+  const std::string json = sweep_to_json(summary);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"apps\": [\"ofdm\", \"jpeg\"]"), std::string::npos);
+
+  const std::string csv = sweep_to_csv(summary);
+  const std::size_t csv_rows =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(csv_rows, summary.cells.size() + 1);  // header + one per cell
+}
+
+}  // namespace
+}  // namespace amdrel::core

@@ -2,7 +2,8 @@
 //
 //   amdrelc analyze   <file.mc> [options]   Table-1 style kernel analysis
 //   amdrelc partition <file.mc> [options]   run the full methodology
-//   amdrelc explore   <file.mc> [options]   constraint x strategy x
+//   amdrelc explore   [file.mc] [options]   platform-grid x corpus x
+//                                           constraint x strategy x
 //                                           ordering design-space sweep
 //   amdrelc dump-tac  <file.mc> [options]   lowered three-address code
 //   amdrelc dump-dot  <file.mc> [options]   CDFG in Graphviz DOT
@@ -22,11 +23,21 @@
 //   --top N          rows to print in analyze            (default 10)
 // explore only:
 //   --constraints c1,c2,...  constraint sweep (default: 1/4, 1/2 and 3/4
-//                    of the all-fine-grain cycles)
+//                    of each cell's all-fine-grain cycles)
 //   --strategies s1,s2,...   strategies to sweep  (default: all)
 //   --orderings o1,o2,...    orderings to sweep   (default: weight,benefit)
+//   --grid AxC       platform grid "a1,a2,...xc1,c2,..." — A_FPGA values
+//                    crossed with CGC counts, e.g. 1500,5000x2,3
+//                    (default: one platform from --area/--cgcs)
+//   --corpus l1,l2,...  sweep these apps as well as (or instead of) the
+//                    positional file: built-ins ofdm | jpeg (the paper's
+//                    calibrated models), fir | sobel (bundled MiniC
+//                    sources), or a path to a .mc file
+//   --json PATH      write the sweep as stable-schema JSON
+//   --csv PATH       write the sweep as CSV
 //   --threads N      worker threads               (default 2)
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,12 +51,16 @@
 #include "core/methodology.h"
 #include "core/report.h"
 #include "core/strategy.h"
+#include "core/sweep_io.h"
 #include "interp/interpreter.h"
 #include "ir/build_cdfg.h"
 #include "ir/dot.h"
 #include "minic/frontend.h"
 #include "minic/optimizer.h"
 #include "support/error.h"
+#include "support/strings.h"
+#include "workloads/minic_sources.h"
+#include "workloads/paper_models.h"
 
 using namespace amdrel;
 
@@ -68,6 +83,10 @@ struct Options {
   std::vector<std::int64_t> constraints;
   std::vector<core::StrategyKind> strategies;
   std::vector<core::KernelOrdering> orderings;
+  std::optional<core::PlatformGrid> grid;
+  std::vector<std::string> corpus;
+  std::string json_path;
+  std::string csv_path;
   int threads = 2;
 };
 
@@ -79,16 +98,15 @@ struct Options {
                "[--ordering weight|benefit|code|random] [--seed N] "
                "[--input NAME=v0,v1,...] [--optimize] [--top N] "
                "[--constraints c1,c2,...] [--strategies s1,s2,...] "
-               "[--orderings o1,o2,...] [--threads N]\n");
+               "[--orderings o1,o2,...] [--grid a1,a2,...xc1,c2,...] "
+               "[--corpus ofdm|jpeg|fir|sobel|file.mc,...] "
+               "[--json PATH] [--csv PATH] [--threads N]\n"
+               "(explore accepts --corpus in place of the positional file)\n");
   std::exit(2);
 }
 
 std::vector<std::string> split_list(const std::string& spec) {
-  std::vector<std::string> items;
-  std::stringstream ss(spec);
-  std::string item;
-  while (std::getline(ss, item, ',')) items.push_back(item);
-  return items;
+  return split(spec, ',');
 }
 
 // Malformed numeric flag values are usage errors, matching how unknown
@@ -130,17 +148,27 @@ Options parse_args(int argc, char** argv) {
   if (argc < 3) usage();
   Options options;
   options.command = argv[1];
-  options.file = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  // The positional file may be omitted when a later flag provides the
+  // work (explore --corpus); anything starting with '-' is a flag.
+  int first_flag = 2;
+  if (argv[2][0] != '-') {
+    options.file = argv[2];
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
       if (++i >= argc) usage();
       return argv[i];
     };
     if (arg == "--area") {
+      // Same invariants parse_platform_grid enforces for --grid, so the
+      // single-platform fallback path cannot smuggle in a bad platform.
       options.area = parse_double(next());
+      if (!std::isfinite(options.area) || options.area <= 0) usage();
     } else if (arg == "--cgcs") {
       options.cgcs = parse_int(next());
+      if (options.cgcs < 1 || options.cgcs > 1024) usage();
     } else if (arg == "--constraint") {
       options.constraint = parse_i64(next());
     } else if (arg == "--strategy") {
@@ -169,6 +197,30 @@ Options parse_args(int argc, char** argv) {
         if (!ordering) usage();
         options.orderings.push_back(*ordering);
       }
+    } else if (arg == "--grid") {
+      options.grid = core::parse_platform_grid(next());
+      if (!options.grid) usage();
+    } else if (arg == "--corpus") {
+      const std::string spec = next();
+      // getline drops a trailing empty field, so "ofdm," would otherwise
+      // silently pass the per-item empty check below.
+      if (spec.empty() || spec.back() == ',') usage();
+      options.corpus = split_list(spec);
+      if (options.corpus.empty()) usage();
+      for (const std::string& item : options.corpus) {
+        if (item.empty()) usage();
+      }
+    } else if (arg == "--json") {
+      options.json_path = next();
+      if (options.json_path.empty() ||
+          options.json_path.rfind("--", 0) == 0) {
+        usage();
+      }
+    } else if (arg == "--csv") {
+      options.csv_path = next();
+      if (options.csv_path.empty() || options.csv_path.rfind("--", 0) == 0) {
+        usage();
+      }
     } else if (arg == "--optimize") {
       options.optimize = true;
     } else if (arg == "--top") {
@@ -188,6 +240,12 @@ Options parse_args(int argc, char** argv) {
       usage();
     }
   }
+  // Every command needs a source file except explore, which may draw its
+  // whole corpus from --corpus.
+  if (options.file.empty() &&
+      !(options.command == "explore" && !options.corpus.empty())) {
+    usage();
+  }
   return options;
 }
 
@@ -205,25 +263,42 @@ struct CompiledApp {
   ir::ProfileData profile;
 };
 
-CompiledApp compile_and_profile(const Options& options) {
+constexpr std::uint64_t kProfileBudget = 4'000'000'000ULL;
+
+// The dynamic-analysis pipeline behind both the positional file and
+// compiled --corpus entries: optional optimizer pass, profiling
+// interpreter run, CDFG construction. --input arrays only apply to the
+// positional file (apply_inputs) — corpus entries profile on
+// zero-initialized inputs, since they need not share array names.
+CompiledApp profile_tac(ir::TacProgram tac, const Options& options,
+                        const std::string& label, bool apply_inputs) {
   CompiledApp app;
-  app.tac = minic::compile(read_file(options.file), options.file);
+  app.tac = std::move(tac);
   if (options.optimize) {
     const int rewrites = minic::optimize(app.tac);
-    std::fprintf(stderr, "optimizer: %d rewrites\n", rewrites);
+    std::fprintf(stderr, "optimizer(%s): %d rewrites\n", label.c_str(),
+                 rewrites);
   }
   interp::Interpreter interp(app.tac);
-  for (const auto& [name, values] : options.inputs) {
-    interp.set_input(name, values);
+  if (apply_inputs) {
+    for (const auto& [name, values] : options.inputs) {
+      interp.set_input(name, values);
+    }
   }
-  const auto run = interp.run(4'000'000'000ULL);
+  const auto run = interp.run(kProfileBudget);
   std::fprintf(stderr,
-               "profiled: %llu instructions, main returned %d\n",
+               "profiled %s: %llu instructions, main returned %d\n",
+               label.c_str(),
                static_cast<unsigned long long>(run.instructions_executed),
                run.return_value);
   app.profile = run.profile;
   app.cdfg = ir::build_cdfg(app.tac);
   return app;
+}
+
+CompiledApp compile_and_profile(const Options& options) {
+  return profile_tac(minic::compile(read_file(options.file), options.file),
+                     options, options.file, /*apply_inputs=*/true);
 }
 
 int cmd_analyze(const Options& options) {
@@ -268,16 +343,79 @@ int cmd_partition(const Options& options) {
   return report.met ? 0 : 1;
 }
 
+// Resolves one --corpus entry: the paper's calibrated models by name,
+// the bundled MiniC sources (profiled through the interpreter on
+// zero-initialized inputs), or a path to a MiniC file. Unknown names are
+// usage errors, like unknown --strategy values.
+core::CorpusApp corpus_app(const std::string& name, const Options& options) {
+  core::CorpusApp app;
+  app.name = name;
+  if (name == "ofdm" || name == "jpeg") {
+    workloads::PaperApp model =
+        name == "ofdm" ? workloads::build_ofdm_model()
+                       : workloads::build_jpeg_model();
+    app.cdfg = std::move(model.cdfg);
+    app.profile = std::move(model.profile);
+    return app;
+  }
+  std::string source;
+  if (name == "fir") {
+    source = workloads::fir_source();
+  } else if (name == "sobel") {
+    source = workloads::sobel_source();
+  } else if (name.find('.') != std::string::npos ||
+             name.find('/') != std::string::npos) {
+    source = read_file(name);
+  } else {
+    usage();
+  }
+  CompiledApp compiled = profile_tac(minic::compile(source, name), options,
+                                     name, /*apply_inputs=*/false);
+  app.profile = std::move(compiled.profile);
+  app.cdfg = std::move(compiled.cdfg);
+  return app;
+}
+
+void write_output_file(const std::string& path, const std::string& content,
+                       const char* what) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  out.flush();  // surface ENOSPC-style errors before the good() check
+  require(out.good(), std::string("cannot write ") + path);
+  std::fprintf(stderr, "wrote sweep %s to %s\n", what, path.c_str());
+}
+
 int cmd_explore(const Options& options) {
-  const CompiledApp app = compile_and_profile(options);
-  const auto p = platform::make_paper_platform(options.area, options.cgcs);
+  std::vector<core::CorpusApp> corpus;
+  if (!options.file.empty()) {
+    CompiledApp app = compile_and_profile(options);
+    core::CorpusApp entry;
+    entry.name = options.file;
+    entry.cdfg = std::move(app.cdfg);
+    entry.profile = std::move(app.profile);
+    corpus.push_back(std::move(entry));
+  }
+  for (const std::string& name : options.corpus) {
+    corpus.push_back(corpus_app(name, options));
+  }
+  // Duplicate app names are a spec mistake, caught here as a usage error
+  // (exit 2) like every other malformed sweep flag; the library's own
+  // require() guard stays as the API-level backstop.
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    for (std::size_t j = i + 1; j < corpus.size(); ++j) {
+      if (corpus[i].name == corpus[j].name) usage();
+    }
+  }
 
   // Plural flags win; a singular --constraint/--strategy/--ordering
-  // narrows the sweep to that one value rather than being ignored.
-  core::ExploreSpec spec;
+  // narrows the sweep to that one value rather than being ignored, and
+  // --area/--cgcs define the single-platform grid when --grid is absent.
+  core::SweepSpec spec;
+  spec.grid = options.grid.value_or(
+      core::PlatformGrid{{options.area}, {options.cgcs}});
   spec.base = methodology_options(options);
   spec.threads = options.threads;
-  spec.constraints = options.constraints;  // empty = explorer's defaults
+  spec.constraints = options.constraints;  // empty = per-cell defaults
   if (spec.constraints.empty() && options.constraint) {
     spec.constraints = {*options.constraint};
   }
@@ -295,13 +433,20 @@ int cmd_explore(const Options& options) {
                       core::KernelOrdering::kBenefitDescending};
   }
 
-  const auto summary =
-      core::explore_design_space(app.cdfg, app.profile, p, spec);
-  std::printf("design-space exploration: %s (A_FPGA=%g, %d CGCs, "
-              "%d thread(s))\n",
-              app.cdfg.name().c_str(), options.area, options.cgcs,
-              options.threads);
+  const auto summary = core::sweep_design_space(corpus, spec);
+  std::printf("design-space sweep: %zu app(s) x %zu platform(s), "
+              "%zu cells, %d thread(s)\n",
+              summary.apps.size(), spec.grid.size(), summary.cells.size(),
+              core::worker_count(corpus.size() * spec.grid.size(),
+                                 spec.threads));
   std::printf("%s", core::describe(summary).c_str());
+  if (!options.json_path.empty()) {
+    write_output_file(options.json_path, core::sweep_to_json(summary),
+                      "JSON");
+  }
+  if (!options.csv_path.empty()) {
+    write_output_file(options.csv_path, core::sweep_to_csv(summary), "CSV");
+  }
   return 0;
 }
 
