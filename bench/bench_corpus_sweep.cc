@@ -3,9 +3,15 @@
 // one (app, platform) cell group, so speedup should track the shard
 // count until it saturates.
 
+// The cold/warm pair at the bottom measures the content-addressed sweep
+// cache (core/sweep_cache.h): identical rerun traffic should collapse to
+// fingerprint lookups, so the warm benchmark records the cache's
+// speedup in the bench JSON the CI regression gate archives.
+
 #include <benchmark/benchmark.h>
 
 #include "core/explorer.h"
+#include "core/sweep_cache.h"
 #include "core/sweep_io.h"
 #include "synth/cdfg_generator.h"
 #include "workloads/paper_models.h"
@@ -59,6 +65,33 @@ void BM_CorpusSweepApps(benchmark::State& state) {
 }
 BENCHMARK(BM_CorpusSweepApps)->Arg(2)->Arg(8)->Arg(32)
     ->Unit(benchmark::kMillisecond);
+
+// Cold cache: every cell misses, so this pays the uncached work plus
+// fingerprinting — the cache's overhead bound.
+void BM_CorpusSweepColdCache(benchmark::State& state) {
+  const auto corpus = make_corpus(6);
+  auto spec = make_spec(4);
+  for (auto _ : state) {
+    core::SweepCache cache;
+    spec.cache = &cache;
+    benchmark::DoNotOptimize(core::sweep_design_space(corpus, spec));
+  }
+}
+BENCHMARK(BM_CorpusSweepColdCache)->Unit(benchmark::kMillisecond);
+
+// Warm cache: the same sweep replayed against a populated cache — the
+// steady state of repeated CI runs and recurring sweep traffic.
+void BM_CorpusSweepWarmCache(benchmark::State& state) {
+  const auto corpus = make_corpus(6);
+  auto spec = make_spec(4);
+  core::SweepCache cache;
+  spec.cache = &cache;
+  core::sweep_design_space(corpus, spec);  // prime
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sweep_design_space(corpus, spec));
+  }
+}
+BENCHMARK(BM_CorpusSweepWarmCache)->Unit(benchmark::kMillisecond);
 
 void BM_SweepJsonEmission(benchmark::State& state) {
   const auto summary = core::sweep_design_space(make_corpus(6), make_spec(4));

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate over Google Benchmark JSON output.
+
+Check mode (the CI gate):
+
+    check_bench_regression.py --baseline bench/baselines/BENCH_sweep.json \
+        [--tolerance-pct 25] [--no-normalize] current1.json [current2.json ...]
+
+Every benchmark present in both the baseline and a current file is
+compared by real_time (normalized to nanoseconds via its time_unit).
+Because CI runners and developer machines differ in absolute speed, the
+comparison is RELATIVE by default: the per-benchmark current/baseline
+ratio is divided by the median ratio across all shared benchmarks, so
+the gate flags a benchmark that regressed against its peers rather than
+a uniformly slower machine. A benchmark fails when its normalized ratio
+exceeds 1 + tolerance/100; any failure exits 1. --no-normalize compares
+raw times (useful when baseline and current ran on the same machine).
+A global slowdown shifts the median instead of any single ratio, so it
+is deliberately NOT flagged — the gate exists to catch code making one
+path slower, not runner weather.
+
+Benchmarks missing from the baseline (newly added) or from the current
+run (removed/renamed) are reported but never fail the gate; refresh the
+baseline to pick them up.
+
+Merge mode (refreshing the committed baseline):
+
+    check_bench_regression.py --merge out.json in1.json [in2.json ...]
+
+concatenates the inputs' "benchmarks" arrays (first input's context is
+kept) so several bench binaries share one baseline file.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """Returns (document, {benchmark run_name: real_time in ns}).
+
+    With --benchmark_repetitions the JSON carries one row per repetition
+    plus mean/median/stddev (and BigO/RMS) aggregate rows. The median
+    aggregate is by far the most noise-robust single number, so it wins
+    over the per-repetition rows whenever present; without repetitions
+    the plain iteration row is used. Non-median aggregates never carry a
+    comparable real_time and are skipped.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    plain = {}
+    medians = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") != "median":
+                continue
+            unit = bench.get("time_unit", "ns")
+            medians[bench["run_name"]] = (
+                bench["real_time"] * TIME_UNIT_NS[unit])
+        else:
+            unit = bench.get("time_unit", "ns")
+            # Repetition rows share a run_name; keep the first, the
+            # median aggregate overrides anyway.
+            plain.setdefault(bench.get("run_name", bench["name"]),
+                             bench["real_time"] * TIME_UNIT_NS[unit])
+    plain.update(medians)
+    return doc, plain
+
+
+def merge(out_path, in_paths):
+    merged = None
+    for path in in_paths:
+        doc, _ = load_benchmarks(path)
+        if merged is None:
+            merged = doc
+        else:
+            merged.setdefault("benchmarks", []).extend(
+                doc.get("benchmarks", []))
+    with open(out_path, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    count = len(merged.get("benchmarks", []))
+    print(f"merged {len(in_paths)} file(s), {count} benchmark(s) "
+          f"-> {out_path}")
+    return 0
+
+
+def check(baseline_path, current_paths, tolerance_pct, normalize):
+    _, baseline = load_benchmarks(baseline_path)
+    current = {}
+    for path in current_paths:
+        _, benches = load_benchmarks(path)
+        current.update(benches)
+
+    shared = sorted(set(baseline) & set(current))
+    new = sorted(set(current) - set(baseline))
+    gone = sorted(set(baseline) - set(current))
+    for name in new:
+        print(f"note: {name} not in baseline (new benchmark, skipped)")
+    for name in gone:
+        print(f"note: {name} only in baseline (removed/renamed, skipped)")
+    if not shared:
+        print("error: no benchmarks shared with the baseline", file=sys.stderr)
+        return 2
+
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    scale = statistics.median(ratios.values()) if normalize else 1.0
+    if normalize:
+        print(f"machine-speed normalization: median current/baseline "
+              f"ratio {scale:.3f}")
+
+    limit = 1.0 + tolerance_pct / 100.0
+    failures = []
+    width = max(len(name) for name in shared)
+    for name in shared:
+        normalized = ratios[name] / scale
+        verdict = "ok"
+        if normalized > limit:
+            verdict = f"REGRESSION (> +{tolerance_pct:g}%)"
+            failures.append(name)
+        print(f"{name:<{width}}  baseline {baseline[name] / 1e6:10.3f} ms  "
+              f"current {current[name] / 1e6:10.3f} ms  "
+              f"normalized x{normalized:.3f}  {verdict}")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{tolerance_pct:g}%: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(shared)} shared benchmark(s) within "
+          f"{tolerance_pct:g}% of baseline")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+",
+                        help="current bench JSON files (or merge inputs)")
+    parser.add_argument("--baseline", help="committed baseline JSON")
+    parser.add_argument("--tolerance-pct", type=float, default=25.0,
+                        help="allowed slowdown per benchmark (default 25)")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="compare raw times instead of machine-"
+                             "normalized ratios")
+    parser.add_argument("--merge", metavar="OUT",
+                        help="merge inputs' benchmark arrays into OUT")
+    args = parser.parse_args()
+
+    if bool(args.baseline) == bool(args.merge):
+        parser.error("exactly one of --baseline or --merge is required")
+    if args.merge:
+        return merge(args.merge, args.files)
+    return check(args.baseline, args.files, args.tolerance_pct,
+                 not args.no_normalize)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

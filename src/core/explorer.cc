@@ -9,10 +9,63 @@
 #include <thread>
 
 #include "core/report.h"
+#include "core/sweep_cache.h"
 #include "support/error.h"
 #include "support/strings.h"
 
 namespace amdrel::core {
+
+namespace {
+
+/// Builds a (cdfg, platform) mapper through the cache's snapshot memo:
+/// a hit restores the fine-grain mapping in O(blocks) copies, a miss
+/// cold-builds and publishes the snapshot for the other workers. Without
+/// a cache this is a plain construction.
+HybridMapper make_mapper(SweepCache* cache, const Fingerprint& shard,
+                         const ir::Cdfg& cdfg,
+                         const platform::Platform& platform) {
+  if (cache) {
+    if (const std::shared_ptr<const MapperState> state =
+            cache->find_mapper(shard)) {
+      return HybridMapper(cdfg, platform, *state);
+    }
+    HybridMapper mapper(cdfg, platform);
+    cache->store_mapper(shard,
+                        std::make_shared<MapperState>(mapper.state()));
+    return mapper;
+  }
+  return HybridMapper(cdfg, platform);
+}
+
+/// All-fine-grain cycles of one (app, platform) pair, memoized so the
+/// default-constraint fractions resolve on a warm cache without touching
+/// a mapper at all.
+std::int64_t memoized_all_fine(SweepCache* cache, const Fingerprint& shard,
+                               const ir::Cdfg& cdfg,
+                               const ir::ProfileData& profile,
+                               const platform::Platform& platform) {
+  if (cache) {
+    if (const std::optional<std::int64_t> hit = cache->find_all_fine(shard)) {
+      return *hit;
+    }
+  }
+  const std::int64_t all_fine =
+      make_mapper(cache, shard, cdfg, platform).all_fine_cycles(profile);
+  if (cache) cache->store_all_fine(shard, all_fine);
+  return all_fine;
+}
+
+std::vector<std::string> moved_block_names(const ir::Cdfg& cdfg,
+                                           const PartitionReport& report) {
+  std::vector<std::string> names;
+  names.reserve(report.moved.size());
+  for (const ir::BlockId block : report.moved) {
+    names.push_back(cdfg.block(block).name);
+  }
+  return names;
+}
+
+}  // namespace
 
 ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
                                     const ir::ProfileData& profile,
@@ -21,10 +74,21 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
   require(!spec.strategies.empty() && !spec.orderings.empty(),
           "explore_design_space: empty strategy/ordering grid");
 
+  SweepCache* cache = spec.cache;
+  Fingerprint app_fp;
+  Fingerprint platform_fp;
+  Fingerprint shard;
+  if (cache) {
+    app_fp = app_fingerprint(cdfg, profile);
+    platform_fp = fingerprint(platform);
+    shard = shard_key(app_fp, platform_fp);
+  }
+
   std::vector<std::int64_t> constraints = spec.constraints;
   if (constraints.empty()) {
     const std::int64_t all_fine =
-        HybridMapper(cdfg, platform).all_fine_cycles(profile);
+        cache ? memoized_all_fine(cache, shard, cdfg, profile, platform)
+              : HybridMapper(cdfg, platform).all_fine_cycles(profile);
     constraints = {all_fine / 4, all_fine / 2, (3 * all_fine) / 4};
   }
 
@@ -44,21 +108,47 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
   const std::size_t jobs = summary.points.size();
   const int threads = worker_count(jobs, spec.threads);
 
-  // Each worker owns one mapper for the (cdfg, platform) pair and reuses
-  // it across every job it claims; runs are independent and written to
+  // Each worker owns one mapper for the (cdfg, platform) pair — built
+  // lazily on its first cache miss (or first job, uncached) and reused
+  // across every job it claims; runs are independent and written to
   // their own slot, so scheduling cannot change the output.
   std::atomic<std::size_t> next{0};
   auto worker = [&]() {
-    HybridMapper mapper(cdfg, platform);
+    std::optional<HybridMapper> mapper;
+    auto ensure_mapper = [&]() -> HybridMapper& {
+      if (!mapper) mapper.emplace(make_mapper(cache, shard, cdfg, platform));
+      return *mapper;
+    };
     for (;;) {
       const std::size_t index = next.fetch_add(1);
-      if (index >= jobs) return;
+      if (index >= jobs) break;
       ExplorePoint& point = summary.points[index];
       MethodologyOptions options = spec.base;
       options.strategy = point.strategy;
       options.ordering = point.ordering;
-      point.report =
-          run_methodology(mapper, profile, point.constraint, options);
+      if (cache) {
+        const Fingerprint key =
+            cell_key(app_fp, platform_fp, options, point.constraint);
+        if (const std::optional<CachedCell> hit = cache->find_cell(key)) {
+          point.report = hit->report;
+          continue;
+        }
+        point.report = run_methodology(ensure_mapper(), profile,
+                                       point.constraint, options);
+        CachedCell cell;
+        cell.report = point.report;
+        cell.moved_names = moved_block_names(cdfg, point.report);
+        cache->store_cell(key, std::move(cell));
+      } else {
+        point.report = run_methodology(ensure_mapper(), profile,
+                                       point.constraint, options);
+      }
+    }
+    // Republish the snapshot with the coarse schedules accumulated while
+    // working, so later restores skip the lazy CGC mapping too.
+    if (cache && mapper) {
+      cache->store_mapper(shard,
+                          std::make_shared<MapperState>(mapper->state()));
     }
   };
   if (threads == 1) {
@@ -182,6 +272,17 @@ SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
   for (const CorpusApp& app : corpus) summary.apps.push_back(app.name);
   summary.cells.resize(shards * cells_per_shard);
 
+  // App fingerprints are shared by every platform cell of an app;
+  // computed once up front rather than per shard.
+  SweepCache* cache = spec.cache;
+  std::vector<Fingerprint> app_fps;
+  if (cache) {
+    app_fps.reserve(corpus.size());
+    for (const CorpusApp& app : corpus) {
+      app_fps.push_back(app_fingerprint(app.cdfg, app.profile));
+    }
+  }
+
   std::atomic<std::size_t> next{0};
   auto worker = [&]() {
     for (;;) {
@@ -197,11 +298,35 @@ SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
       const platform::Platform p = platform::make_paper_platform(area, cgcs);
       const double cost = platform::platform_cost(p);
 
-      HybridMapper mapper(app.cdfg, p);
+      Fingerprint platform_fp;
+      Fingerprint group_key;
+      if (cache) {
+        platform_fp = fingerprint(p);
+        group_key = shard_key(app_fps[app_index], platform_fp);
+      }
+
+      // The mapper is built (or restored from a cached snapshot) only
+      // when some cell of this group actually misses — a fully warm
+      // group costs zero mapper constructions.
+      std::optional<HybridMapper> mapper;
+      auto ensure_mapper = [&]() -> HybridMapper& {
+        if (!mapper) {
+          mapper.emplace(make_mapper(cache, group_key, app.cdfg, p));
+        }
+        return *mapper;
+      };
+
       std::vector<std::int64_t> constraints = spec.constraints;
       if (constraints.empty()) {
-        const std::int64_t all_fine = mapper.all_fine_cycles(app.profile);
-        constraints = {all_fine / 4, all_fine / 2, (3 * all_fine) / 4};
+        // Resolved through the all-fine memo when warm; on a miss the
+        // mapper built here is the group's mapper, reused by every cell.
+        std::optional<std::int64_t> all_fine =
+            cache ? cache->find_all_fine(group_key) : std::nullopt;
+        if (!all_fine) {
+          all_fine = ensure_mapper().all_fine_cycles(app.profile);
+          if (cache) cache->store_all_fine(group_key, *all_fine);
+        }
+        constraints = {*all_fine / 4, *all_fine / 2, (3 * *all_fine) / 4};
       }
 
       std::size_t index = shard * cells_per_shard;
@@ -219,14 +344,35 @@ SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
             MethodologyOptions options = spec.base;
             options.strategy = strategy;
             options.ordering = ordering;
-            cell.report =
-                run_methodology(mapper, app.profile, constraint, options);
-            cell.moved_names.reserve(cell.report.moved.size());
-            for (const ir::BlockId block : cell.report.moved) {
-              cell.moved_names.push_back(app.cdfg.block(block).name);
+            if (cache) {
+              const Fingerprint key = cell_key(app_fps[app_index],
+                                               platform_fp, options,
+                                               constraint);
+              if (std::optional<CachedCell> hit = cache->find_cell(key)) {
+                cell.report = std::move(hit->report);
+                cell.moved_names = std::move(hit->moved_names);
+                continue;
+              }
+              cell.report = run_methodology(ensure_mapper(), app.profile,
+                                            constraint, options);
+              cell.moved_names = moved_block_names(app.cdfg, cell.report);
+              CachedCell fresh;
+              fresh.report = cell.report;
+              fresh.moved_names = cell.moved_names;
+              cache->store_cell(key, std::move(fresh));
+            } else {
+              cell.report = run_methodology(ensure_mapper(), app.profile,
+                                            constraint, options);
+              cell.moved_names = moved_block_names(app.cdfg, cell.report);
             }
           }
         }
+      }
+      // Republish the snapshot including the lazily-built coarse
+      // schedules of this group.
+      if (cache && mapper) {
+        cache->store_mapper(group_key,
+                            std::make_shared<MapperState>(mapper->state()));
       }
     }
   };

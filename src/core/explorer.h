@@ -11,6 +11,8 @@
 
 namespace amdrel::core {
 
+class SweepCache;
+
 /// The grid a design-space exploration sweeps: timing constraints x
 /// partitioning strategies x kernel orderings, on one (cdfg, platform).
 struct ExploreSpec {
@@ -25,6 +27,11 @@ struct ExploreSpec {
   /// Worker threads; 0 picks the hardware concurrency. Results are
   /// identical for any thread count.
   int threads = 0;
+  /// Optional content-addressed memoization store (core/sweep_cache.h).
+  /// Repeated grid points hit whole cached cell results and repeated
+  /// (cdfg, platform) pairs restore mapper snapshots instead of
+  /// re-mapping. Null runs uncached; results are identical either way.
+  SweepCache* cache = nullptr;
 };
 
 /// One grid point of an exploration, with its methodology result.
@@ -105,6 +112,9 @@ struct SweepSpec {
   /// Worker threads; 0 picks the hardware concurrency. Results are
   /// identical for any thread count.
   int threads = 0;
+  /// Optional content-addressed memoization store shared with
+  /// ExploreSpec::cache; see there. Null runs uncached.
+  SweepCache* cache = nullptr;
 };
 
 /// One cell of a sweep: an (app, platform, constraint, strategy,

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/methodology.h"
+#include "ir/cdfg.h"
+#include "ir/dfg.h"
+#include "ir/profile.h"
+#include "platform/platform.h"
+
+namespace amdrel::core {
+
+/// Version of the fingerprint algorithm and of the field sets it covers.
+/// Bump on ANY change to what is hashed or how (mixing constants, field
+/// order, new fields) — persisted caches key results by these
+/// fingerprints, so an algorithm change must invalidate them, and the
+/// golden test pins the builtin workloads' digests byte-for-byte.
+inline constexpr int kFingerprintAlgorithmVersion = 1;
+
+/// A 128-bit content digest. Two independently-mixed 64-bit lanes keep
+/// the collision probability negligible for cache-sized key sets while
+/// staying dependency-free (no external hash library).
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Fingerprint& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const Fingerprint& other) const { return !(*this == other); }
+  bool operator<(const Fingerprint& other) const {
+    return hi != other.hi ? hi < other.hi : lo < other.lo;
+  }
+
+  /// Fixed-width lowercase hex rendering ("<hi:16><lo:16>", 32 chars) —
+  /// the on-disk key format of the sweep cache.
+  std::string to_hex() const;
+
+  /// Inverse of to_hex; nullopt unless `text` is exactly 32 lowercase
+  /// hex digits (strict: the cache loader rejects anything else).
+  static std::optional<Fingerprint> from_hex(std::string_view text);
+};
+
+/// Incremental two-lane mixer behind every fingerprint: lane one is
+/// FNV-1a over 64-bit words, lane two an xxhash-style rotate-multiply
+/// accumulator, both finalized with a murmur-style avalanche. Values are
+/// mixed as explicit integers (doubles by bit pattern, strings
+/// length-prefixed byte-wise), so digests are identical across
+/// platforms, build types and runs.
+class Fingerprinter {
+ public:
+  void mix(std::uint64_t value);
+  void mix_i64(std::int64_t value) {
+    mix(static_cast<std::uint64_t>(value));
+  }
+  void mix_double(double value);
+  void mix(std::string_view text);
+
+  Fingerprint digest() const;
+
+ private:
+  std::uint64_t fnv_ = 0xcbf29ce484222325ULL;    // FNV-1a offset basis
+  std::uint64_t xxh_ = 0x9e3779b97f4a7c15ULL;    // golden-ratio seed
+};
+
+/// Digest of one basic block's data-flow graph: node count, per-node op
+/// kind, bit width, immediate and operand lists (edges). Node labels are
+/// debugging aids that never influence a partitioning result, so they
+/// are deliberately excluded — renaming a temp does not invalidate a
+/// cache, changing an operation does.
+Fingerprint fingerprint(const ir::Dfg& dfg);
+
+/// Digest of a whole CDFG: graph name, entry block, and per block its
+/// name, DFG digest and successor list. Block names ARE covered (moved
+/// kernels are reported by name, so they are part of a cell result).
+Fingerprint fingerprint(const ir::Cdfg& cdfg);
+
+/// Digest of a dynamic profile: every (block, execution count) pair in
+/// block order.
+Fingerprint fingerprint(const ir::ProfileData& profile);
+
+/// Digest of a platform instance: every timing/area/policy field of the
+/// FPGA, CGC and shared-memory models.
+Fingerprint fingerprint(const platform::Platform& platform);
+
+/// Digest of the engine options: analysis weights and filters, strategy,
+/// ordering, seed and all search knobs. Over-keying is deliberate — a
+/// field that happens not to matter for one strategy only costs cache
+/// hits, never correctness.
+Fingerprint fingerprint(const MethodologyOptions& options);
+
+/// Digest of an application: CDFG x profile, the "app" axis of a sweep
+/// cache key.
+Fingerprint app_fingerprint(const ir::Cdfg& cdfg,
+                            const ir::ProfileData& profile);
+
+/// Key of one (app, platform) cell group: what memoized HybridMapper
+/// state and all-fine-grain cycle counts are addressed by.
+Fingerprint shard_key(const Fingerprint& app, const Fingerprint& platform);
+
+/// Key of one sweep cell: (app, platform, engine options, timing
+/// constraint). options must already carry the cell's strategy and
+/// ordering.
+Fingerprint cell_key(const Fingerprint& app, const Fingerprint& platform,
+                     const MethodologyOptions& options,
+                     std::int64_t constraint);
+
+}  // namespace amdrel::core

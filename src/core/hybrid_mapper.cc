@@ -11,6 +11,18 @@ HybridMapper::HybridMapper(const ir::Cdfg& cdfg,
   fine_ = finegrain::map_cdfg_to_fpga(cdfg, platform.fpga, platform.memory);
 }
 
+HybridMapper::HybridMapper(const ir::Cdfg& cdfg,
+                           const platform::Platform& platform,
+                           const MapperState& state)
+    : cdfg_(&cdfg),
+      platform_(&platform),
+      fine_(state.fine),
+      coarse_(state.coarse) {
+  require(static_cast<ir::BlockId>(fine_.size()) == cdfg.size(),
+          cat("HybridMapper: snapshot covers ", fine_.size(),
+              " blocks but the CDFG has ", cdfg.size()));
+}
+
 const finegrain::FpgaBlockMapping& HybridMapper::fine(
     ir::BlockId block) const {
   require(block >= 0 && block < static_cast<ir::BlockId>(fine_.size()),

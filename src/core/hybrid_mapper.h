@@ -21,6 +21,16 @@ struct SplitCost {
   std::int64_t total() const { return t_fpga + t_coarse + t_comm; }
 };
 
+/// Snapshot of a HybridMapper's computed mappings, detached from the
+/// (cdfg, platform) it was derived from. The sweep cache memoizes these
+/// per (app, platform) fingerprint so repeated cell groups restore the
+/// expensive fine-grain temporal partitioning in O(blocks) copies
+/// instead of recomputing it.
+struct MapperState {
+  std::vector<finegrain::FpgaBlockMapping> fine;
+  std::map<ir::BlockId, coarsegrain::CgcBlockMapping> coarse;
+};
+
 /// Caches the fine-grain and coarse-grain mappings of every basic block of
 /// one application on one platform, and prices arbitrary splits. The
 /// partitioning engine re-evaluates the split after every kernel movement
@@ -28,6 +38,17 @@ struct SplitCost {
 class HybridMapper {
  public:
   HybridMapper(const ir::Cdfg& cdfg, const platform::Platform& platform);
+
+  /// Restores a mapper from a state() snapshot taken for the SAME
+  /// (cdfg, platform) content — the caller vouches via the snapshot's
+  /// cache key; only the block count is re-checked here. Skips the
+  /// per-block fine-grain mapping entirely, so construction is a copy.
+  HybridMapper(const ir::Cdfg& cdfg, const platform::Platform& platform,
+               const MapperState& state);
+
+  /// Copies out every computed mapping (fine mappings are complete after
+  /// construction; coarse ones cover the blocks scheduled so far).
+  MapperState state() const { return {fine_, coarse_}; }
 
   const ir::Cdfg& cdfg() const { return *cdfg_; }
   const platform::Platform& platform() const { return *platform_; }

@@ -1,0 +1,515 @@
+#include "core/sweep_cache.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "support/strings.h"
+
+namespace amdrel::core {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Serialization helpers. The cache file is JSON lines: one header object
+// then one object per entry, every line written in canonical field order
+// so identical caches are byte-identical on disk.
+// ---------------------------------------------------------------------------
+
+// Minimal strict JSON value: everything the cache schema uses (integers,
+// booleans, strings, arrays, objects). No floats — the schema has none,
+// and rejecting them keeps round-trips exact.
+struct JsonValue {
+  enum class Kind { kBool, kInt, kString, kArray, kObject };
+  Kind kind = Kind::kInt;
+  bool boolean = false;
+  std::int64_t integer = 0;
+  std::string string;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* find(const std::string& name) const {
+    for (const auto& [key, value] : fields) {
+      if (key == name) return &value;
+    }
+    return nullptr;
+  }
+};
+
+/// Recursive-descent parser for one cache line. Strict: unknown escape
+/// sequences, floats, trailing garbage and depth past the schema's needs
+/// all fail, which is what makes "corrupt file -> warn and recompute"
+/// a reliable contract.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool parse(JsonValue& out) {
+    skip_space();
+    if (!parse_value(out, /*depth=*/0)) return false;
+    skip_space();
+    return p_ == end_;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 8;
+
+  void skip_space() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t')) ++p_;
+  }
+
+  bool literal(const char* text) {
+    const char* q = p_;
+    for (; *text; ++text, ++q) {
+      if (q == end_ || *q != *text) return false;
+    }
+    p_ = q;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth || p_ == end_) return false;
+    switch (*p_) {
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_int(out);
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++p_;  // opening quote
+    out.clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p_ == end_) return false;
+      switch (*p_++) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (p_ == end_) return false;
+            const char d = *p_++;
+            value <<= 4;
+            if (d >= '0' && d <= '9') {
+              value |= static_cast<unsigned>(d - '0');
+            } else if (d >= 'a' && d <= 'f') {
+              value |= static_cast<unsigned>(d - 'a' + 10);
+            } else {
+              return false;
+            }
+          }
+          if (value > 0x7f) return false;  // writer only escapes control chars
+          out += static_cast<char>(value);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    if (p_ == end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool parse_int(JsonValue& out) {
+    out.kind = JsonValue::Kind::kInt;
+    const bool negative = p_ != end_ && *p_ == '-';
+    if (negative) ++p_;
+    if (p_ == end_ || *p_ < '0' || *p_ > '9') return false;
+    std::uint64_t magnitude = 0;
+    while (p_ != end_ && *p_ >= '0' && *p_ <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(*p_++ - '0');
+      if (magnitude > (0x7fffffffffffffffULL - digit) / 10) return false;
+      magnitude = magnitude * 10 + digit;
+    }
+    out.integer = negative ? -static_cast<std::int64_t>(magnitude)
+                           : static_cast<std::int64_t>(magnitude);
+    return true;
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++p_;  // '['
+    skip_space();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      JsonValue item;
+      if (!parse_value(item, depth + 1)) return false;
+      out.items.push_back(std::move(item));
+      skip_space();
+      if (p_ == end_) return false;
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      if (*p_++ != ',') return false;
+      skip_space();
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++p_;  // '{'
+    skip_space();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      if (p_ == end_ || *p_ != '"') return false;
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_space();
+      if (p_ == end_ || *p_++ != ':') return false;
+      skip_space();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.fields.emplace_back(std::move(key), std::move(value));
+      skip_space();
+      if (p_ == end_) return false;
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      if (*p_++ != ',') return false;
+      skip_space();
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+// Typed field accessors: each returns false when the field is missing or
+// of the wrong kind, so every malformed line is caught, never coerced.
+bool get_int(const JsonValue& object, const char* name, std::int64_t& out) {
+  const JsonValue* v = object.find(name);
+  if (!v || v->kind != JsonValue::Kind::kInt) return false;
+  out = v->integer;
+  return true;
+}
+
+bool get_bool(const JsonValue& object, const char* name, bool& out) {
+  const JsonValue* v = object.find(name);
+  if (!v || v->kind != JsonValue::Kind::kBool) return false;
+  out = v->boolean;
+  return true;
+}
+
+bool get_string(const JsonValue& object, const char* name, std::string& out) {
+  const JsonValue* v = object.find(name);
+  if (!v || v->kind != JsonValue::Kind::kString) return false;
+  out = v->string;
+  return true;
+}
+
+void write_cell_line(std::ostringstream& os, const Fingerprint& key,
+                     const CachedCell& cell) {
+  const PartitionReport& r = cell.report;
+  os << "{\"kind\":\"cell\",\"key\":\"" << key.to_hex() << "\","
+     << "\"app\":\"" << json_escape(r.app) << "\","
+     << "\"constraint\":" << r.timing_constraint << ","
+     << "\"initial_cycles\":" << r.initial_cycles << ","
+     << "\"initial_meets\":" << (r.initial_meets ? "true" : "false") << ","
+     << "\"kernels\":[";
+  for (std::size_t i = 0; i < r.kernels.size(); ++i) {
+    const analysis::KernelInfo& k = r.kernels[i];
+    if (i) os << ',';
+    os << '[' << k.block << ',' << k.exec_freq << ',' << k.op_weight << ','
+       << k.total_weight << ',' << k.loop_depth << ','
+       << (k.cgc_eligible ? 1 : 0) << ']';
+  }
+  os << "],\"moved\":[";
+  for (std::size_t i = 0; i < r.moved.size(); ++i) {
+    if (i) os << ',';
+    os << r.moved[i];
+  }
+  os << "],\"moved_names\":[";
+  for (std::size_t i = 0; i < cell.moved_names.size(); ++i) {
+    if (i) os << ',';
+    os << '"' << json_escape(cell.moved_names[i]) << '"';
+  }
+  os << "],\"t_fpga\":" << r.cost.t_fpga << ","
+     << "\"t_coarse\":" << r.cost.t_coarse << ","
+     << "\"t_comm\":" << r.cost.t_comm << ","
+     << "\"final_cycles\":" << r.final_cycles << ","
+     << "\"cycles_in_cgc\":" << r.cycles_in_cgc << ","
+     << "\"met\":" << (r.met ? "true" : "false") << ","
+     << "\"engine_iterations\":" << r.engine_iterations << "}\n";
+}
+
+bool read_cell_line(const JsonValue& object, CachedCell& cell) {
+  PartitionReport& r = cell.report;
+  std::int64_t iterations = 0;
+  if (!get_string(object, "app", r.app) ||
+      !get_int(object, "constraint", r.timing_constraint) ||
+      !get_int(object, "initial_cycles", r.initial_cycles) ||
+      !get_bool(object, "initial_meets", r.initial_meets) ||
+      !get_int(object, "t_fpga", r.cost.t_fpga) ||
+      !get_int(object, "t_coarse", r.cost.t_coarse) ||
+      !get_int(object, "t_comm", r.cost.t_comm) ||
+      !get_int(object, "final_cycles", r.final_cycles) ||
+      !get_int(object, "cycles_in_cgc", r.cycles_in_cgc) ||
+      !get_bool(object, "met", r.met) ||
+      !get_int(object, "engine_iterations", iterations)) {
+    return false;
+  }
+  r.engine_iterations = static_cast<int>(iterations);
+
+  const JsonValue* kernels = object.find("kernels");
+  if (!kernels || kernels->kind != JsonValue::Kind::kArray) return false;
+  for (const JsonValue& row : kernels->items) {
+    if (row.kind != JsonValue::Kind::kArray || row.items.size() != 6) {
+      return false;
+    }
+    for (const JsonValue& field : row.items) {
+      if (field.kind != JsonValue::Kind::kInt) return false;
+    }
+    analysis::KernelInfo k;
+    k.block = static_cast<ir::BlockId>(row.items[0].integer);
+    k.exec_freq = static_cast<std::uint64_t>(row.items[1].integer);
+    k.op_weight = row.items[2].integer;
+    k.total_weight = row.items[3].integer;
+    k.loop_depth = static_cast<int>(row.items[4].integer);
+    k.cgc_eligible = row.items[5].integer != 0;
+    r.kernels.push_back(k);
+  }
+
+  const JsonValue* moved = object.find("moved");
+  if (!moved || moved->kind != JsonValue::Kind::kArray) return false;
+  for (const JsonValue& id : moved->items) {
+    if (id.kind != JsonValue::Kind::kInt) return false;
+    r.moved.push_back(static_cast<ir::BlockId>(id.integer));
+  }
+
+  const JsonValue* names = object.find("moved_names");
+  if (!names || names->kind != JsonValue::Kind::kArray ||
+      names->items.size() != r.moved.size()) {
+    return false;
+  }
+  for (const JsonValue& name : names->items) {
+    if (name.kind != JsonValue::Kind::kString) return false;
+    cell.moved_names.push_back(name.string);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<CachedCell> SweepCache::find_cell(const Fingerprint& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    ++stats_.cell_misses;
+    return std::nullopt;
+  }
+  ++stats_.cell_hits;
+  return it->second;
+}
+
+void SweepCache::store_cell(const Fingerprint& key, CachedCell cell) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cells_.insert_or_assign(key, std::move(cell));
+  stats_.cells = cells_.size();
+}
+
+std::optional<std::int64_t> SweepCache::find_all_fine(const Fingerprint& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = all_fine_.find(key);
+  if (it == all_fine_.end()) {
+    ++stats_.all_fine_misses;
+    return std::nullopt;
+  }
+  ++stats_.all_fine_hits;
+  return it->second;
+}
+
+void SweepCache::store_all_fine(const Fingerprint& key, std::int64_t cycles) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  all_fine_.insert_or_assign(key, cycles);
+}
+
+std::shared_ptr<const MapperState> SweepCache::find_mapper(
+    const Fingerprint& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = mappers_.find(key);
+  if (it == mappers_.end()) {
+    ++stats_.mapper_builds;
+    return nullptr;
+  }
+  ++stats_.mapper_restores;
+  return it->second;
+}
+
+void SweepCache::store_mapper(const Fingerprint& key,
+                              std::shared_ptr<const MapperState> state) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  mappers_.insert_or_assign(key, std::move(state));
+}
+
+SweepCacheStats SweepCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SweepCache::reset_stats() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t cells = stats_.cells;
+  stats_ = SweepCacheStats{};
+  stats_.cells = cells;
+}
+
+bool SweepCache::load(const std::string& path, std::string* error) {
+  auto reject = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return reject("cannot open " + path);
+
+  std::map<Fingerprint, CachedCell> cells;
+  std::map<Fingerprint, std::int64_t> all_fine;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue object;
+    if (!JsonParser(line).parse(object) ||
+        object.kind != JsonValue::Kind::kObject) {
+      return reject(cat(path, ":", line_no, ": not a JSON object"));
+    }
+    std::string kind;
+    if (!get_string(object, "kind", kind)) {
+      return reject(cat(path, ":", line_no, ": missing \"kind\""));
+    }
+    if (!saw_header) {
+      std::int64_t schema = 0;
+      std::int64_t algorithm = 0;
+      if (kind != "header" ||
+          !get_int(object, "schema_version", schema) ||
+          !get_int(object, "fingerprint_algorithm", algorithm)) {
+        return reject(cat(path, ":", line_no, ": missing header line"));
+      }
+      if (schema != kSweepCacheSchemaVersion) {
+        return reject(cat(path, ": schema_version ", schema,
+                          " (this build reads ", kSweepCacheSchemaVersion,
+                          ")"));
+      }
+      if (algorithm != kFingerprintAlgorithmVersion) {
+        return reject(cat(path, ": fingerprint_algorithm ", algorithm,
+                          " (this build uses ", kFingerprintAlgorithmVersion,
+                          ")"));
+      }
+      saw_header = true;
+      continue;
+    }
+
+    std::string key_hex;
+    if (!get_string(object, "key", key_hex)) {
+      return reject(cat(path, ":", line_no, ": missing \"key\""));
+    }
+    const std::optional<Fingerprint> key = Fingerprint::from_hex(key_hex);
+    if (!key) {
+      return reject(cat(path, ":", line_no, ": malformed key"));
+    }
+    if (kind == "all_fine") {
+      std::int64_t cycles = 0;
+      if (!get_int(object, "cycles", cycles)) {
+        return reject(cat(path, ":", line_no, ": malformed all_fine entry"));
+      }
+      if (!all_fine.emplace(*key, cycles).second) {
+        return reject(cat(path, ":", line_no, ": duplicate key"));
+      }
+    } else if (kind == "cell") {
+      CachedCell cell;
+      if (!read_cell_line(object, cell)) {
+        return reject(cat(path, ":", line_no, ": malformed cell entry"));
+      }
+      if (!cells.emplace(*key, std::move(cell)).second) {
+        return reject(cat(path, ":", line_no, ": duplicate key"));
+      }
+    } else {
+      return reject(cat(path, ":", line_no, ": unknown kind \"", kind, "\""));
+    }
+  }
+  if (in.bad()) return reject("read error on " + path);
+  if (!saw_header) return reject(path + ": empty cache file (no header)");
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cells_ = std::move(cells);
+  all_fine_ = std::move(all_fine);
+  stats_.entries_loaded = cells_.size() + all_fine_.size();
+  stats_.cells = cells_.size();
+  return true;
+}
+
+bool SweepCache::save(const std::string& path, std::string* error) const {
+  std::ostringstream os;
+  os << "{\"kind\":\"header\",\"schema_version\":" << kSweepCacheSchemaVersion
+     << ",\"fingerprint_algorithm\":" << kFingerprintAlgorithmVersion
+     << ",\"generator\":\"amdrel\"}\n";
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, cycles] : all_fine_) {
+      os << "{\"kind\":\"all_fine\",\"key\":\"" << key.to_hex()
+         << "\",\"cycles\":" << cycles << "}\n";
+    }
+    for (const auto& [key, cell] : cells_) {
+      write_cell_line(os, key, cell);
+    }
+  }
+  // Write-to-temp + rename keeps the save atomic: a failed or
+  // interrupted write can never destroy the previously valid cache, and
+  // a concurrent reader sees either the old file or the new one, never
+  // a truncated half (ROADMAP's "last writer wins" concurrency story
+  // depends on this).
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary);
+    out << os.str();
+    out.flush();
+    if (!out.good()) {
+      if (error) *error = "cannot write " + temp;
+      std::remove(temp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    if (error) *error = "cannot rename " + temp + " to " + path;
+    std::remove(temp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace amdrel::core

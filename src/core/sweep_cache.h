@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fingerprint.h"
+#include "core/hybrid_mapper.h"
+#include "core/methodology.h"
+
+namespace amdrel::core {
+
+/// Version of the on-disk cache schema (the JSON-lines layout written by
+/// SweepCache::save). Bump on any change to the field set or meaning;
+/// load() rejects files written with a different version (or a different
+/// kFingerprintAlgorithmVersion) and the caller starts cold — a stale
+/// cache must never produce results a fresh run would not.
+inline constexpr int kSweepCacheSchemaVersion = 1;
+
+/// One memoized sweep cell: everything sweep_design_space /
+/// explore_design_space derive per (app, platform, options, constraint)
+/// coordinate. moved_names duplicates report.moved as block names so a
+/// hit never needs the CDFG.
+struct CachedCell {
+  PartitionReport report;
+  std::vector<std::string> moved_names;
+};
+
+/// Hit/miss counters. "builds" are cold HybridMapper constructions (the
+/// full per-block fine-grain mapping); "restores" are snapshot copies.
+/// Counter values depend on thread interleaving (two workers can miss
+/// the same key concurrently) — only the memoized RESULTS are
+/// deterministic, which the property tests pin.
+struct SweepCacheStats {
+  std::uint64_t cell_hits = 0;
+  std::uint64_t cell_misses = 0;
+  std::uint64_t mapper_restores = 0;
+  std::uint64_t mapper_builds = 0;
+  std::uint64_t all_fine_hits = 0;
+  std::uint64_t all_fine_misses = 0;
+  std::uint64_t cells = 0;           ///< cell entries currently held
+  std::uint64_t entries_loaded = 0;  ///< entries read by the last load()
+};
+
+/// Content-addressed memoization store for design-space sweeps. Three
+/// maps, all keyed by fingerprints of the inputs that determine the
+/// value:
+///   - whole cell results       (cell_key: app x platform x options x
+///                               constraint),
+///   - all-fine-grain cycles    (shard_key: app x platform; resolves
+///                               default constraints without a mapper),
+///   - HybridMapper snapshots   (shard_key; in-memory only — they hold
+///                               full schedules and are cheap to rebuild
+///                               relative to their serialized size).
+/// Thread-safe: every operation takes an internal mutex, so one cache
+/// can back a whole explorer pool. Cached values are byte-identical to
+/// recomputation by construction (they ARE prior results, addressed by
+/// everything that influences them).
+class SweepCache {
+ public:
+  SweepCache() = default;
+  SweepCache(const SweepCache&) = delete;
+  SweepCache& operator=(const SweepCache&) = delete;
+
+  std::optional<CachedCell> find_cell(const Fingerprint& key);
+  void store_cell(const Fingerprint& key, CachedCell cell);
+
+  std::optional<std::int64_t> find_all_fine(const Fingerprint& key);
+  void store_all_fine(const Fingerprint& key, std::int64_t cycles);
+
+  std::shared_ptr<const MapperState> find_mapper(const Fingerprint& key);
+  void store_mapper(const Fingerprint& key,
+                    std::shared_ptr<const MapperState> state);
+
+  SweepCacheStats stats() const;
+  void reset_stats();
+
+  /// Loads a cache file written by save(). Strict: any parse error,
+  /// schema/algorithm version mismatch, duplicate or malformed key
+  /// rejects the WHOLE file, leaves the cache unchanged and returns
+  /// false with a diagnostic in *error — the caller warns and runs cold.
+  /// A missing file is also reported as false (with a distinct message);
+  /// it is the normal first-run case.
+  bool load(const std::string& path, std::string* error);
+
+  /// Writes every cell and all-fine entry as versioned JSON lines
+  /// (header line first, then entries sorted by key, so identical caches
+  /// serialize byte-identically). Atomic: written to "<path>.tmp" and
+  /// renamed over the target, so a failure leaves any previous cache
+  /// file intact. Returns false with a diagnostic on I/O failure.
+  /// Mapper snapshots are not persisted.
+  bool save(const std::string& path, std::string* error) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<Fingerprint, CachedCell> cells_;
+  std::map<Fingerprint, std::int64_t> all_fine_;
+  std::map<Fingerprint, std::shared_ptr<const MapperState>> mappers_;
+  SweepCacheStats stats_;
+};
+
+}  // namespace amdrel::core

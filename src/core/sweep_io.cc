@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/strategy.h"
+#include "support/strings.h"
 
 namespace amdrel::core {
 
@@ -21,29 +22,6 @@ std::string format_percent(double value) {
   char buffer[32];
   std::snprintf(buffer, sizeof buffer, "%.2f", value);
   return buffer;
-}
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 // RFC-4180 quoting: fields containing the separator, quotes or newlines
@@ -157,6 +135,31 @@ std::string sweep_to_csv(const SweepSummary& summary) {
        << (cell.on_app_pareto ? "true" : "false") << ','
        << (cell.on_global_pareto ? "true" : "false") << '\n';
   }
+  return os.str();
+}
+
+std::string cache_stats_to_json(const SweepCacheStats& stats) {
+  const std::uint64_t lookups = stats.cell_hits + stats.cell_misses;
+  const double rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(stats.cell_hits) /
+                         static_cast<double>(lookups);
+  char rate_text[32];
+  std::snprintf(rate_text, sizeof rate_text, "%.2f", rate);
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema_version\": " << kSweepCacheSchemaVersion << ",\n";
+  os << "  \"generator\": \"amdrel\",\n";
+  os << "  \"cell_hits\": " << stats.cell_hits << ",\n";
+  os << "  \"cell_misses\": " << stats.cell_misses << ",\n";
+  os << "  \"cell_hit_rate\": \"" << rate_text << "\",\n";
+  os << "  \"mapper_restores\": " << stats.mapper_restores << ",\n";
+  os << "  \"mapper_builds\": " << stats.mapper_builds << ",\n";
+  os << "  \"all_fine_hits\": " << stats.all_fine_hits << ",\n";
+  os << "  \"all_fine_misses\": " << stats.all_fine_misses << ",\n";
+  os << "  \"cells\": " << stats.cells << ",\n";
+  os << "  \"entries_loaded\": " << stats.entries_loaded << "\n";
+  os << "}\n";
   return os.str();
 }
 

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "core/explorer.h"
+#include "core/sweep_cache.h"
 
 namespace amdrel::core {
 
@@ -43,5 +44,25 @@ std::string sweep_to_json(const SweepSummary& summary);
 /// same order and fields as the JSON (moved_blocks joined with ';',
 /// booleans as true/false). Deterministic like sweep_to_json.
 std::string sweep_to_csv(const SweepSummary& summary);
+
+/// Serializes the sweep cache's hit/miss counters as a small JSON stats
+/// document (`amdrelc explore --cache-stats`, the CI cache-efficacy
+/// gate). Deliberately a SEPARATE document from sweep_to_json: counters
+/// vary between cold and warm runs, while the sweep emission itself is
+/// pinned byte-identical regardless of cache state.
+///
+///   {
+///     "schema_version": 1,
+///     "generator": "amdrel",
+///     "cell_hits": N, "cell_misses": N, "cell_hit_rate": "0.50",
+///     "mapper_restores": N, "mapper_builds": N,
+///     "all_fine_hits": N, "all_fine_misses": N,
+///     "cells": N, "entries_loaded": N
+///   }
+///
+/// cell_hit_rate is hits / (hits + misses) rendered "%.2f" ("0.00" when
+/// no lookups happened), a string for the same byte-stability reason as
+/// reduction_percent.
+std::string cache_stats_to_json(const SweepCacheStats& stats);
 
 }  // namespace amdrel::core

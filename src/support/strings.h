@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -23,6 +24,34 @@ std::string cat(const Ts&... parts) {
   std::ostringstream os;
   detail::cat_into(os, parts...);
   return os.str();
+}
+
+/// Escapes a string for embedding in a JSON string literal: quotes,
+/// backslashes, and the common control characters get two-char escapes,
+/// any other byte below 0x20 becomes \u00xx. Shared by the sweep
+/// emitters and the sweep-cache persistence, whose byte-for-byte
+/// round-trip contracts require one escaping rule.
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 /// Splits on a separator. Note getline semantics: a trailing separator

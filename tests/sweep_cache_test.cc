@@ -1,0 +1,370 @@
+// SweepCache (core/sweep_cache.h): memoization correctness (cached runs
+// byte-identical to uncached, for any thread count), mapper-snapshot
+// reuse, and the persistence layer's strict validation — a cache file
+// that fails ANY check is rejected whole and the caller runs cold, so a
+// stale or corrupt cache can cost a recompute but never a wrong result.
+
+#include "core/sweep_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.h"
+#include "core/sweep_io.h"
+#include "support/error.h"
+#include "synth/cdfg_generator.h"
+#include "workloads/paper_models.h"
+
+namespace amdrel::core {
+namespace {
+
+SweepSpec small_spec(int threads, SweepCache* cache) {
+  SweepSpec spec;
+  spec.grid.areas = {1500, 5000};
+  spec.grid.cgc_counts = {2};
+  spec.strategies = {StrategyKind::kGreedyPaper, StrategyKind::kAnnealing};
+  spec.orderings = {KernelOrdering::kWeightDescending};
+  spec.threads = threads;
+  spec.cache = cache;
+  return spec;
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TEST(SweepCacheTest, CellRoundTrip) {
+  SweepCache cache;
+  Fingerprint key;
+  key.hi = 1;
+  key.lo = 2;
+  EXPECT_FALSE(cache.find_cell(key).has_value());
+  CachedCell cell;
+  cell.report.app = "ofdm";
+  cell.report.final_cycles = 123;
+  cell.moved_names = {"BB22"};
+  cache.store_cell(key, cell);
+  const auto hit = cache.find_cell(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->report.app, "ofdm");
+  EXPECT_EQ(hit->report.final_cycles, 123);
+  EXPECT_EQ(hit->moved_names, std::vector<std::string>{"BB22"});
+  const SweepCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.cell_hits, 1u);
+  EXPECT_EQ(stats.cell_misses, 1u);
+  EXPECT_EQ(stats.cells, 1u);
+}
+
+TEST(SweepCacheTest, CachedSweepIsByteIdenticalToUncached) {
+  const auto corpus = workloads::paper_corpus();
+  const std::string uncached =
+      sweep_to_json(sweep_design_space(corpus, small_spec(2, nullptr)));
+
+  SweepCache cache;
+  const auto cold = sweep_design_space(corpus, small_spec(2, &cache));
+  EXPECT_EQ(sweep_to_json(cold), uncached);
+  EXPECT_GT(cache.stats().cell_misses, 0u);
+  EXPECT_EQ(cache.stats().cell_hits, 0u);
+
+  // Warm rerun: every cell hits, no mapper is cold-built or restored.
+  for (const int threads : {1, 2, 4}) {
+    cache.reset_stats();
+    const auto warm = sweep_design_space(corpus, small_spec(threads, &cache));
+    EXPECT_EQ(sweep_to_json(warm), uncached) << threads << " threads";
+    EXPECT_EQ(sweep_to_csv(warm), sweep_to_csv(cold));
+    const SweepCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.cell_misses, 0u) << threads << " threads";
+    EXPECT_GT(stats.cell_hits, 0u);
+    EXPECT_EQ(stats.mapper_builds, 0u) << threads << " threads";
+    EXPECT_EQ(stats.all_fine_misses, 0u);
+  }
+}
+
+TEST(SweepCacheTest, ExplorerSharesTheCellAndMapperMemo) {
+  const auto app = workloads::build_ofdm_model();
+  const auto platform = platform::make_paper_platform(1500, 2);
+  SweepCache cache;
+  ExploreSpec spec;
+  spec.constraints = {workloads::kOfdmTimingConstraint};
+  spec.threads = 2;
+  spec.cache = &cache;
+
+  ExploreSpec uncached = spec;
+  uncached.cache = nullptr;
+  const std::string reference =
+      describe(explore_design_space(app.cdfg, app.profile, platform,
+                                    uncached));
+
+  const auto cold =
+      explore_design_space(app.cdfg, app.profile, platform, spec);
+  EXPECT_EQ(describe(cold), reference);
+  cache.reset_stats();
+  const auto warm =
+      explore_design_space(app.cdfg, app.profile, platform, spec);
+  EXPECT_EQ(describe(warm), reference);
+  EXPECT_EQ(cache.stats().cell_misses, 0u);
+  EXPECT_EQ(cache.stats().mapper_builds, 0u);
+}
+
+TEST(SweepCacheTest, SyntheticCorpusCachedEqualsUncachedAnyThreads) {
+  std::vector<CorpusApp> corpus;
+  for (int i = 0; i < 4; ++i) {
+    synth::CdfgGenConfig config;
+    config.segments = 3;
+    config.seed = 77 + static_cast<std::uint64_t>(i);
+    synth::SyntheticApp app = synth::generate_app(config);
+    CorpusApp entry;
+    entry.name = "synthetic" + std::to_string(i);
+    entry.cdfg = std::move(app.cdfg);
+    entry.profile = std::move(app.profile);
+    corpus.push_back(std::move(entry));
+  }
+  const std::string uncached =
+      sweep_to_json(sweep_design_space(corpus, small_spec(3, nullptr)));
+  SweepCache cache;
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  for (const int threads : {1, 2, hw}) {
+    EXPECT_EQ(
+        sweep_to_json(sweep_design_space(corpus, small_spec(threads, &cache))),
+        uncached)
+        << threads << " threads";
+  }
+}
+
+TEST(SweepCacheTest, PersistenceRoundTripStartsWarm) {
+  const auto corpus = workloads::paper_corpus();
+  const std::string path = temp_path("sweep_cache_roundtrip.jsonl");
+  std::string uncached;
+  {
+    SweepCache cache;
+    uncached =
+        sweep_to_json(sweep_design_space(corpus, small_spec(2, &cache)));
+    std::string error;
+    ASSERT_TRUE(cache.save(path, &error)) << error;
+  }
+  SweepCache fresh;
+  std::string error;
+  ASSERT_TRUE(fresh.load(path, &error)) << error;
+  EXPECT_GT(fresh.stats().entries_loaded, 0u);
+  const auto warm = sweep_design_space(corpus, small_spec(2, &fresh));
+  EXPECT_EQ(sweep_to_json(warm), uncached);
+  const SweepCacheStats stats = fresh.stats();
+  EXPECT_EQ(stats.cell_misses, 0u);
+  EXPECT_EQ(stats.mapper_builds, 0u);
+  EXPECT_EQ(stats.all_fine_misses, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SweepCacheTest, SaveIsDeterministic) {
+  const auto corpus = workloads::paper_corpus();
+  auto render = [&](int threads) {
+    SweepCache cache;
+    sweep_design_space(corpus, small_spec(threads, &cache));
+    const std::string path = temp_path("sweep_cache_det.jsonl");
+    std::string error;
+    EXPECT_TRUE(cache.save(path, &error)) << error;
+    std::ifstream in(path, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::remove(path.c_str());
+    return text;
+  };
+  const std::string serial = render(1);
+  EXPECT_EQ(serial, render(2));
+  EXPECT_EQ(serial, render(4));
+}
+
+TEST(SweepCacheTest, LoadRejectsMissingFile) {
+  SweepCache cache;
+  std::string error;
+  EXPECT_FALSE(cache.load(temp_path("no_such_cache.jsonl"), &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+void expect_rejected(const std::string& content, const char* expect_in_error,
+                     const char* tag) {
+  const std::string path =
+      temp_path((std::string("sweep_cache_bad_") + tag + ".jsonl").c_str());
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+  }
+  SweepCache cache;
+  std::string error;
+  EXPECT_FALSE(cache.load(path, &error)) << tag << ": accepted " << content;
+  EXPECT_NE(error.find(expect_in_error), std::string::npos)
+      << tag << ": error was '" << error << "'";
+  // A rejected load leaves the cache empty and usable.
+  EXPECT_EQ(cache.stats().cells, 0u);
+  EXPECT_EQ(cache.stats().entries_loaded, 0u);
+  std::remove(path.c_str());
+}
+
+const char kHeader[] =
+    "{\"kind\":\"header\",\"schema_version\":1,"
+    "\"fingerprint_algorithm\":1,\"generator\":\"amdrel\"}\n";
+
+TEST(SweepCacheTest, LoadRejectsCorruptFiles) {
+  expect_rejected("garbage\n", "not a JSON object", "garbage");
+  expect_rejected("", "empty cache file", "empty");
+  expect_rejected("{\"kind\":\"cell\"}\n", "missing header", "no_header");
+  expect_rejected(
+      "{\"kind\":\"header\",\"schema_version\":999,"
+      "\"fingerprint_algorithm\":1}\n",
+      "schema_version 999", "schema_mismatch");
+  expect_rejected(
+      "{\"kind\":\"header\",\"schema_version\":1,"
+      "\"fingerprint_algorithm\":999}\n",
+      "fingerprint_algorithm 999", "algorithm_mismatch");
+  expect_rejected(std::string(kHeader) + "{\"kind\":\"cell\"}\n",
+                  "missing \"key\"", "keyless");
+  expect_rejected(
+      std::string(kHeader) +
+          "{\"kind\":\"cell\",\"key\":\"zz\"}\n",
+      "malformed key", "bad_key");
+  expect_rejected(
+      std::string(kHeader) +
+          "{\"kind\":\"wat\",\"key\":"
+          "\"00000000000000000000000000000001\"}\n",
+      "unknown kind", "unknown_kind");
+  expect_rejected(
+      std::string(kHeader) +
+          "{\"kind\":\"all_fine\",\"key\":"
+          "\"00000000000000000000000000000001\"}\n",
+      "malformed all_fine", "all_fine_no_cycles");
+  expect_rejected(
+      std::string(kHeader) +
+          "{\"kind\":\"all_fine\",\"key\":"
+          "\"00000000000000000000000000000001\",\"cycles\":1}\n" +
+          "{\"kind\":\"all_fine\",\"key\":"
+          "\"00000000000000000000000000000001\",\"cycles\":2}\n",
+      "duplicate key", "duplicate");
+  expect_rejected(
+      std::string(kHeader) +
+          "{\"kind\":\"cell\",\"key\":"
+          "\"00000000000000000000000000000001\",\"app\":\"x\"}\n",
+      "malformed cell", "cell_missing_fields");
+  // Truncated mid-line JSON (a crashed writer).
+  expect_rejected(
+      std::string(kHeader) +
+          "{\"kind\":\"all_fine\",\"key\":"
+          "\"00000000000000000000000000000001\",\"cy",
+      "not a JSON object", "truncated");
+}
+
+TEST(SweepCacheTest, LoadAcceptsOwnSave) {
+  // A saved cache containing a cell with every serialized field must
+  // round-trip exactly, including kernels and moved names.
+  const auto app = workloads::build_ofdm_model();
+  const auto platform = platform::make_paper_platform(1500, 2);
+  SweepCache cache;
+  ExploreSpec spec;
+  spec.constraints = {workloads::kOfdmTimingConstraint};
+  spec.strategies = {StrategyKind::kGreedyPaper};
+  spec.threads = 1;
+  spec.cache = &cache;
+  const auto summary =
+      explore_design_space(app.cdfg, app.profile, platform, spec);
+  ASSERT_FALSE(summary.points.empty());
+
+  const std::string path = temp_path("sweep_cache_ownsave.jsonl");
+  std::string error;
+  ASSERT_TRUE(cache.save(path, &error)) << error;
+  SweepCache fresh;
+  ASSERT_TRUE(fresh.load(path, &error)) << error;
+
+  cache.reset_stats();
+  fresh.reset_stats();
+  ExploreSpec warm_spec = spec;
+  warm_spec.cache = &fresh;
+  const auto warm =
+      explore_design_space(app.cdfg, app.profile, platform, warm_spec);
+  EXPECT_EQ(describe(warm), describe(summary));
+  EXPECT_EQ(fresh.stats().cell_misses, 0u);
+
+  // The reloaded report matches the original field by field.
+  const PartitionReport& a = summary.points.front().report;
+  ExploreSpec replay = spec;
+  replay.cache = &fresh;
+  const ExploreSummary replayed =
+      explore_design_space(app.cdfg, app.profile, platform, replay);
+  const PartitionReport& b = replayed.points.front().report;
+  EXPECT_EQ(a.app, b.app);
+  EXPECT_EQ(a.timing_constraint, b.timing_constraint);
+  EXPECT_EQ(a.initial_cycles, b.initial_cycles);
+  EXPECT_EQ(a.initial_meets, b.initial_meets);
+  EXPECT_EQ(a.moved, b.moved);
+  EXPECT_EQ(a.cost.t_fpga, b.cost.t_fpga);
+  EXPECT_EQ(a.cost.t_coarse, b.cost.t_coarse);
+  EXPECT_EQ(a.cost.t_comm, b.cost.t_comm);
+  EXPECT_EQ(a.final_cycles, b.final_cycles);
+  EXPECT_EQ(a.cycles_in_cgc, b.cycles_in_cgc);
+  EXPECT_EQ(a.met, b.met);
+  EXPECT_EQ(a.engine_iterations, b.engine_iterations);
+  ASSERT_EQ(a.kernels.size(), b.kernels.size());
+  for (std::size_t i = 0; i < a.kernels.size(); ++i) {
+    EXPECT_EQ(a.kernels[i].block, b.kernels[i].block);
+    EXPECT_EQ(a.kernels[i].exec_freq, b.kernels[i].exec_freq);
+    EXPECT_EQ(a.kernels[i].op_weight, b.kernels[i].op_weight);
+    EXPECT_EQ(a.kernels[i].total_weight, b.kernels[i].total_weight);
+    EXPECT_EQ(a.kernels[i].loop_depth, b.kernels[i].loop_depth);
+    EXPECT_EQ(a.kernels[i].cgc_eligible, b.kernels[i].cgc_eligible);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SweepCacheTest, SaveReportsUnwritablePath) {
+  SweepCache cache;
+  std::string error;
+  EXPECT_FALSE(cache.save("/nonexistent-amdrel-dir/cache.jsonl", &error));
+  EXPECT_NE(error.find("cannot write"), std::string::npos) << error;
+}
+
+TEST(SweepCacheTest, MapperSnapshotRestoresIdenticalCosts) {
+  const auto app = workloads::build_jpeg_model();
+  const auto platform = platform::make_paper_platform(1500, 2);
+  HybridMapper original(app.cdfg, platform);
+  const MapperState state = original.state();
+  HybridMapper restored(app.cdfg, platform, state);
+  EXPECT_EQ(original.all_fine_cycles(app.profile),
+            restored.all_fine_cycles(app.profile));
+  for (ir::BlockId block = 0; block < app.cdfg.size(); ++block) {
+    EXPECT_EQ(original.fine_cycles_per_invocation(block),
+              restored.fine_cycles_per_invocation(block));
+    if (original.cgc_eligible(block)) {
+      EXPECT_EQ(original.coarse_cycles_per_invocation(block),
+                restored.coarse_cycles_per_invocation(block));
+    }
+  }
+}
+
+TEST(SweepCacheTest, MapperSnapshotRejectsWrongBlockCount) {
+  const auto ofdm = workloads::build_ofdm_model();
+  const auto jpeg = workloads::build_jpeg_model();
+  const auto platform = platform::make_paper_platform(1500, 2);
+  const MapperState state = HybridMapper(ofdm.cdfg, platform).state();
+  EXPECT_THROW(HybridMapper(jpeg.cdfg, platform, state), Error);
+}
+
+TEST(SweepCacheTest, CacheStatsJsonShape) {
+  SweepCacheStats stats;
+  stats.cell_hits = 3;
+  stats.cell_misses = 1;
+  stats.cells = 4;
+  const std::string json = cache_stats_to_json(stats);
+  EXPECT_NE(json.find("\"cell_hits\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cell_hit_rate\": \"0.75\""), std::string::npos)
+      << json;
+  const std::string empty = cache_stats_to_json(SweepCacheStats{});
+  EXPECT_NE(empty.find("\"cell_hit_rate\": \"0.00\""), std::string::npos)
+      << empty;
+}
+
+}  // namespace
+}  // namespace amdrel::core

@@ -12,6 +12,8 @@
 //   ./build/tests/sweep_determinism_test --regen
 // then review the diff of tests/golden/.
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -20,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include "core/explorer.h"
+#include "core/sweep_cache.h"
 #include "core/sweep_io.h"
 #include "workloads/paper_models.h"
 
@@ -93,6 +96,68 @@ TEST(SweepDeterminismTest, RepeatedRunsAreByteIdentical) {
 
 TEST(SweepDeterminismTest, TableRenderingIsDeterministicToo) {
   EXPECT_EQ(core::describe(run_sweep(1)), core::describe(run_sweep(4)));
+}
+
+// The caching acceptance property: a warm-cache rerun of the golden
+// sweep is byte-identical to the uncached emission at every thread
+// count AND constructs zero new mappers — repeated (app, platform) cell
+// groups are served entirely from the memo.
+TEST(SweepDeterminismTest, WarmCacheRerunIsByteIdenticalAndMapperFree) {
+  const std::string uncached_json = core::sweep_to_json(run_sweep(2));
+  const std::string uncached_csv = core::sweep_to_csv(run_sweep(2));
+
+  core::SweepCache cache;
+  auto run_cached = [&](int threads) {
+    core::SweepSpec spec = golden_spec(threads);
+    spec.cache = &cache;
+    return core::sweep_design_space(workloads::paper_corpus(), spec);
+  };
+
+  // Cold fill: already byte-identical to the uncached sweep.
+  const auto cold = run_cached(2);
+  EXPECT_EQ(core::sweep_to_json(cold), uncached_json);
+  EXPECT_EQ(core::sweep_to_csv(cold), uncached_csv);
+
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  for (const int threads : {1, 2, hw}) {
+    cache.reset_stats();
+    const auto warm = run_cached(threads);
+    EXPECT_EQ(core::sweep_to_json(warm), uncached_json)
+        << threads << " threads";
+    EXPECT_EQ(core::sweep_to_csv(warm), uncached_csv)
+        << threads << " threads";
+    const core::SweepCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.cell_misses, 0u) << threads << " threads";
+    EXPECT_EQ(stats.mapper_builds, 0u) << threads << " threads";
+    EXPECT_EQ(stats.mapper_restores, 0u) << threads << " threads";
+  }
+}
+
+// Same property across processes: a cache persisted to disk and loaded
+// into a fresh store serves the golden sweep without recomputing.
+TEST(SweepDeterminismTest, PersistedCacheServesGoldenSweep) {
+  const std::string uncached_json = core::sweep_to_json(run_sweep(2));
+  const std::string path = testing::TempDir() + "golden_sweep_cache.jsonl";
+  {
+    core::SweepCache cache;
+    core::SweepSpec spec = golden_spec(2);
+    spec.cache = &cache;
+    core::sweep_design_space(workloads::paper_corpus(), spec);
+    std::string error;
+    ASSERT_TRUE(cache.save(path, &error)) << error;
+  }
+  core::SweepCache fresh;
+  std::string error;
+  ASSERT_TRUE(fresh.load(path, &error)) << error;
+  core::SweepSpec spec = golden_spec(2);
+  spec.cache = &fresh;
+  const auto warm =
+      core::sweep_design_space(workloads::paper_corpus(), spec);
+  EXPECT_EQ(core::sweep_to_json(warm), uncached_json);
+  EXPECT_EQ(fresh.stats().cell_misses, 0u);
+  EXPECT_EQ(fresh.stats().mapper_builds, 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

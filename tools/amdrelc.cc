@@ -36,6 +36,12 @@
 //   --json PATH      write the sweep as stable-schema JSON
 //   --csv PATH       write the sweep as CSV
 //   --threads N      worker threads               (default 2)
+//   --cache PATH     persistent sweep cache: loaded before the sweep
+//                    (warn-and-recompute on any validation failure) and
+//                    saved after it, so repeated invocations start warm
+//   --no-cache       run uncached (overrides --cache)
+//   --cache-stats PATH  write the cache hit/miss counters as JSON
+//                    (requires an effective --cache)
 
 #include <cmath>
 #include <cstdio>
@@ -51,6 +57,7 @@
 #include "core/methodology.h"
 #include "core/report.h"
 #include "core/strategy.h"
+#include "core/sweep_cache.h"
 #include "core/sweep_io.h"
 #include "interp/interpreter.h"
 #include "ir/build_cdfg.h"
@@ -87,6 +94,9 @@ struct Options {
   std::vector<std::string> corpus;
   std::string json_path;
   std::string csv_path;
+  std::string cache_path;
+  std::string cache_stats_path;
+  bool no_cache = false;
   int threads = 2;
 };
 
@@ -100,7 +110,8 @@ struct Options {
                "[--constraints c1,c2,...] [--strategies s1,s2,...] "
                "[--orderings o1,o2,...] [--grid a1,a2,...xc1,c2,...] "
                "[--corpus ofdm|jpeg|fir|sobel|file.mc,...] "
-               "[--json PATH] [--csv PATH] [--threads N]\n"
+               "[--json PATH] [--csv PATH] [--threads N] "
+               "[--cache PATH] [--no-cache] [--cache-stats PATH]\n"
                "(explore accepts --corpus in place of the positional file)\n");
   std::exit(2);
 }
@@ -221,6 +232,20 @@ Options parse_args(int argc, char** argv) {
       if (options.csv_path.empty() || options.csv_path.rfind("--", 0) == 0) {
         usage();
       }
+    } else if (arg == "--cache") {
+      options.cache_path = next();
+      if (options.cache_path.empty() ||
+          options.cache_path.rfind("--", 0) == 0) {
+        usage();
+      }
+    } else if (arg == "--cache-stats") {
+      options.cache_stats_path = next();
+      if (options.cache_stats_path.empty() ||
+          options.cache_stats_path.rfind("--", 0) == 0) {
+        usage();
+      }
+    } else if (arg == "--no-cache") {
+      options.no_cache = true;
     } else if (arg == "--optimize") {
       options.optimize = true;
     } else if (arg == "--top") {
@@ -244,6 +269,14 @@ Options parse_args(int argc, char** argv) {
   // whole corpus from --corpus.
   if (options.file.empty() &&
       !(options.command == "explore" && !options.corpus.empty())) {
+    usage();
+  }
+  // --cache-stats reports on a cache that actually ran; without one the
+  // counters would be an all-zero file indistinguishable from a broken
+  // cache, so asking for stats with no (effective) --cache is a usage
+  // error.
+  if (!options.cache_stats_path.empty() &&
+      (options.cache_path.empty() || options.no_cache)) {
     usage();
   }
   return options;
@@ -433,6 +466,33 @@ int cmd_explore(const Options& options) {
                       core::KernelOrdering::kBenefitDescending};
   }
 
+  // The persistent cache warms repeated invocations. Every load-side
+  // failure (missing file, corrupt line, schema/fingerprint version
+  // mismatch) degrades to a cold run with a warning — the cache can cost
+  // a recompute, never a wrong result. A missing file is the normal
+  // first-run case and warns with a gentler message.
+  core::SweepCache cache;
+  const bool use_cache = !options.cache_path.empty() && !options.no_cache;
+  if (use_cache) {
+    if (!std::ifstream(options.cache_path).good()) {
+      std::fprintf(stderr, "cache: %s not found, starting cold\n",
+                   options.cache_path.c_str());
+    } else {
+      std::string error;
+      if (cache.load(options.cache_path, &error)) {
+        std::fprintf(stderr, "cache: loaded %llu entr%s from %s\n",
+                     static_cast<unsigned long long>(
+                         cache.stats().entries_loaded),
+                     cache.stats().entries_loaded == 1 ? "y" : "ies",
+                     options.cache_path.c_str());
+      } else {
+        std::fprintf(stderr, "amdrelc: warning: ignoring cache (%s); "
+                     "recomputing from scratch\n", error.c_str());
+      }
+    }
+    spec.cache = &cache;
+  }
+
   const auto summary = core::sweep_design_space(corpus, spec);
   std::printf("design-space sweep: %zu app(s) x %zu platform(s), "
               "%zu cells, %d thread(s)\n",
@@ -446,6 +506,32 @@ int cmd_explore(const Options& options) {
   }
   if (!options.csv_path.empty()) {
     write_output_file(options.csv_path, core::sweep_to_csv(summary), "CSV");
+  }
+  if (use_cache) {
+    const core::SweepCacheStats stats = cache.stats();
+    std::fprintf(stderr,
+                 "cache: %llu cell hits, %llu misses, %llu mapper restores, "
+                 "%llu cold builds\n",
+                 static_cast<unsigned long long>(stats.cell_hits),
+                 static_cast<unsigned long long>(stats.cell_misses),
+                 static_cast<unsigned long long>(stats.mapper_restores),
+                 static_cast<unsigned long long>(stats.mapper_builds));
+    std::string error;
+    if (cache.save(options.cache_path, &error)) {
+      std::fprintf(stderr, "cache: saved %llu cell(s) to %s\n",
+                   static_cast<unsigned long long>(stats.cells),
+                   options.cache_path.c_str());
+    } else {
+      // Results are already computed and emitted; a write failure only
+      // costs the next run its warm start.
+      std::fprintf(stderr, "amdrelc: warning: cannot write cache: %s\n",
+                   error.c_str());
+    }
+  }
+  if (use_cache && !options.cache_stats_path.empty()) {
+    write_output_file(options.cache_stats_path,
+                      core::cache_stats_to_json(cache.stats()),
+                      "cache stats");
   }
   return 0;
 }
