@@ -7,8 +7,10 @@
 #include <cstdio>
 
 #include "core/energy.h"
+#include "core/explorer.h"
 #include "core/methodology.h"
 #include "core/report.h"
+#include "core/sweep_io.h"
 #include "workloads/paper_models.h"
 
 namespace {
@@ -75,6 +77,29 @@ void BM_EnergyMethodology(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnergyMethodology);
+
+// Energy-objective design-space sweep over the paper corpus and the
+// Table-2/3 platform grid, including the JSON emission — the end-to-end
+// hot path of `amdrelc explore --objective energy`. Part of the CI
+// bench-regression gate (bench/baselines/BENCH_sweep.json).
+void BM_EnergySweep(benchmark::State& state) {
+  const auto corpus = workloads::paper_corpus();
+  core::SweepSpec spec;
+  spec.grid.areas = {1500, 5000};
+  spec.grid.cgc_counts = {2, 3};
+  spec.strategies = {core::StrategyKind::kGreedyPaper,
+                     core::StrategyKind::kExhaustive};
+  spec.orderings = {core::KernelOrdering::kWeightDescending};
+  spec.base.objective.kind = core::ObjectiveKind::kEnergy;
+  spec.base.exhaustive_max_kernels = 10;
+  spec.energy_budgets = {1.0e6, 1.18e8, 5.0e9};
+  spec.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto summary = core::sweep_design_space(corpus, spec);
+    benchmark::DoNotOptimize(core::sweep_to_json(summary));
+  }
+}
+BENCHMARK(BM_EnergySweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

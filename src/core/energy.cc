@@ -1,6 +1,5 @@
 #include "core/energy.h"
 
-#include "finegrain/fpga_mapper.h"
 #include "support/error.h"
 
 namespace amdrel::core {
@@ -24,11 +23,31 @@ double coarse_block_energy(const ir::Dfg& dfg, const EnergyModel& model) {
 
 }  // namespace
 
-EnergyBreakdown estimate_energy(const ir::Cdfg& cdfg,
+BlockEnergy block_energy(const ir::Dfg& dfg,
+                         const finegrain::FpgaBlockMapping& mapping,
+                         std::uint64_t iterations, const EnergyModel& model) {
+  BlockEnergy be;
+  const auto iters = static_cast<double>(iterations);
+  if (iters == 0) return be;
+  be.fine_pj = iters * fine_block_energy(dfg, model);
+  be.fine_comm_pj = iters * static_cast<double>(mapping.boundary_words) *
+                    model.spill_pj_per_word;
+  const double reconfigs =
+      static_cast<double>(mapping.reconfigs_per_invocation) * iters +
+      static_cast<double>(mapping.amortized_reconfigs);
+  be.fine_reconfig_pj = reconfigs * model.reconfiguration_pj;
+  be.coarse_pj = iters * coarse_block_energy(dfg, model);
+  const double words = static_cast<double>(dfg.live_in_count() +
+                                           dfg.live_out_count());
+  be.coarse_comm_pj = iters * words * model.transfer_pj_per_word;
+  return be;
+}
+
+EnergyBreakdown estimate_energy(const HybridMapper& mapper,
                                 const ir::ProfileData& profile,
-                                const platform::Platform& platform,
                                 const std::vector<ir::BlockId>& moved,
                                 const EnergyModel& model) {
+  const ir::Cdfg& cdfg = mapper.cdfg();
   std::vector<bool> is_moved(cdfg.size(), false);
   for (ir::BlockId block : moved) {
     require(block >= 0 && block < cdfg.size(),
@@ -36,62 +55,62 @@ EnergyBreakdown estimate_energy(const ir::Cdfg& cdfg,
     is_moved[block] = true;
   }
 
-  const auto mappings =
-      finegrain::map_cdfg_to_fpga(cdfg, platform.fpga, platform.memory);
-
   EnergyBreakdown breakdown;
   for (const ir::BasicBlock& block : cdfg.blocks()) {
-    const auto iterations = static_cast<double>(profile.count(block.id));
-    if (iterations == 0) continue;
+    const BlockEnergy be = block_energy(block.dfg, mapper.fine(block.id),
+                                        profile.count(block.id), model);
     if (is_moved[block.id]) {
-      breakdown.coarse_pj +=
-          iterations * coarse_block_energy(block.dfg, model);
-      const double words = static_cast<double>(block.dfg.live_in_count() +
-                                               block.dfg.live_out_count());
-      breakdown.comm_pj += iterations * words * model.transfer_pj_per_word;
+      breakdown.coarse_pj += be.coarse_pj;
+      breakdown.comm_pj += be.coarse_comm_pj;
     } else {
-      const auto& mapping = mappings[block.id];
-      breakdown.fine_pj += iterations * fine_block_energy(block.dfg, model);
-      breakdown.comm_pj += iterations *
-                           static_cast<double>(mapping.boundary_words) *
-                           model.spill_pj_per_word;
-      const double reconfigs =
-          static_cast<double>(mapping.reconfigs_per_invocation) * iterations +
-          static_cast<double>(mapping.amortized_reconfigs);
-      breakdown.reconfig_pj += reconfigs * model.reconfiguration_pj;
+      breakdown.fine_pj += be.fine_pj;
+      breakdown.comm_pj += be.fine_comm_pj;
+      breakdown.reconfig_pj += be.fine_reconfig_pj;
     }
   }
   return breakdown;
+}
+
+EnergyBreakdown estimate_energy(const ir::Cdfg& cdfg,
+                                const ir::ProfileData& profile,
+                                const platform::Platform& platform,
+                                const std::vector<ir::BlockId>& moved,
+                                const EnergyModel& model) {
+  const HybridMapper mapper(cdfg, platform);
+  return estimate_energy(mapper, profile, moved, model);
+}
+
+EnergyPartitionReport run_energy_methodology(
+    const ir::Cdfg& cdfg, const ir::ProfileData& profile,
+    const platform::Platform& platform, double budget_pj,
+    const EnergyModel& model, const MethodologyOptions& options) {
+  MethodologyOptions engine = options;
+  engine.objective.kind = ObjectiveKind::kEnergy;
+  engine.objective.energy = model;
+  engine.energy_budget_pj = budget_pj;
+  // The timing constraint is irrelevant under kEnergy (met() ignores
+  // it); 0 keeps the step-2 early exit purely energy-driven.
+  const PartitionReport report =
+      run_methodology(cdfg, profile, platform, /*timing_constraint=*/0,
+                      engine);
+
+  EnergyPartitionReport out;
+  out.initial_pj = report.initial_energy_pj;
+  out.moved = report.moved;
+  out.energy = report.energy;
+  out.met = report.met;
+  out.engine_iterations = report.engine_iterations;
+  return out;
 }
 
 EnergyPartitionReport run_energy_methodology(
     const ir::Cdfg& cdfg, const ir::ProfileData& profile,
     const platform::Platform& platform, double budget_pj,
     const EnergyModel& model, const analysis::AnalysisOptions& options) {
-  EnergyPartitionReport report;
-  report.energy = estimate_energy(cdfg, profile, platform, {}, model);
-  report.initial_pj = report.energy.total_pj();
-  if (report.initial_pj <= budget_pj) {
-    report.met = true;
-    return report;
-  }
-
-  const auto kernels = analysis::extract_kernels(cdfg, profile, options);
-  for (const auto& kernel : kernels) {
-    if (!kernel.cgc_eligible) continue;
-    report.engine_iterations++;
-    std::vector<ir::BlockId> trial = report.moved;
-    trial.push_back(kernel.block);
-    const EnergyBreakdown energy =
-        estimate_energy(cdfg, profile, platform, trial, model);
-    report.moved = std::move(trial);
-    report.energy = energy;
-    if (energy.total_pj() <= budget_pj) {
-      report.met = true;
-      break;
-    }
-  }
-  return report;
+  MethodologyOptions engine;
+  engine.analysis = options;
+  return run_energy_methodology(cdfg, profile, platform, budget_pj, model,
+                                engine);
 }
 
 }  // namespace amdrel::core

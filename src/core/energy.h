@@ -6,46 +6,35 @@
 
 namespace amdrel::core {
 
-/// Per-operation/per-event energy characterization of the platform — the
-/// paper's future-work direction ("partitioning an application for
-/// satisfying energy consumption constraints"). Defaults reflect the
-/// usual fine-vs-coarse asymmetry: word-level operators in ASIC burn a
-/// fraction of their FPGA equivalents [Hartenstein'01], while
-/// reconfiguration and shared-memory traffic are expensive.
-struct EnergyModel {
-  // Fine-grain (embedded FPGA), picojoule per executed operation.
-  double fpga_alu_pj = 8.0;
-  double fpga_mul_pj = 30.0;
-  double fpga_div_pj = 110.0;
-  double fpga_mem_pj = 16.0;
+// EnergyModel / EnergyBreakdown live in core/objective.h (re-exported
+// through core/methodology.h) so the CostObjective abstraction and the
+// IncrementalSplit energy deltas can use them without this header.
 
-  // Coarse-grain (CGC data-path, ASIC).
-  double cgc_alu_pj = 1.6;
-  double cgc_mul_pj = 6.5;
-  double cgc_mem_pj = 12.0;
-
-  // Events.
-  double reconfiguration_pj = 600000.0;     ///< one full reconfiguration
-  double transfer_pj_per_word = 14.0;       ///< fine<->coarse via memory
-  double spill_pj_per_word = 14.0;          ///< temporal-partition spill
-};
-
-struct EnergyBreakdown {
-  double fine_pj = 0;      ///< ops executed on the FPGA
-  double coarse_pj = 0;    ///< ops executed on the CGC data-path
-  double reconfig_pj = 0;  ///< temporal-partition reconfigurations
-  double comm_pj = 0;      ///< fine<->coarse transfers + partition spills
-
-  double total_pj() const {
-    return fine_pj + coarse_pj + reconfig_pj + comm_pj;
-  }
-};
+/// Prices one block for both sides of the split (the BlockEnergy struct
+/// lives in core/objective.h with the other energy value types, so the
+/// IncrementalSplit can hold contributions without this header).
+/// `mapping` must be the
+/// block's fine-grain mapping on the platform being priced. Blocks that
+/// never execute contribute nothing (matching estimate_energy, which
+/// skips them including their amortized reconfiguration charge).
+BlockEnergy block_energy(const ir::Dfg& dfg,
+                         const finegrain::FpgaBlockMapping& mapping,
+                         std::uint64_t iterations, const EnergyModel& model);
 
 /// Prices the split where `moved` blocks run on the CGC data-path and the
 /// rest on the fine-grain hardware.
 EnergyBreakdown estimate_energy(const ir::Cdfg& cdfg,
                                 const ir::ProfileData& profile,
                                 const platform::Platform& platform,
+                                const std::vector<ir::BlockId>& moved,
+                                const EnergyModel& model = {});
+
+/// Same pricing on a caller-owned mapper, reusing its fine-grain
+/// mappings instead of re-mapping every block — the explorer/sweep hot
+/// path. Byte-identical to the standalone overload (same per-block terms
+/// accumulated in the same block order).
+EnergyBreakdown estimate_energy(const HybridMapper& mapper,
+                                const ir::ProfileData& profile,
                                 const std::vector<ir::BlockId>& moved,
                                 const EnergyModel& model = {});
 
@@ -67,12 +56,25 @@ struct EnergyPartitionReport {
 /// The methodology of Figure 2 with the timing check replaced by an
 /// energy budget: kernels move (in decreasing total-weight order) to the
 /// coarse-grain hardware until total energy drops below `budget_pj`.
-/// Moving a word-level kernel to ASIC usually reduces energy, so the same
-/// greedy engine applies.
+/// A thin dispatcher over run_methodology with ObjectiveKind::kEnergy —
+/// energy and timing share the whole strategy engine. The default
+/// (greedy) strategy reproduces the original standalone loop
+/// byte-for-byte whenever the budget is met (golden-pinned); for an
+/// unmeetable budget it reports the best split found, which is never
+/// worse in energy than the old always-commit result.
 EnergyPartitionReport run_energy_methodology(
     const ir::Cdfg& cdfg, const ir::ProfileData& profile,
     const platform::Platform& platform, double budget_pj,
     const EnergyModel& model = {},
     const analysis::AnalysisOptions& options = {});
+
+/// Same flow with full engine control: options picks the strategy
+/// (greedy, branch-and-bound, annealing), ordering, seed and search
+/// knobs; its objective kind / energy model / budget fields are
+/// overwritten from `model` and `budget_pj`.
+EnergyPartitionReport run_energy_methodology(
+    const ir::Cdfg& cdfg, const ir::ProfileData& profile,
+    const platform::Platform& platform, double budget_pj,
+    const EnergyModel& model, const MethodologyOptions& options);
 
 }  // namespace amdrel::core

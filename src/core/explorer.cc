@@ -91,16 +91,23 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
               : HybridMapper(cdfg, platform).all_fine_cycles(profile);
     constraints = {all_fine / 4, all_fine / 2, (3 * all_fine) / 4};
   }
+  const std::vector<double> budgets =
+      spec.energy_budgets.empty()
+          ? std::vector<double>{spec.base.energy_budget_pj}
+          : spec.energy_budgets;
 
   ExploreSummary summary;
   for (const std::int64_t constraint : constraints) {
-    for (const StrategyKind strategy : spec.strategies) {
-      for (const KernelOrdering ordering : spec.orderings) {
-        ExplorePoint point;
-        point.constraint = constraint;
-        point.strategy = strategy;
-        point.ordering = ordering;
-        summary.points.push_back(point);
+    for (const double budget : budgets) {
+      for (const StrategyKind strategy : spec.strategies) {
+        for (const KernelOrdering ordering : spec.orderings) {
+          ExplorePoint point;
+          point.constraint = constraint;
+          point.energy_budget_pj = budget;
+          point.strategy = strategy;
+          point.ordering = ordering;
+          summary.points.push_back(point);
+        }
       }
     }
   }
@@ -126,6 +133,7 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
       MethodologyOptions options = spec.base;
       options.strategy = point.strategy;
       options.ordering = point.ordering;
+      options.energy_budget_pj = point.energy_budget_pj;
       if (cache) {
         const Fingerprint key =
             cell_key(app_fp, platform_fp, options, point.constraint);
@@ -160,9 +168,9 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
     for (std::thread& t : pool) t.join();
   }
 
-  // Pareto front over (final cycles, kernels moved), both minimized. A
-  // point is dominated when another is no worse on both axes and strictly
-  // better on one.
+  // Pareto front over (final cycles, kernels moved, energy pJ), all
+  // minimized. A point is dominated when another is no worse on every
+  // axis and strictly better on one.
   for (std::size_t i = 0; i < jobs; ++i) {
     const PartitionReport& a = summary.points[i].report;
     bool dominated = false;
@@ -170,9 +178,11 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
       if (i == j) continue;
       const PartitionReport& b = summary.points[j].report;
       const bool no_worse = b.final_cycles <= a.final_cycles &&
-                            b.moved.size() <= a.moved.size();
+                            b.moved.size() <= a.moved.size() &&
+                            b.energy.total_pj() <= a.energy.total_pj();
       const bool better = b.final_cycles < a.final_cycles ||
-                          b.moved.size() < a.moved.size();
+                          b.moved.size() < a.moved.size() ||
+                          b.energy.total_pj() < a.energy.total_pj();
       dominated = no_worse && better;
     }
     if (!dominated) {
@@ -263,8 +273,13 @@ SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
   // scheduling cannot reorder anything.
   const std::size_t constraint_slots =
       spec.constraints.empty() ? 3 : spec.constraints.size();
+  const std::vector<double> budgets =
+      spec.energy_budgets.empty()
+          ? std::vector<double>{spec.base.energy_budget_pj}
+          : spec.energy_budgets;
   const std::size_t cells_per_shard =
-      constraint_slots * spec.strategies.size() * spec.orderings.size();
+      constraint_slots * budgets.size() * spec.strategies.size() *
+      spec.orderings.size();
   const std::size_t shards = corpus.size() * spec.grid.size();
 
   SweepSummary summary;
@@ -331,39 +346,43 @@ SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
 
       std::size_t index = shard * cells_per_shard;
       for (const std::int64_t constraint : constraints) {
-        for (const StrategyKind strategy : spec.strategies) {
-          for (const KernelOrdering ordering : spec.orderings) {
-            SweepCell& cell = summary.cells[index++];
-            cell.app = app_index;
-            cell.a_fpga = area;
-            cell.cgcs = cgcs;
-            cell.platform_cost = cost;
-            cell.constraint = constraint;
-            cell.strategy = strategy;
-            cell.ordering = ordering;
-            MethodologyOptions options = spec.base;
-            options.strategy = strategy;
-            options.ordering = ordering;
-            if (cache) {
-              const Fingerprint key = cell_key(app_fps[app_index],
-                                               platform_fp, options,
-                                               constraint);
-              if (std::optional<CachedCell> hit = cache->find_cell(key)) {
-                cell.report = std::move(hit->report);
-                cell.moved_names = std::move(hit->moved_names);
-                continue;
+        for (const double budget : budgets) {
+          for (const StrategyKind strategy : spec.strategies) {
+            for (const KernelOrdering ordering : spec.orderings) {
+              SweepCell& cell = summary.cells[index++];
+              cell.app = app_index;
+              cell.a_fpga = area;
+              cell.cgcs = cgcs;
+              cell.platform_cost = cost;
+              cell.constraint = constraint;
+              cell.energy_budget_pj = budget;
+              cell.strategy = strategy;
+              cell.ordering = ordering;
+              MethodologyOptions options = spec.base;
+              options.strategy = strategy;
+              options.ordering = ordering;
+              options.energy_budget_pj = budget;
+              if (cache) {
+                const Fingerprint key = cell_key(app_fps[app_index],
+                                                 platform_fp, options,
+                                                 constraint);
+                if (std::optional<CachedCell> hit = cache->find_cell(key)) {
+                  cell.report = std::move(hit->report);
+                  cell.moved_names = std::move(hit->moved_names);
+                  continue;
+                }
+                cell.report = run_methodology(ensure_mapper(), app.profile,
+                                              constraint, options);
+                cell.moved_names = moved_block_names(app.cdfg, cell.report);
+                CachedCell fresh;
+                fresh.report = cell.report;
+                fresh.moved_names = cell.moved_names;
+                cache->store_cell(key, std::move(fresh));
+              } else {
+                cell.report = run_methodology(ensure_mapper(), app.profile,
+                                              constraint, options);
+                cell.moved_names = moved_block_names(app.cdfg, cell.report);
               }
-              cell.report = run_methodology(ensure_mapper(), app.profile,
-                                            constraint, options);
-              cell.moved_names = moved_block_names(app.cdfg, cell.report);
-              CachedCell fresh;
-              fresh.report = cell.report;
-              fresh.moved_names = cell.moved_names;
-              cache->store_cell(key, std::move(fresh));
-            } else {
-              cell.report = run_methodology(ensure_mapper(), app.profile,
-                                            constraint, options);
-              cell.moved_names = moved_block_names(app.cdfg, cell.report);
             }
           }
         }
@@ -387,15 +406,20 @@ SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
     for (std::thread& t : pool) t.join();
   }
 
-  // Pareto fronts over (final cycles, kernels moved, platform cost), all
-  // minimized: one per app and one merged over every cell.
+  // Pareto fronts over (final cycles, kernels moved, platform cost,
+  // energy pJ), all minimized: one per app and one merged over every
+  // cell.
   auto dominates = [](const SweepCell& b, const SweepCell& a) {
     const bool no_worse = b.report.final_cycles <= a.report.final_cycles &&
                           b.report.moved.size() <= a.report.moved.size() &&
-                          b.platform_cost <= a.platform_cost;
+                          b.platform_cost <= a.platform_cost &&
+                          b.report.energy.total_pj() <=
+                              a.report.energy.total_pj();
     const bool better = b.report.final_cycles < a.report.final_cycles ||
                         b.report.moved.size() < a.report.moved.size() ||
-                        b.platform_cost < a.platform_cost;
+                        b.platform_cost < a.platform_cost ||
+                        b.report.energy.total_pj() <
+                            a.report.energy.total_pj();
     return no_worse && better;
   };
   summary.app_pareto.resize(corpus.size());
@@ -423,30 +447,35 @@ SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
 
 std::string describe(const ExploreSummary& summary) {
   TextTable table({"constraint", "strategy", "ordering", "moved",
-                   "final cycles", "% reduction", "met", "pareto"});
+                   "final cycles", "% reduction", "energy nJ", "met",
+                   "pareto"});
   for (const ExplorePoint& point : summary.points) {
     char reduction[32];
     std::snprintf(reduction, sizeof reduction, "%.1f",
                   point.report.reduction_percent());
+    char energy[32];
+    std::snprintf(energy, sizeof energy, "%.1f",
+                  point.report.energy.total_pj() / 1000.0);
     table.add_row({with_thousands(point.constraint),
                    strategy_name(point.strategy),
                    kernel_ordering_name(point.ordering),
                    std::to_string(point.report.moved.size()),
                    with_thousands(point.report.final_cycles), reduction,
-                   point.report.met ? "yes" : "no",
+                   energy, point.report.met ? "yes" : "no",
                    point.on_pareto_front ? "*" : ""});
   }
   std::ostringstream os;
   os << table.to_string();
   os << summary.pareto.size() << " of " << summary.points.size()
-     << " grid points on the pareto front (final cycles vs kernels moved)\n";
+     << " grid points on the pareto front "
+     << "(final cycles vs kernels moved vs energy)\n";
   return os.str();
 }
 
 std::string describe(const SweepSummary& summary) {
   TextTable table({"app", "A_FPGA", "CGCs", "constraint", "strategy",
-                   "ordering", "moved", "final cycles", "% reduction", "met",
-                   "pareto"});
+                   "ordering", "moved", "final cycles", "% reduction",
+                   "energy nJ", "met", "pareto"});
   std::size_t on_app_front = 0;
   for (const SweepCell& cell : summary.cells) {
     on_app_front += cell.on_app_pareto ? 1 : 0;
@@ -455,13 +484,16 @@ std::string describe(const SweepSummary& summary) {
     char reduction[32];
     std::snprintf(reduction, sizeof reduction, "%.1f",
                   cell.report.reduction_percent());
+    char energy[32];
+    std::snprintf(energy, sizeof energy, "%.1f",
+                  cell.report.energy.total_pj() / 1000.0);
     table.add_row({summary.apps[cell.app], area, std::to_string(cell.cgcs),
                    with_thousands(cell.constraint),
                    strategy_name(cell.strategy),
                    kernel_ordering_name(cell.ordering),
                    std::to_string(cell.report.moved.size()),
                    with_thousands(cell.report.final_cycles), reduction,
-                   cell.report.met ? "yes" : "no",
+                   energy, cell.report.met ? "yes" : "no",
                    cell.on_global_pareto ? "**"
                    : cell.on_app_pareto  ? "*"
                                          : ""});
@@ -471,7 +503,7 @@ std::string describe(const SweepSummary& summary) {
   os << on_app_front << " of " << summary.cells.size()
      << " cells on a per-app pareto front, " << summary.global_pareto.size()
      << " on the merged global front "
-     << "(final cycles vs kernels moved vs platform cost)\n";
+     << "(final cycles vs kernels moved vs platform cost vs energy)\n";
   return os.str();
 }
 

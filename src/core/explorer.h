@@ -19,6 +19,11 @@ struct ExploreSpec {
   /// Timing constraints to sweep; empty defaults to 1/4, 1/2 and 3/4 of
   /// the app's all-fine-grain cycle count.
   std::vector<std::int64_t> constraints;
+  /// Energy budgets (pJ) to sweep — the energy axis of the grid,
+  /// consulted by kEnergy/kCombined objectives. Empty sweeps the single
+  /// budget already in base.energy_budget_pj, so timing-only specs are
+  /// unchanged.
+  std::vector<double> energy_budgets;
   std::vector<StrategyKind> strategies = all_strategies();
   std::vector<KernelOrdering> orderings = {KernelOrdering::kWeightDescending};
   /// Per-run options (seed, annealing budget, ...); strategy and ordering
@@ -37,6 +42,7 @@ struct ExploreSpec {
 /// One grid point of an exploration, with its methodology result.
 struct ExplorePoint {
   std::int64_t constraint = 0;
+  double energy_budget_pj = 0;
   StrategyKind strategy = StrategyKind::kGreedyPaper;
   KernelOrdering ordering = KernelOrdering::kWeightDescending;
   PartitionReport report;
@@ -44,10 +50,10 @@ struct ExplorePoint {
 };
 
 /// Exploration output: every grid point in deterministic grid order
-/// (constraint-major, then strategy, then ordering) plus the Pareto front
-/// over (final cycles, kernels moved) — both minimized, fewer moved
-/// kernels meaning more of the application stays on the fine-grain
-/// hardware.
+/// (constraint-major, then energy budget, strategy, ordering) plus the
+/// Pareto front over (final cycles, kernels moved, energy pJ) — all
+/// minimized, fewer moved kernels meaning more of the application stays
+/// on the fine-grain hardware.
 struct ExploreSummary {
   std::vector<ExplorePoint> points;
   std::vector<std::size_t> pareto;  ///< indices into points, ascending
@@ -106,6 +112,9 @@ struct SweepSpec {
   /// ExploreSpec (the fractions adapt to the app's scale, so one spec
   /// serves OFDM's 10^5 cycles and JPEG's 10^7 alike).
   std::vector<std::int64_t> constraints;
+  /// Energy budgets (pJ); empty sweeps the single budget in
+  /// base.energy_budget_pj. See ExploreSpec::energy_budgets.
+  std::vector<double> energy_budgets;
   std::vector<StrategyKind> strategies = all_strategies();
   std::vector<KernelOrdering> orderings = {KernelOrdering::kWeightDescending};
   MethodologyOptions base;
@@ -117,14 +126,15 @@ struct SweepSpec {
   SweepCache* cache = nullptr;
 };
 
-/// One cell of a sweep: an (app, platform, constraint, strategy,
-/// ordering) coordinate with its methodology result.
+/// One cell of a sweep: an (app, platform, constraint, energy budget,
+/// strategy, ordering) coordinate with its methodology result.
 struct SweepCell {
   std::size_t app = 0;  ///< index into SweepSummary::apps
   double a_fpga = 0;
   int cgcs = 0;
   double platform_cost = 0;  ///< platform::platform_cost of the cell
   std::int64_t constraint = 0;
+  double energy_budget_pj = 0;
   StrategyKind strategy = StrategyKind::kGreedyPaper;
   KernelOrdering ordering = KernelOrdering::kWeightDescending;
   PartitionReport report;
@@ -134,10 +144,10 @@ struct SweepCell {
 };
 
 /// Sweep output. Cells are in deterministic grid order: app-major, then
-/// area, CGC count, constraint, strategy, ordering. Two kinds of Pareto
-/// front over (final cycles, kernels moved, platform cost), all
-/// minimized: one per app (cells of that app only) and one merged global
-/// front over every cell.
+/// area, CGC count, constraint, energy budget, strategy, ordering. Two
+/// kinds of Pareto front over (final cycles, kernels moved, platform
+/// cost, energy pJ), all minimized: one per app (cells of that app only)
+/// and one merged global front over every cell.
 struct SweepSummary {
   std::vector<std::string> apps;
   std::vector<SweepCell> cells;

@@ -199,6 +199,21 @@ Fingerprint fingerprint(const MethodologyOptions& options) {
   h.mix(options.analysis.min_exec_freq);
   h.mix(static_cast<std::uint64_t>(options.strategy));
   h.mix(static_cast<std::uint64_t>(options.ordering));
+  const CostObjective& objective = options.objective;
+  h.mix(static_cast<std::uint64_t>(objective.kind));
+  h.mix_double(objective.energy.fpga_alu_pj);
+  h.mix_double(objective.energy.fpga_mul_pj);
+  h.mix_double(objective.energy.fpga_div_pj);
+  h.mix_double(objective.energy.fpga_mem_pj);
+  h.mix_double(objective.energy.cgc_alu_pj);
+  h.mix_double(objective.energy.cgc_mul_pj);
+  h.mix_double(objective.energy.cgc_mem_pj);
+  h.mix_double(objective.energy.reconfiguration_pj);
+  h.mix_double(objective.energy.transfer_pj_per_word);
+  h.mix_double(objective.energy.spill_pj_per_word);
+  h.mix_double(objective.cycle_weight);
+  h.mix_double(objective.energy_weight);
+  h.mix_double(options.energy_budget_pj);
   h.mix(options.random_seed);
   h.mix(static_cast<std::uint64_t>(options.stop_when_met));
   h.mix(static_cast<std::uint64_t>(options.skip_unprofitable));

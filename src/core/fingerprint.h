@@ -18,7 +18,10 @@ namespace amdrel::core {
 /// order, new fields) — persisted caches key results by these
 /// fingerprints, so an algorithm change must invalidate them, and the
 /// golden test pins the builtin workloads' digests byte-for-byte.
-inline constexpr int kFingerprintAlgorithmVersion = 1;
+/// v2: MethodologyOptions digests cover the cost objective (kind,
+/// weights, energy budget) and every EnergyModel price — cells keyed
+/// under v1 could alias runs that differ only in energy configuration.
+inline constexpr int kFingerprintAlgorithmVersion = 2;
 
 /// A 128-bit content digest. Two independently-mixed 64-bit lanes keep
 /// the collision probability negligible for cache-sized key sets while
@@ -87,7 +90,9 @@ Fingerprint fingerprint(const ir::ProfileData& profile);
 Fingerprint fingerprint(const platform::Platform& platform);
 
 /// Digest of the engine options: analysis weights and filters, strategy,
-/// ordering, seed and all search knobs. Over-keying is deliberate — a
+/// ordering, cost objective (kind, combined weights, every EnergyModel
+/// price, energy budget), seed and all search knobs. Over-keying is
+/// deliberate — a
 /// field that happens not to matter for one strategy only costs cache
 /// hits, never correctness.
 Fingerprint fingerprint(const MethodologyOptions& options);

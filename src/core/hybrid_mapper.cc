@@ -1,5 +1,6 @@
 #include "core/hybrid_mapper.h"
 
+#include "core/energy.h"
 #include "support/error.h"
 #include "support/strings.h"
 
@@ -102,12 +103,41 @@ std::int64_t HybridMapper::all_fine_cycles(
   return finegrain::fpga_total_cycles(fine_, profile, platform_->fpga);
 }
 
+namespace {
+
+const CostObjective& timing_objective() {
+  static const CostObjective objective;  // default-constructed = kTiming
+  return objective;
+}
+
+}  // namespace
+
 IncrementalSplit::IncrementalSplit(HybridMapper& mapper,
                                    const ir::ProfileData& profile)
+    : IncrementalSplit(mapper, profile, timing_objective()) {}
+
+IncrementalSplit::IncrementalSplit(HybridMapper& mapper,
+                                   const ir::ProfileData& profile,
+                                   const CostObjective& objective)
     : mapper_(&mapper),
       profile_(&profile),
+      objective_(&objective),
       order_index_(static_cast<std::size_t>(mapper.cdfg().size()), -1) {
   cost_.t_fpga = mapper.all_fine_cycles(profile);
+  if (!objective.needs_energy()) return;
+  // Price every block once; the all-fine starting breakdown accumulates
+  // the fine-side terms in block order, matching estimate_energy({}).
+  const ir::Cdfg& cdfg = mapper.cdfg();
+  block_energy_.reserve(static_cast<std::size_t>(cdfg.size()));
+  for (const ir::BasicBlock& block : cdfg.blocks()) {
+    block_energy_.push_back(block_energy(block.dfg, mapper.fine(block.id),
+                                         profile.count(block.id),
+                                         objective.energy));
+    const BlockEnergy& be = block_energy_.back();
+    energy_.fine_pj += be.fine_pj;
+    energy_.comm_pj += be.fine_comm_pj;
+    energy_.reconfig_pj += be.fine_reconfig_pj;
+  }
 }
 
 bool IncrementalSplit::is_moved(ir::BlockId block) const {
@@ -132,6 +162,14 @@ void IncrementalSplit::move(ir::BlockId block) {
   cost_.t_fpga -= fine;
   cost_.t_coarse += coarse;
   cost_.t_comm += comm;
+  if (!block_energy_.empty()) {
+    const BlockEnergy& be = block_energy_[static_cast<std::size_t>(block)];
+    energy_.fine_pj -= be.fine_pj;
+    energy_.comm_pj -= be.fine_comm_pj;
+    energy_.reconfig_pj -= be.fine_reconfig_pj;
+    energy_.coarse_pj += be.coarse_pj;
+    energy_.comm_pj += be.coarse_comm_pj;
+  }
   order_index_[block] = static_cast<std::ptrdiff_t>(order_.size());
   order_.push_back(block);
 }
@@ -144,6 +182,14 @@ void IncrementalSplit::unmove(ir::BlockId block) {
   cost_.t_fpga += mapper_->fine_contribution_cycles(block, *profile_);
   cost_.t_coarse -= mapper_->coarse_cycles_per_invocation(block) * iterations;
   cost_.t_comm -= mapper_->comm_cycles_per_invocation(block) * iterations;
+  if (!block_energy_.empty()) {
+    const BlockEnergy& be = block_energy_[static_cast<std::size_t>(block)];
+    energy_.fine_pj += be.fine_pj;
+    energy_.comm_pj += be.fine_comm_pj;
+    energy_.reconfig_pj += be.fine_reconfig_pj;
+    energy_.coarse_pj -= be.coarse_pj;
+    energy_.comm_pj -= be.coarse_comm_pj;
+  }
   // Swap-remove from the order list, keeping the index map consistent.
   const std::ptrdiff_t index = order_index_[block];
   const ir::BlockId last = order_.back();

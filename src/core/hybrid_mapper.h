@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "coarsegrain/cgc_mapper.h"
+#include "core/objective.h"
 #include "finegrain/fpga_mapper.h"
 #include "ir/cdfg.h"
 #include "ir/profile.h"
@@ -102,11 +103,42 @@ class HybridMapper {
 /// engine loop pays O(blocks) once at construction instead of per
 /// candidate. cost() is bit-identical to HybridMapper::evaluate() on the
 /// same moved set (all terms are integer and per-block additive).
+///
+/// Constructed with a CostObjective that needs_energy(), the split also
+/// tracks an EnergyBreakdown with the same O(1) per-move deltas: every
+/// block's fine- and coarse-side contributions are priced once up front
+/// (core/energy.h block_energy) and added/subtracted on movement. The
+/// energy terms are per-block additive like the cycle terms, so the
+/// incremental total equals a full estimate_energy repricing up to
+/// floating-point summation order (within ulps; the property tests pin
+/// this). Final reports always reprice via estimate_energy, so emitted
+/// numbers are byte-deterministic regardless of the search path.
 class IncrementalSplit {
  public:
   IncrementalSplit(HybridMapper& mapper, const ir::ProfileData& profile);
 
+  /// Energy-aware split: tracks the breakdown when
+  /// objective.needs_energy(). The objective must outlive the split.
+  IncrementalSplit(HybridMapper& mapper, const ir::ProfileData& profile,
+                   const CostObjective& objective);
+
   const SplitCost& cost() const { return cost_; }
+
+  /// Running energy of the split; all-zero unless energy tracking was
+  /// requested at construction.
+  const EnergyBreakdown& energy() const { return energy_; }
+
+  /// The scalar the construction objective minimizes for the current
+  /// split (timing objective when constructed without one).
+  double objective_value() const {
+    return objective_->value(cost_.total(), energy_.total_pj());
+  }
+
+  /// The construction objective's constraint test on the current split.
+  bool meets(std::int64_t timing_constraint, double energy_budget_pj) const {
+    return objective_->met(cost_.total(), energy_.total_pj(),
+                           timing_constraint, energy_budget_pj);
+  }
   bool is_moved(ir::BlockId block) const;
   std::size_t moved_count() const { return order_.size(); }
 
@@ -127,7 +159,10 @@ class IncrementalSplit {
  private:
   HybridMapper* mapper_;
   const ir::ProfileData* profile_;
+  const CostObjective* objective_;  ///< never null (default: timing)
   SplitCost cost_;
+  EnergyBreakdown energy_;
+  std::vector<BlockEnergy> block_energy_;  ///< per block; empty when untracked
   std::vector<std::ptrdiff_t> order_index_;  ///< position in order_; -1 = fine
   std::vector<ir::BlockId> order_;
 };

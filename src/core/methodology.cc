@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <random>
 
+#include "core/energy.h"
 #include "core/strategy.h"
+#include "support/error.h"
 
 namespace amdrel::core {
 
@@ -52,16 +54,34 @@ PartitionReport run_methodology(HybridMapper& mapper,
                                 const ir::ProfileData& profile,
                                 std::int64_t timing_constraint_cycles,
                                 const MethodologyOptions& options) {
+  // The branch-and-bound lower bound (and the greedy/annealing "best"
+  // tracking) assume the combined scalarization is monotone in both
+  // axes; a negative weight would make the suffix-gain bound
+  // inadmissible and silently return non-optimal "optima".
+  require(options.objective.cycle_weight >= 0 &&
+              options.objective.energy_weight >= 0,
+          "run_methodology: combined-objective weights must be >= 0");
+
   PartitionReport report;
   report.app = mapper.cdfg().name();
   report.timing_constraint = timing_constraint_cycles;
+  report.objective = options.objective.kind;
+  report.energy_budget_pj = options.energy_budget_pj;
 
   // Step 2: map everything to the fine-grain hardware; exit when the
-  // timing constraint is already met.
+  // objective's constraint(s) — timing, energy budget, or both — are
+  // already met. Every report carries energy columns (priced by a
+  // deterministic full repricing), so sweeps can front on energy even
+  // for timing-driven runs.
   report.initial_cycles = mapper.all_fine_cycles(profile);
+  report.energy =
+      estimate_energy(mapper, profile, {}, options.objective.energy);
+  report.initial_energy_pj = report.energy.total_pj();
   report.final_cycles = report.initial_cycles;
   report.cost.t_fpga = report.initial_cycles;
-  if (report.initial_cycles <= timing_constraint_cycles) {
+  if (options.objective.met(report.initial_cycles, report.initial_energy_pj,
+                            timing_constraint_cycles,
+                            options.energy_budget_pj)) {
     report.initial_meets = true;
     report.met = true;
     return report;
@@ -83,7 +103,15 @@ PartitionReport run_methodology(HybridMapper& mapper,
   report.cost = result.cost;
   report.final_cycles = result.cost.total();
   report.cycles_in_cgc = result.cost.t_coarse;
-  report.met = report.final_cycles <= timing_constraint_cycles;
+  // Reprice the final split's energy from scratch (block order, not the
+  // search's move order) so the emitted numbers never depend on the
+  // path the strategy walked.
+  report.energy = estimate_energy(mapper, profile, report.moved,
+                                  options.objective.energy);
+  report.met = options.objective.met(report.final_cycles,
+                                     report.energy.total_pj(),
+                                     timing_constraint_cycles,
+                                     options.energy_budget_pj);
   report.engine_iterations = result.engine_iterations;
   return report;
 }

@@ -6,6 +6,7 @@
 
 #include "analysis/kernels.h"
 #include "core/hybrid_mapper.h"
+#include "core/objective.h"
 #include "ir/cdfg.h"
 #include "ir/profile.h"
 #include "platform/platform.h"
@@ -34,6 +35,14 @@ struct MethodologyOptions {
   analysis::AnalysisOptions analysis;
   StrategyKind strategy = StrategyKind::kGreedyPaper;
   KernelOrdering ordering = KernelOrdering::kWeightDescending;
+  /// What the selected strategy minimizes and which constraint(s) `met`
+  /// checks: the paper's timing flow, the energy variant, or a weighted
+  /// combination (see core/objective.h). Also carries the EnergyModel
+  /// that prices every report's energy columns.
+  CostObjective objective;
+  /// Energy budget in pJ, the energy-side analogue of the
+  /// timing_constraint parameter; consulted by kEnergy/kCombined.
+  double energy_budget_pj = 0;
   std::uint64_t random_seed = 1;
   /// Stop as soon as the constraint is met (the paper's behaviour).
   /// When false, greedy keeps moving every candidate and annealing runs
@@ -57,8 +66,11 @@ struct MethodologyOptions {
 struct PartitionReport {
   std::string app;
   std::int64_t timing_constraint = 0;
+  ObjectiveKind objective = ObjectiveKind::kTiming;
+  double energy_budget_pj = 0;
 
   std::int64_t initial_cycles = 0;  ///< all-fine-grain solution (step 2)
+  double initial_energy_pj = 0;     ///< all-fine-grain energy
   bool initial_meets = false;       ///< methodology exits at step 2 if true
 
   std::vector<analysis::KernelInfo> kernels;  ///< analysis output, ordered
@@ -67,13 +79,24 @@ struct PartitionReport {
   SplitCost cost;              ///< final t_FPGA / t_coarse / t_comm
   std::int64_t final_cycles = 0;
   std::int64_t cycles_in_cgc = 0;  ///< t_coarse (the tables' "Cycles in CGC")
-  bool met = false;
+  /// Energy of the final split under options.objective.energy, priced by
+  /// a deterministic full repricing (estimate_energy) whatever the
+  /// objective — every report carries energy columns, so sweeps can
+  /// Pareto-front on energy even for timing-driven runs.
+  EnergyBreakdown energy;
+  bool met = false;            ///< options.objective.met(...) on the final split
   int engine_iterations = 0;
 
   double reduction_percent() const {
     if (initial_cycles == 0) return 0.0;
     return 100.0 * (1.0 - static_cast<double>(final_cycles) /
                               static_cast<double>(initial_cycles));
+  }
+
+  double energy_reduction_percent() const {
+    return initial_energy_pj == 0.0
+               ? 0.0
+               : 100.0 * (1.0 - energy.total_pj() / initial_energy_pj);
   }
 };
 

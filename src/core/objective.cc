@@ -1,0 +1,59 @@
+#include "core/objective.h"
+
+#include "support/error.h"
+
+namespace amdrel::core {
+
+double CostObjective::value(std::int64_t total_cycles,
+                            double energy_pj) const {
+  switch (kind) {
+    case ObjectiveKind::kTiming:
+      return static_cast<double>(total_cycles);
+    case ObjectiveKind::kEnergy:
+      return energy_pj;
+    case ObjectiveKind::kCombined:
+      return cycle_weight * static_cast<double>(total_cycles) +
+             energy_weight * energy_pj;
+  }
+  throw Error("CostObjective::value: unknown objective kind");
+}
+
+bool CostObjective::met(std::int64_t total_cycles, double energy_pj,
+                        std::int64_t timing_constraint,
+                        double energy_budget_pj) const {
+  switch (kind) {
+    case ObjectiveKind::kTiming:
+      return total_cycles <= timing_constraint;
+    case ObjectiveKind::kEnergy:
+      return energy_pj <= energy_budget_pj;
+    case ObjectiveKind::kCombined:
+      return total_cycles <= timing_constraint &&
+             energy_pj <= energy_budget_pj;
+  }
+  throw Error("CostObjective::met: unknown objective kind");
+}
+
+const std::vector<ObjectiveKind>& all_objectives() {
+  static const std::vector<ObjectiveKind> kinds = {
+      ObjectiveKind::kTiming, ObjectiveKind::kEnergy,
+      ObjectiveKind::kCombined};
+  return kinds;
+}
+
+const char* objective_name(ObjectiveKind kind) {
+  switch (kind) {
+    case ObjectiveKind::kTiming: return "timing";
+    case ObjectiveKind::kEnergy: return "energy";
+    case ObjectiveKind::kCombined: return "combined";
+  }
+  return "?";
+}
+
+std::optional<ObjectiveKind> parse_objective(std::string_view name) {
+  for (const ObjectiveKind kind : all_objectives()) {
+    if (name == objective_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+}  // namespace amdrel::core

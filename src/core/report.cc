@@ -61,6 +61,17 @@ std::string with_thousands(std::int64_t value) {
 std::string describe(const PartitionReport& report, const ir::Cdfg& cdfg) {
   std::ostringstream os;
   os << "application: " << report.app << "\n";
+  // Timing-objective reports keep the original byte-pinned layout; the
+  // energy lines appear only when the run searched under an
+  // energy-aware objective.
+  const bool energy_aware = report.objective != ObjectiveKind::kTiming;
+  if (energy_aware) {
+    char budget[64];
+    std::snprintf(budget, sizeof budget, "%.1f",
+                  report.energy_budget_pj / 1000.0);
+    os << "objective: " << objective_name(report.objective) << "\n";
+    os << "energy budget: " << budget << " nJ\n";
+  }
   os << "timing constraint: " << with_thousands(report.timing_constraint)
      << " cycles\n";
   os << "all-fine-grain (initial): " << with_thousands(report.initial_cycles)
@@ -82,6 +93,26 @@ std::string describe(const PartitionReport& report, const ir::Cdfg& cdfg) {
     os << report.reduction_percent() << "%\n";
     os << "constraint " << (report.met ? "met" : "NOT met") << " after "
        << report.engine_iterations << " engine iteration(s)\n";
+  }
+  if (energy_aware) {
+    auto nj = [](double pj) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof buffer, "%.1f", pj / 1000.0);
+      return std::string(buffer);
+    };
+    os << "energy: " << nj(report.energy.total_pj()) << " nJ (fine "
+       << nj(report.energy.fine_pj) << " + coarse "
+       << nj(report.energy.coarse_pj) << " + reconfig "
+       << nj(report.energy.reconfig_pj) << " + comm "
+       << nj(report.energy.comm_pj) << "), all-fine "
+       << nj(report.initial_energy_pj) << " nJ\n";
+    os << "energy reduction: ";
+    os.precision(3);
+    os << report.energy_reduction_percent() << "%\n";
+    os << (report.objective == ObjectiveKind::kCombined
+               ? "combined objective "
+               : "energy budget ")
+       << (report.met ? "met" : "NOT met") << "\n";
   }
   return os.str();
 }

@@ -9,9 +9,23 @@
 
 namespace amdrel::core {
 
+namespace {
+
+/// The construction objective's stop/acceptance test for one split,
+/// against the context's timing constraint and energy budget.
+bool split_met(const StrategyContext& ctx, const IncrementalSplit& split) {
+  return split.meets(ctx.timing_constraint, ctx.options.energy_budget_pj);
+}
+
+}  // namespace
+
 StrategyResult GreedyPaperStrategy::run(const StrategyContext& ctx) {
   StrategyResult result;
-  IncrementalSplit split(ctx.mapper, ctx.profile);
+  IncrementalSplit split(ctx.mapper, ctx.profile, ctx.options.objective);
+  // Objective values of pure-timing splits are integer cycle counts held
+  // exactly in a double, so these comparisons replicate the original
+  // int64 ones bit-for-bit.
+  double best_value = split.objective_value();
   SplitCost best_cost = split.cost();
   std::vector<ir::BlockId> best_moved;
 
@@ -20,19 +34,19 @@ StrategyResult GreedyPaperStrategy::run(const StrategyContext& ctx) {
     result.engine_iterations++;
 
     split.move(kernel.block);
-    const SplitCost cost = split.cost();
+    const double value = split.objective_value();
 
-    if (ctx.options.skip_unprofitable && cost.total() > best_cost.total()) {
+    if (ctx.options.skip_unprofitable && value > best_value) {
       split.unmove(kernel.block);
       continue;  // ablation mode only; the paper always commits the move
     }
-    if (cost.total() < best_cost.total()) {
-      best_cost = cost;
+    if (value < best_value) {
+      best_value = value;
+      best_cost = split.cost();
       best_moved = split.moved();
     }
-    if (ctx.options.stop_when_met &&
-        cost.total() <= ctx.timing_constraint) {
-      best_cost = cost;
+    if (ctx.options.stop_when_met && split_met(ctx, split)) {
+      best_cost = split.cost();
       best_moved = split.moved();
       break;
     }
@@ -44,14 +58,20 @@ StrategyResult GreedyPaperStrategy::run(const StrategyContext& ctx) {
 
 StrategyResult ExhaustiveStrategy::run(const StrategyContext& ctx) {
   StrategyResult result;
-  IncrementalSplit split(ctx.mapper, ctx.profile);
-  const SplitCost all_fine = split.cost();
+  const CostObjective& objective = ctx.options.objective;
+  IncrementalSplit split(ctx.mapper, ctx.profile, objective);
+  const double root_value = split.objective_value();
 
   // Candidates: the first eligible kernels in the analysis order (capped),
-  // then sorted most-beneficial-first so the bound prunes early.
+  // then sorted most-beneficial-first so the bound prunes early. Each
+  // carries its per-axis deltas: the bound needs cycles and energy
+  // separately (the met() test is per-axis), the ordering and the
+  // best-value bound use the objective scalar.
   struct Candidate {
     ir::BlockId block;
-    std::int64_t delta;  ///< total-cycle change of moving the block
+    double value_delta;        ///< objective-scalar change of the move
+    std::int64_t cycle_delta;  ///< total-cycle change of the move
+    double energy_delta;       ///< total-pJ change of the move
   };
   std::vector<Candidate> candidates;
   const auto cap =
@@ -59,56 +79,80 @@ StrategyResult ExhaustiveStrategy::run(const StrategyContext& ctx) {
   for (const analysis::KernelInfo& kernel : ctx.kernels) {
     if (!kernel.cgc_eligible) continue;
     if (candidates.size() >= cap) break;
+    const SplitCost root_cost = split.cost();
+    const double root_energy = split.energy().total_pj();
     split.move(kernel.block);
-    const std::int64_t delta = split.cost().total() - all_fine.total();
+    const double value_delta = split.objective_value() - root_value;
+    const std::int64_t cycle_delta = split.cost().total() - root_cost.total();
+    const double energy_delta = split.energy().total_pj() - root_energy;
     split.unmove(kernel.block);
-    candidates.push_back({kernel.block, delta});
+    candidates.push_back({kernel.block, value_delta, cycle_delta,
+                          energy_delta});
   }
   std::stable_sort(candidates.begin(), candidates.end(),
                    [](const Candidate& a, const Candidate& b) {
-                     return a.delta < b.delta;
+                     return a.value_delta < b.value_delta;
                    });
 
   const std::size_t n = candidates.size();
-  // suffix_gain[i]: the best possible further reduction from position i on
-  // (sum of the remaining negative deltas) — the admissible bound.
-  std::vector<std::int64_t> suffix_gain(n + 1, 0);
+  // suffix_*[i]: the best possible further reduction from position i on
+  // (sum of the remaining negative deltas, per axis) — the admissible
+  // bound. Per-block additivity of every cost term is what makes these
+  // sums a true lower bound; see the combined-objective caveat on
+  // run_methodology.
+  std::vector<double> suffix_value(n + 1, 0.0);
+  std::vector<std::int64_t> suffix_cycles(n + 1, 0);
+  std::vector<double> suffix_energy(n + 1, 0.0);
   for (std::size_t i = n; i-- > 0;) {
-    suffix_gain[i] =
-        suffix_gain[i + 1] + std::min<std::int64_t>(0, candidates[i].delta);
+    suffix_value[i] =
+        suffix_value[i + 1] + std::min(0.0, candidates[i].value_delta);
+    suffix_cycles[i] =
+        suffix_cycles[i + 1] +
+        std::min<std::int64_t>(0, candidates[i].cycle_delta);
+    suffix_energy[i] =
+        suffix_energy[i + 1] + std::min(0.0, candidates[i].energy_delta);
   }
 
   std::vector<char> taken(n, 0);
   bool met_found = false;
   std::size_t met_moves = 0;
+  double met_value = 0.0;
   SplitCost met_cost;
   std::vector<char> met_taken;
-  SplitCost best_any = all_fine;
+  double best_any_value = root_value;
+  SplitCost best_any_cost = split.cost();
   std::vector<char> best_any_taken(n, 0);
 
   const std::function<void(std::size_t)> dfs = [&](std::size_t i) {
     result.engine_iterations++;
-    const SplitCost cost = split.cost();
-    if (cost.total() < best_any.total()) {
-      best_any = cost;
+    const double value = split.objective_value();
+    if (value < best_any_value) {
+      best_any_value = value;
+      best_any_cost = split.cost();
       best_any_taken = taken;
     }
-    if (cost.total() <= ctx.timing_constraint) {
+    if (split_met(ctx, split)) {
       const std::size_t moves = split.moved_count();
       if (!met_found || moves < met_moves ||
-          (moves == met_moves && cost.total() < met_cost.total())) {
+          (moves == met_moves && value < met_value)) {
         met_found = true;
         met_moves = moves;
-        met_cost = cost;
+        met_value = value;
+        met_cost = split.cost();
         met_taken = taken;
       }
     }
     if (i == n) return;
 
-    const std::int64_t optimistic = cost.total() + suffix_gain[i];
-    const bool can_improve_any = optimistic < best_any.total();
+    // Optimistic completion of this subtree, per axis: no reachable
+    // split can beat these, so prune when neither the best-value nor the
+    // fewest-moves-met record can improve.
+    const bool can_improve_any =
+        value + suffix_value[i] < best_any_value;
     const bool can_improve_met =
-        optimistic <= ctx.timing_constraint &&
+        objective.met(split.cost().total() + suffix_cycles[i],
+                      split.energy().total_pj() + suffix_energy[i],
+                      ctx.timing_constraint, ctx.options.energy_budget_pj) &&
         (!met_found || split.moved_count() + 1 <= met_moves);
     if (!can_improve_any && !can_improve_met) return;
 
@@ -122,7 +166,7 @@ StrategyResult ExhaustiveStrategy::run(const StrategyContext& ctx) {
   dfs(0);
 
   const std::vector<char>& chosen = met_found ? met_taken : best_any_taken;
-  result.cost = met_found ? met_cost : best_any;
+  result.cost = met_found ? met_cost : best_any_cost;
   // Emit the moved blocks in the analysis (priority) order for readable
   // reports, independent of the internal search order.
   std::vector<char> is_chosen(static_cast<std::size_t>(
@@ -139,15 +183,17 @@ StrategyResult ExhaustiveStrategy::run(const StrategyContext& ctx) {
 
 StrategyResult AnnealingStrategy::run(const StrategyContext& ctx) {
   StrategyResult result;
-  IncrementalSplit split(ctx.mapper, ctx.profile);
+  IncrementalSplit split(ctx.mapper, ctx.profile, ctx.options.objective);
 
   std::vector<ir::BlockId> candidates;
   for (const analysis::KernelInfo& kernel : ctx.kernels) {
     if (kernel.cgc_eligible) candidates.push_back(kernel.block);
   }
-  SplitCost best = split.cost();
+  double best_value = split.objective_value();
+  SplitCost best_cost = split.cost();
+  double best_energy = split.energy().total_pj();
   std::vector<char> best_state(candidates.size(), 0);
-  result.cost = best;
+  result.cost = best_cost;
   if (candidates.empty()) return result;
 
   std::mt19937_64 rng(ctx.options.random_seed);
@@ -156,13 +202,14 @@ StrategyResult AnnealingStrategy::run(const StrategyContext& ctx) {
 
   const int iterations = std::max(1, ctx.options.anneal_iterations);
   // Hot enough that early uphill flips of the heaviest kernel are
-  // plausible, cooling geometrically to ~1 cycle by the final step.
-  double temperature =
-      std::max(1.0, static_cast<double>(best.total()) * 0.05);
+  // plausible, cooling geometrically to ~1 objective unit (cycle or pJ)
+  // by the final step. Timing objective values are exact integers in a
+  // double, so the walk replicates the original one decision-for-decision.
+  double temperature = std::max(1.0, best_value * 0.05);
   const double cooling = std::pow(1.0 / temperature, 1.0 / iterations);
 
   std::vector<char> state(candidates.size(), 0);
-  std::int64_t current = best.total();
+  double current = best_value;
   for (int step = 0; step < iterations; ++step) {
     result.engine_iterations++;
     const std::size_t i = pick(rng);
@@ -172,18 +219,34 @@ StrategyResult AnnealingStrategy::run(const StrategyContext& ctx) {
     } else {
       split.move(block);
     }
-    const std::int64_t proposed = split.cost().total();
-    const double delta = static_cast<double>(proposed - current);
+    const double proposed = split.objective_value();
+    const double delta = proposed - current;
     if (delta <= 0.0 || uniform(rng) < std::exp(-delta / temperature)) {
       state[i] ^= 1;
       current = proposed;
-      if (proposed < best.total()) {
-        best = split.cost();
+      if (proposed < best_value) {
+        best_value = proposed;
+        best_cost = split.cost();
+        best_energy = split.energy().total_pj();
         best_state = state;
       }
-      if (ctx.options.stop_when_met &&
-          current <= ctx.timing_constraint) {
-        break;  // paper-flow semantics: stop once the constraint holds
+      if (ctx.options.stop_when_met && split_met(ctx, split)) {
+        // Stop once the constraint holds (paper-flow semantics) — but
+        // return a split that actually meets it. For timing and energy
+        // objectives best_value <= current implies the recorded best
+        // meets too (the scalar IS the constrained quantity), so this
+        // keeps those walks bit-identical; under kCombined the scalar
+        // is a weighted sum while met() is per-axis, so the lower-value
+        // best can violate an axis the current split satisfies.
+        if (!ctx.options.objective.met(best_cost.total(), best_energy,
+                                       ctx.timing_constraint,
+                                       ctx.options.energy_budget_pj)) {
+          best_value = proposed;
+          best_cost = split.cost();
+          best_energy = split.energy().total_pj();
+          best_state = state;
+        }
+        break;
       }
     } else {
       // Rejected: revert the flip.
@@ -196,7 +259,7 @@ StrategyResult AnnealingStrategy::run(const StrategyContext& ctx) {
     temperature = std::max(1.0, temperature * cooling);
   }
 
-  result.cost = best;
+  result.cost = best_cost;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (best_state[i]) result.moved.push_back(candidates[i]);
   }

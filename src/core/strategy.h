@@ -12,6 +12,11 @@ namespace amdrel::core {
 /// Everything a partitioning strategy needs to search the split space:
 /// the (cdfg, platform) mapper, the profile, the constraint, the run
 /// options and the ordered kernel candidates from the analysis step.
+/// The cost objective (timing cycles, energy pJ, or a weighted
+/// combination) and the energy budget ride in options.objective /
+/// options.energy_budget_pj — strategies minimize
+/// IncrementalSplit::objective_value() and stop on the objective's met()
+/// test, so all three searches serve all three objectives.
 struct StrategyContext {
   HybridMapper& mapper;
   const ir::ProfileData& profile;

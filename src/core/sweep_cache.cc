@@ -1,6 +1,7 @@
 #include "core/sweep_cache.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <utility>
@@ -230,13 +231,34 @@ bool get_string(const JsonValue& object, const char* name, std::string& out) {
   return true;
 }
 
+// Energy doubles round-trip through their IEEE-754 bit pattern (as a
+// signed 64-bit integer) so the strict integer-only parser needs no
+// float grammar and a hit returns exactly the bits a cold run computed.
+std::int64_t double_to_bits(double value) {
+  std::int64_t bits = 0;
+  static_assert(sizeof bits == sizeof value, "IEEE-754 double expected");
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+double bits_to_double(std::int64_t bits) {
+  double value = 0;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
 void write_cell_line(std::ostringstream& os, const Fingerprint& key,
                      const CachedCell& cell) {
   const PartitionReport& r = cell.report;
   os << "{\"kind\":\"cell\",\"key\":\"" << key.to_hex() << "\","
      << "\"app\":\"" << json_escape(r.app) << "\","
      << "\"constraint\":" << r.timing_constraint << ","
+     << "\"objective\":" << static_cast<int>(r.objective) << ","
+     << "\"energy_budget_bits\":" << double_to_bits(r.energy_budget_pj)
+     << ","
      << "\"initial_cycles\":" << r.initial_cycles << ","
+     << "\"initial_energy_bits\":" << double_to_bits(r.initial_energy_pj)
+     << ","
      << "\"initial_meets\":" << (r.initial_meets ? "true" : "false") << ","
      << "\"kernels\":[";
   for (std::size_t i = 0; i < r.kernels.size(); ++i) {
@@ -261,6 +283,10 @@ void write_cell_line(std::ostringstream& os, const Fingerprint& key,
      << "\"t_comm\":" << r.cost.t_comm << ","
      << "\"final_cycles\":" << r.final_cycles << ","
      << "\"cycles_in_cgc\":" << r.cycles_in_cgc << ","
+     << "\"energy_bits\":[" << double_to_bits(r.energy.fine_pj) << ","
+     << double_to_bits(r.energy.coarse_pj) << ","
+     << double_to_bits(r.energy.reconfig_pj) << ","
+     << double_to_bits(r.energy.comm_pj) << "],"
      << "\"met\":" << (r.met ? "true" : "false") << ","
      << "\"engine_iterations\":" << r.engine_iterations << "}\n";
 }
@@ -268,9 +294,15 @@ void write_cell_line(std::ostringstream& os, const Fingerprint& key,
 bool read_cell_line(const JsonValue& object, CachedCell& cell) {
   PartitionReport& r = cell.report;
   std::int64_t iterations = 0;
+  std::int64_t objective = 0;
+  std::int64_t budget_bits = 0;
+  std::int64_t initial_energy_bits = 0;
   if (!get_string(object, "app", r.app) ||
       !get_int(object, "constraint", r.timing_constraint) ||
+      !get_int(object, "objective", objective) ||
+      !get_int(object, "energy_budget_bits", budget_bits) ||
       !get_int(object, "initial_cycles", r.initial_cycles) ||
+      !get_int(object, "initial_energy_bits", initial_energy_bits) ||
       !get_bool(object, "initial_meets", r.initial_meets) ||
       !get_int(object, "t_fpga", r.cost.t_fpga) ||
       !get_int(object, "t_coarse", r.cost.t_coarse) ||
@@ -282,6 +314,26 @@ bool read_cell_line(const JsonValue& object, CachedCell& cell) {
     return false;
   }
   r.engine_iterations = static_cast<int>(iterations);
+  if (objective < 0 ||
+      objective > static_cast<int>(ObjectiveKind::kCombined)) {
+    return false;
+  }
+  r.objective = static_cast<ObjectiveKind>(objective);
+  r.energy_budget_pj = bits_to_double(budget_bits);
+  r.initial_energy_pj = bits_to_double(initial_energy_bits);
+
+  const JsonValue* energy = object.find("energy_bits");
+  if (!energy || energy->kind != JsonValue::Kind::kArray ||
+      energy->items.size() != 4) {
+    return false;
+  }
+  for (const JsonValue& field : energy->items) {
+    if (field.kind != JsonValue::Kind::kInt) return false;
+  }
+  r.energy.fine_pj = bits_to_double(energy->items[0].integer);
+  r.energy.coarse_pj = bits_to_double(energy->items[1].integer);
+  r.energy.reconfig_pj = bits_to_double(energy->items[2].integer);
+  r.energy.comm_pj = bits_to_double(energy->items[3].integer);
 
   const JsonValue* kernels = object.find("kernels");
   if (!kernels || kernels->kind != JsonValue::Kind::kArray) return false;

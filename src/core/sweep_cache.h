@@ -19,7 +19,11 @@ namespace amdrel::core {
 /// load() rejects files written with a different version (or a different
 /// kFingerprintAlgorithmVersion) and the caller starts cold — a stale
 /// cache must never produce results a fresh run would not.
-inline constexpr int kSweepCacheSchemaVersion = 1;
+/// v2: cell lines carry the cost objective and energy results. Energy
+/// doubles are stored as IEEE-754 bit patterns (signed 64-bit integers),
+/// not decimal text, so a cache hit returns bit-identical values and the
+/// warm-vs-cold byte-identity contract extends to the energy columns.
+inline constexpr int kSweepCacheSchemaVersion = 2;
 
 /// One memoized sweep cell: everything sweep_design_space /
 /// explore_design_space derive per (app, platform, options, constraint)

@@ -24,6 +24,15 @@ std::string format_percent(double value) {
   return buffer;
 }
 
+// Fixed four-decimal rendering for energy pJ values: enough to show the
+// sub-pJ tail the models produce while staying byte-stable (no %g
+// precision cliffs on 11-digit JPEG energies).
+std::string format_energy(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.4f", value);
+  return buffer;
+}
+
 // RFC-4180 quoting: fields containing the separator, quotes or newlines
 // are wrapped in double quotes with embedded quotes doubled. App names
 // can be arbitrary (CLI file paths); block names are generator-chosen.
@@ -71,12 +80,20 @@ std::string sweep_to_json(const SweepSummary& summary) {
        << "\"constraint\": " << cell.constraint << ", "
        << "\"strategy\": \"" << strategy_name(cell.strategy) << "\", "
        << "\"ordering\": \"" << kernel_ordering_name(cell.ordering) << "\", "
+       << "\"objective\": \"" << objective_name(cell.report.objective)
+       << "\", "
+       << "\"energy_budget_pj\": " << format_energy(cell.energy_budget_pj)
+       << ", "
        << "\"initial_cycles\": " << cell.report.initial_cycles << ", "
        << "\"final_cycles\": " << cell.report.final_cycles << ", "
        << "\"cycles_in_cgc\": " << cell.report.cycles_in_cgc << ", "
        << "\"t_fpga\": " << cell.report.cost.t_fpga << ", "
        << "\"t_coarse\": " << cell.report.cost.t_coarse << ", "
        << "\"t_comm\": " << cell.report.cost.t_comm << ", "
+       << "\"initial_energy_pj\": "
+       << format_energy(cell.report.initial_energy_pj) << ", "
+       << "\"energy_pj\": " << format_energy(cell.report.energy.total_pj())
+       << ", "
        << "\"moved\": " << cell.report.moved.size() << ", "
        << "\"moved_blocks\": [";
     for (std::size_t m = 0; m < cell.moved_names.size(); ++m) {
@@ -87,6 +104,8 @@ std::string sweep_to_json(const SweepSummary& summary) {
        << "\"met\": " << (cell.report.met ? "true" : "false") << ", "
        << "\"reduction_percent\": \""
        << format_percent(cell.report.reduction_percent()) << "\", "
+       << "\"energy_reduction_percent\": \""
+       << format_percent(cell.report.energy_reduction_percent()) << "\", "
        << "\"engine_iterations\": " << cell.report.engine_iterations << ", "
        << "\"app_pareto\": " << (cell.on_app_pareto ? "true" : "false")
        << ", "
@@ -110,9 +129,11 @@ std::string sweep_to_json(const SweepSummary& summary) {
 std::string sweep_to_csv(const SweepSummary& summary) {
   std::ostringstream os;
   os << "app,a_fpga,cgcs,platform_cost,constraint,strategy,ordering,"
+        "objective,energy_budget_pj,"
         "initial_cycles,final_cycles,cycles_in_cgc,t_fpga,t_coarse,t_comm,"
-        "moved,moved_blocks,met,reduction_percent,engine_iterations,"
-        "app_pareto,global_pareto\n";
+        "initial_energy_pj,energy_pj,"
+        "moved,moved_blocks,met,reduction_percent,energy_reduction_percent,"
+        "engine_iterations,app_pareto,global_pareto\n";
   for (const SweepCell& cell : summary.cells) {
     std::string blocks;
     for (const std::string& name : cell.moved_names) {
@@ -125,12 +146,17 @@ std::string sweep_to_csv(const SweepSummary& summary) {
        << cell.cgcs << ',' << format_double(cell.platform_cost) << ','
        << cell.constraint << ',' << strategy_name(cell.strategy) << ','
        << kernel_ordering_name(cell.ordering) << ','
+       << objective_name(cell.report.objective) << ','
+       << format_energy(cell.energy_budget_pj) << ','
        << cell.report.initial_cycles << ',' << cell.report.final_cycles << ','
        << cell.report.cycles_in_cgc << ',' << cell.report.cost.t_fpga << ','
        << cell.report.cost.t_coarse << ',' << cell.report.cost.t_comm << ','
+       << format_energy(cell.report.initial_energy_pj) << ','
+       << format_energy(cell.report.energy.total_pj()) << ','
        << cell.report.moved.size() << ',' << blocks << ','
        << (cell.report.met ? "true" : "false") << ','
        << format_percent(cell.report.reduction_percent()) << ','
+       << format_percent(cell.report.energy_reduction_percent()) << ','
        << cell.report.engine_iterations << ','
        << (cell.on_app_pareto ? "true" : "false") << ','
        << (cell.on_global_pareto ? "true" : "false") << '\n';

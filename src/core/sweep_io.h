@@ -11,21 +11,28 @@ namespace amdrel::core {
 /// the field set, field meaning, or formatting of sweep_to_json /
 /// sweep_to_csv — the golden tests pin the emissions byte-for-byte, so a
 /// format change must be an explicit, reviewed event.
-inline constexpr int kSweepSchemaVersion = 1;
+/// v2: cells carry the cost objective and energy columns (objective,
+/// energy_budget_pj, initial_energy_pj, energy_pj,
+/// energy_reduction_percent) and Pareto fronts include the energy axis.
+inline constexpr int kSweepSchemaVersion = 2;
 
 /// Serializes a sweep as a stable-schema JSON document:
 ///
 ///   {
-///     "schema_version": 1,
+///     "schema_version": 2,
 ///     "generator": "amdrel",
 ///     "apps": ["ofdm", ...],
 ///     "cells": [ { "app": "ofdm", "a_fpga": 1500, "cgcs": 2,
 ///                  "platform_cost": 2076, "constraint": 60000,
 ///                  "strategy": "greedy", "ordering": "weight",
+///                  "objective": "timing", "energy_budget_pj": 0.0000,
 ///                  "initial_cycles": N, "final_cycles": N,
 ///                  "cycles_in_cgc": N, "t_fpga": N, "t_coarse": N,
-///                  "t_comm": N, "moved": N, "moved_blocks": ["BB22", ...],
+///                  "t_comm": N, "initial_energy_pj": 202988452.0000,
+///                  "energy_pj": 942580.0000, "moved": N,
+///                  "moved_blocks": ["BB22", ...],
 ///                  "met": true, "reduction_percent": "46.10",
+///                  "energy_reduction_percent": "99.54",
 ///                  "engine_iterations": N, "app_pareto": true,
 ///                  "global_pareto": false }, ... ],
 ///     "app_pareto": { "ofdm": [0, 3], ... },
@@ -33,11 +40,12 @@ inline constexpr int kSweepSchemaVersion = 1;
 ///   }
 ///
 /// Cells appear in SweepSummary order (app-major, then area, CGC count,
-/// constraint, strategy, ordering); pareto lists hold indices into
-/// "cells". reduction_percent is a string so the emission stays
-/// byte-stable (fixed "%.2f" rendering, no float round-trip drift).
-/// Output is deterministic: byte-identical for identical sweeps,
-/// regardless of thread count.
+/// constraint, energy budget, strategy, ordering); pareto lists hold
+/// indices into "cells". reduction_percent / energy_reduction_percent
+/// are strings so the emission stays byte-stable (fixed "%.2f"
+/// rendering, no float round-trip drift); energy pJ fields render with
+/// fixed "%.4f". Output is deterministic: byte-identical for identical
+/// sweeps, regardless of thread count.
 std::string sweep_to_json(const SweepSummary& summary);
 
 /// Serializes a sweep as CSV: a fixed header row then one row per cell,
@@ -52,7 +60,7 @@ std::string sweep_to_csv(const SweepSummary& summary);
 /// pinned byte-identical regardless of cache state.
 ///
 ///   {
-///     "schema_version": 1,
+///     "schema_version": <kSweepCacheSchemaVersion>,
 ///     "generator": "amdrel",
 ///     "cell_hits": N, "cell_misses": N, "cell_hit_rate": "0.50",
 ///     "mapper_restores": N, "mapper_builds": N,

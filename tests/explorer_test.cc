@@ -89,9 +89,11 @@ TEST(ExplorerTest, ParetoFrontInvariants) {
 
   auto dominates = [](const PartitionReport& a, const PartitionReport& b) {
     const bool no_worse = a.final_cycles <= b.final_cycles &&
-                          a.moved.size() <= b.moved.size();
+                          a.moved.size() <= b.moved.size() &&
+                          a.energy.total_pj() <= b.energy.total_pj();
     const bool better = a.final_cycles < b.final_cycles ||
-                        a.moved.size() < b.moved.size();
+                        a.moved.size() < b.moved.size() ||
+                        a.energy.total_pj() < b.energy.total_pj();
     return no_worse && better;
   };
   for (const std::size_t i : summary.pareto) {
@@ -124,6 +126,29 @@ TEST(ExplorerTest, EmptyConstraintsSweepFractionsOfAllFine) {
             3 * spec.strategies.size() * spec.orderings.size());
   EXPECT_EQ(summary.points.front().constraint, all_fine / 4);
   EXPECT_EQ(summary.points.back().constraint, (3 * all_fine) / 4);
+}
+
+TEST(ExplorerTest, EnergyBudgetAxisExpandsGrid) {
+  const PaperApp app = build_ofdm_model();
+  const auto p = platform::make_paper_platform(1500, 2);
+  ExploreSpec spec;
+  spec.constraints = {workloads::kOfdmTimingConstraint};
+  spec.energy_budgets = {1.0e6, 7.0e5};
+  spec.strategies = {StrategyKind::kGreedyPaper};
+  spec.orderings = {KernelOrdering::kWeightDescending};
+  spec.base.objective.kind = ObjectiveKind::kEnergy;
+  const auto summary = explore_design_space(app.cdfg, app.profile, p, spec);
+  ASSERT_EQ(summary.points.size(), 2u);
+  EXPECT_EQ(summary.points[0].energy_budget_pj, 1.0e6);
+  EXPECT_EQ(summary.points[1].energy_budget_pj, 7.0e5);
+  for (const ExplorePoint& point : summary.points) {
+    EXPECT_EQ(point.report.objective, ObjectiveKind::kEnergy);
+    EXPECT_TRUE(point.report.met);
+    EXPECT_LE(point.report.energy.total_pj(), point.energy_budget_pj);
+  }
+  // The tighter budget needs strictly more kernels on the CGC.
+  EXPECT_LT(summary.points[0].report.moved.size(),
+            summary.points[1].report.moved.size());
 }
 
 TEST(ExplorerTest, EmptyStrategyGridRejected) {

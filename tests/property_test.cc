@@ -342,6 +342,59 @@ TEST_P(MethodologyProperty, IncrementalSplitMatchesEvaluate) {
   }
 }
 
+TEST_P(MethodologyProperty, IncrementalEnergyMatchesEstimate) {
+  // The O(1) energy deltas must track a from-scratch estimate_energy
+  // repricing through every move/unmove of a random movement sequence.
+  // Deltas add and subtract per-block doubles in movement order while
+  // the repricing sums in block order, so equality is up to float
+  // summation order: a tight relative tolerance, not bit equality (the
+  // engine's emitted reports always use the repricing).
+  const auto app = make_app();
+  const auto p = platform::make_paper_platform(1500, 2);
+  core::HybridMapper mapper(app.cdfg, p);
+  core::CostObjective objective;
+  objective.kind = core::ObjectiveKind::kEnergy;
+  core::IncrementalSplit split(mapper, app.profile, objective);
+
+  std::vector<ir::BlockId> eligible;
+  for (const auto& block : app.cdfg.blocks()) {
+    if (mapper.cgc_eligible(block.id)) eligible.push_back(block.id);
+  }
+  ASSERT_FALSE(eligible.empty());
+
+  const auto near = [](double actual, double reference) {
+    const double scale = std::max({std::fabs(actual), std::fabs(reference),
+                                   1.0});
+    return std::fabs(actual - reference) <= 1e-9 * scale;
+  };
+  std::mt19937_64 rng(GetParam() * 104729 + 3);
+  std::uniform_int_distribution<std::size_t> pick(0, eligible.size() - 1);
+  for (int step = 0; step < 200; ++step) {
+    const ir::BlockId block = eligible[pick(rng)];
+    if (split.is_moved(block)) {
+      split.unmove(block);
+    } else {
+      split.move(block);
+    }
+    const core::EnergyBreakdown reference = core::estimate_energy(
+        mapper, app.profile, split.moved(), objective.energy);
+    ASSERT_TRUE(near(split.energy().fine_pj, reference.fine_pj))
+        << "step " << step << ": " << split.energy().fine_pj << " vs "
+        << reference.fine_pj;
+    ASSERT_TRUE(near(split.energy().coarse_pj, reference.coarse_pj))
+        << "step " << step;
+    ASSERT_TRUE(near(split.energy().reconfig_pj, reference.reconfig_pj))
+        << "step " << step;
+    ASSERT_TRUE(near(split.energy().comm_pj, reference.comm_pj))
+        << "step " << step;
+    ASSERT_TRUE(near(split.energy().total_pj(), reference.total_pj()))
+        << "step " << step;
+    // The objective scalar is the tracked total, so the strategies see
+    // the same numbers the assertions above just checked.
+    ASSERT_EQ(split.objective_value(), split.energy().total_pj());
+  }
+}
+
 TEST_P(MethodologyProperty, StrategiesAgreeOnSplitPricing) {
   // Whatever split a strategy reports, re-pricing it from scratch must
   // reproduce the reported cost — for every registered strategy.

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -206,9 +207,16 @@ void expect_rejected(const std::string& content, const char* expect_in_error,
   std::remove(path.c_str());
 }
 
-const char kHeader[] =
-    "{\"kind\":\"header\",\"schema_version\":1,"
-    "\"fingerprint_algorithm\":1,\"generator\":\"amdrel\"}\n";
+// A header this build accepts, built from the live constants so the
+// corrupt-entry cases below keep testing ENTRY validation after version
+// bumps (a stale hardcoded header would trip the version check first).
+std::string current_header() {
+  std::ostringstream os;
+  os << "{\"kind\":\"header\",\"schema_version\":" << kSweepCacheSchemaVersion
+     << ",\"fingerprint_algorithm\":" << kFingerprintAlgorithmVersion
+     << ",\"generator\":\"amdrel\"}\n";
+  return os.str();
+}
 
 TEST(SweepCacheTest, LoadRejectsCorruptFiles) {
   expect_rejected("garbage\n", "not a JSON object", "garbage");
@@ -219,40 +227,41 @@ TEST(SweepCacheTest, LoadRejectsCorruptFiles) {
       "\"fingerprint_algorithm\":1}\n",
       "schema_version 999", "schema_mismatch");
   expect_rejected(
-      "{\"kind\":\"header\",\"schema_version\":1,"
-      "\"fingerprint_algorithm\":999}\n",
+      "{\"kind\":\"header\",\"schema_version\":" +
+          std::to_string(kSweepCacheSchemaVersion) +
+          ",\"fingerprint_algorithm\":999}\n",
       "fingerprint_algorithm 999", "algorithm_mismatch");
-  expect_rejected(std::string(kHeader) + "{\"kind\":\"cell\"}\n",
+  expect_rejected(current_header() + "{\"kind\":\"cell\"}\n",
                   "missing \"key\"", "keyless");
   expect_rejected(
-      std::string(kHeader) +
+      current_header() +
           "{\"kind\":\"cell\",\"key\":\"zz\"}\n",
       "malformed key", "bad_key");
   expect_rejected(
-      std::string(kHeader) +
+      current_header() +
           "{\"kind\":\"wat\",\"key\":"
           "\"00000000000000000000000000000001\"}\n",
       "unknown kind", "unknown_kind");
   expect_rejected(
-      std::string(kHeader) +
+      current_header() +
           "{\"kind\":\"all_fine\",\"key\":"
           "\"00000000000000000000000000000001\"}\n",
       "malformed all_fine", "all_fine_no_cycles");
   expect_rejected(
-      std::string(kHeader) +
+      current_header() +
           "{\"kind\":\"all_fine\",\"key\":"
           "\"00000000000000000000000000000001\",\"cycles\":1}\n" +
           "{\"kind\":\"all_fine\",\"key\":"
           "\"00000000000000000000000000000001\",\"cycles\":2}\n",
       "duplicate key", "duplicate");
   expect_rejected(
-      std::string(kHeader) +
+      current_header() +
           "{\"kind\":\"cell\",\"key\":"
           "\"00000000000000000000000000000001\",\"app\":\"x\"}\n",
       "malformed cell", "cell_missing_fields");
   // Truncated mid-line JSON (a crashed writer).
   expect_rejected(
-      std::string(kHeader) +
+      current_header() +
           "{\"kind\":\"all_fine\",\"key\":"
           "\"00000000000000000000000000000001\",\"cy",
       "not a JSON object", "truncated");

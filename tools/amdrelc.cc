@@ -17,6 +17,11 @@
 //                    annealing                           (default greedy)
 //   --ordering O     kernel ordering: weight | benefit | code | random
 //                                                        (default weight)
+//   --objective O    cost objective: timing | energy | combined
+//                                                        (default timing)
+//   --energy-budget N  energy budget in pJ for the energy/combined
+//                    objectives (partition default: half of the
+//                    all-fine-grain energy; explore default: 0)
 //   --seed N         seed for random ordering / annealing (default 1)
 //   --input NAME=v0,v1,...   initialize array NAME before profiling
 //   --optimize       run the TAC optimizer before analysis
@@ -24,6 +29,8 @@
 // explore only:
 //   --constraints c1,c2,...  constraint sweep (default: 1/4, 1/2 and 3/4
 //                    of each cell's all-fine-grain cycles)
+//   --energy-budgets b1,b2,...  energy-budget axis in pJ (default: the
+//                    single --energy-budget value, or 0)
 //   --strategies s1,s2,...   strategies to sweep  (default: all)
 //   --orderings o1,o2,...    orderings to sweep   (default: weight,benefit)
 //   --grid AxC       platform grid "a1,a2,...xc1,c2,..." — A_FPGA values
@@ -53,6 +60,7 @@
 #include <vector>
 
 #include "analysis/kernels.h"
+#include "core/energy.h"
 #include "core/explorer.h"
 #include "core/methodology.h"
 #include "core/report.h"
@@ -81,6 +89,8 @@ struct Options {
   std::optional<std::int64_t> constraint;
   std::optional<core::StrategyKind> strategy;
   std::optional<core::KernelOrdering> ordering;
+  std::optional<core::ObjectiveKind> objective;
+  std::optional<double> energy_budget;
   std::uint64_t seed = 1;
   bool optimize = false;
   int top = 10;
@@ -88,6 +98,7 @@ struct Options {
 
   // explore sweep lists (empty = the documented defaults)
   std::vector<std::int64_t> constraints;
+  std::vector<double> energy_budgets;
   std::vector<core::StrategyKind> strategies;
   std::vector<core::KernelOrdering> orderings;
   std::optional<core::PlatformGrid> grid;
@@ -105,9 +116,12 @@ struct Options {
                "usage: amdrelc <analyze|partition|explore|dump-tac|dump-dot> "
                "<file.mc> [--area N] [--cgcs N] [--constraint N] "
                "[--strategy greedy|exhaustive|annealing] "
-               "[--ordering weight|benefit|code|random] [--seed N] "
+               "[--ordering weight|benefit|code|random] "
+               "[--objective timing|energy|combined] [--energy-budget N] "
+               "[--seed N] "
                "[--input NAME=v0,v1,...] [--optimize] [--top N] "
-               "[--constraints c1,c2,...] [--strategies s1,s2,...] "
+               "[--constraints c1,c2,...] [--energy-budgets b1,b2,...] "
+               "[--strategies s1,s2,...] "
                "[--orderings o1,o2,...] [--grid a1,a2,...xc1,c2,...] "
                "[--corpus ofdm|jpeg|fir|sobel|file.mc,...] "
                "[--json PATH] [--csv PATH] [--threads N] "
@@ -116,42 +130,52 @@ struct Options {
   std::exit(2);
 }
 
+/// Usage error attributable to one flag: names the flag and the problem
+/// before the generic usage text, so `--objective garbage` fails with a
+/// message the user can act on (and the negative CLI tests grep for).
+[[noreturn]] void usage_error(const std::string& flag,
+                              const std::string& why) {
+  std::fprintf(stderr, "amdrelc: %s for %s\n", why.c_str(), flag.c_str());
+  usage();
+}
+
 std::vector<std::string> split_list(const std::string& spec) {
   return split(spec, ',');
 }
 
-// Malformed numeric flag values are usage errors, matching how unknown
-// strategy/ordering names are handled (std::sto* would otherwise throw
-// std::invalid_argument past main's Error handler).
-std::int64_t parse_i64(const std::string& text) {
+// Malformed numeric flag values are usage errors naming the offending
+// flag, matching how unknown strategy/ordering names are handled
+// (std::sto* would otherwise throw std::invalid_argument past main's
+// Error handler).
+std::int64_t parse_i64(const std::string& text, const std::string& flag) {
   try {
     return std::stoll(text);
   } catch (const std::exception&) {
-    usage();
+    usage_error(flag, "malformed numeric value '" + text + "'");
   }
 }
 
-std::uint64_t parse_u64(const std::string& text) {
+std::uint64_t parse_u64(const std::string& text, const std::string& flag) {
   try {
     return std::stoull(text);
   } catch (const std::exception&) {
-    usage();
+    usage_error(flag, "malformed numeric value '" + text + "'");
   }
 }
 
-int parse_int(const std::string& text) {
+int parse_int(const std::string& text, const std::string& flag) {
   try {
     return std::stoi(text);
   } catch (const std::exception&) {
-    usage();
+    usage_error(flag, "malformed numeric value '" + text + "'");
   }
 }
 
-double parse_double(const std::string& text) {
+double parse_double(const std::string& text, const std::string& flag) {
   try {
     return std::stod(text);
   } catch (const std::exception&) {
-    usage();
+    usage_error(flag, "malformed numeric value '" + text + "'");
   }
 }
 
@@ -169,48 +193,79 @@ Options parse_args(int argc, char** argv) {
   for (int i = first_flag; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
-      if (++i >= argc) usage();
+      if (++i >= argc) usage_error(arg, "missing value");
       return argv[i];
     };
     if (arg == "--area") {
       // Same invariants parse_platform_grid enforces for --grid, so the
       // single-platform fallback path cannot smuggle in a bad platform.
-      options.area = parse_double(next());
-      if (!std::isfinite(options.area) || options.area <= 0) usage();
+      options.area = parse_double(next(), arg);
+      if (!std::isfinite(options.area) || options.area <= 0) {
+        usage_error(arg, "area must be positive and finite");
+      }
     } else if (arg == "--cgcs") {
-      options.cgcs = parse_int(next());
-      if (options.cgcs < 1 || options.cgcs > 1024) usage();
+      options.cgcs = parse_int(next(), arg);
+      if (options.cgcs < 1 || options.cgcs > 1024) {
+        usage_error(arg, "CGC count must be in [1, 1024]");
+      }
     } else if (arg == "--constraint") {
-      options.constraint = parse_i64(next());
+      options.constraint = parse_i64(next(), arg);
     } else if (arg == "--strategy") {
-      options.strategy = core::parse_strategy(next());
-      if (!options.strategy) usage();
+      const std::string name = next();
+      options.strategy = core::parse_strategy(name);
+      if (!options.strategy) {
+        usage_error(arg, "unknown strategy '" + name + "'");
+      }
     } else if (arg == "--ordering") {
-      options.ordering = core::parse_kernel_ordering(next());
-      if (!options.ordering) usage();
+      const std::string name = next();
+      options.ordering = core::parse_kernel_ordering(name);
+      if (!options.ordering) {
+        usage_error(arg, "unknown ordering '" + name + "'");
+      }
+    } else if (arg == "--objective") {
+      const std::string name = next();
+      options.objective = core::parse_objective(name);
+      if (!options.objective) {
+        usage_error(arg, "unknown objective '" + name + "'");
+      }
+    } else if (arg == "--energy-budget") {
+      options.energy_budget = parse_double(next(), arg);
+      if (!std::isfinite(*options.energy_budget) ||
+          *options.energy_budget < 0) {
+        usage_error(arg, "energy budget must be >= 0 and finite");
+      }
+    } else if (arg == "--energy-budgets") {
+      for (const std::string& item : split_list(next())) {
+        const double budget = parse_double(item, arg);
+        if (!std::isfinite(budget) || budget < 0) {
+          usage_error(arg, "energy budgets must be >= 0 and finite");
+        }
+        options.energy_budgets.push_back(budget);
+      }
     } else if (arg == "--seed") {
-      options.seed = parse_u64(next());
+      options.seed = parse_u64(next(), arg);
     } else if (arg == "--threads") {
-      options.threads = parse_int(next());
+      options.threads = parse_int(next(), arg);
     } else if (arg == "--constraints") {
       for (const std::string& item : split_list(next())) {
-        options.constraints.push_back(parse_i64(item));
+        options.constraints.push_back(parse_i64(item, arg));
       }
     } else if (arg == "--strategies") {
       for (const std::string& item : split_list(next())) {
         const auto strategy = core::parse_strategy(item);
-        if (!strategy) usage();
+        if (!strategy) usage_error(arg, "unknown strategy '" + item + "'");
         options.strategies.push_back(*strategy);
       }
     } else if (arg == "--orderings") {
       for (const std::string& item : split_list(next())) {
         const auto ordering = core::parse_kernel_ordering(item);
-        if (!ordering) usage();
+        if (!ordering) usage_error(arg, "unknown ordering '" + item + "'");
         options.orderings.push_back(*ordering);
       }
     } else if (arg == "--grid") {
-      options.grid = core::parse_platform_grid(next());
-      if (!options.grid) usage();
+      const std::string spec = next();
+      options.grid = core::parse_platform_grid(spec);
+      if (!options.grid) usage_error(arg, "malformed grid '" + spec + "'");
     } else if (arg == "--corpus") {
       const std::string spec = next();
       // getline drops a trailing empty field, so "ofdm," would otherwise
@@ -249,16 +304,18 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--optimize") {
       options.optimize = true;
     } else if (arg == "--top") {
-      options.top = parse_int(next());
+      options.top = parse_int(next(), arg);
     } else if (arg == "--input") {
       const std::string spec = next();
       const auto eq = spec.find('=');
-      if (eq == std::string::npos) usage();
+      if (eq == std::string::npos) {
+        usage_error(arg, "expected NAME=v0,v1,...");
+      }
       std::vector<std::int32_t> values;
       std::stringstream ss(spec.substr(eq + 1));
       std::string item;
       while (std::getline(ss, item, ',')) {
-        values.push_back(static_cast<std::int32_t>(parse_i64(item)));
+        values.push_back(static_cast<std::int32_t>(parse_i64(item, arg)));
       }
       options.inputs.emplace_back(spec.substr(0, eq), std::move(values));
     } else {
@@ -357,6 +414,9 @@ core::MethodologyOptions methodology_options(const Options& options) {
   mo.strategy = options.strategy.value_or(core::StrategyKind::kGreedyPaper);
   mo.ordering =
       options.ordering.value_or(core::KernelOrdering::kWeightDescending);
+  mo.objective.kind =
+      options.objective.value_or(core::ObjectiveKind::kTiming);
+  mo.energy_budget_pj = options.energy_budget.value_or(0.0);
   mo.random_seed = options.seed;
   return mo;
 }
@@ -367,11 +427,20 @@ int cmd_partition(const Options& options) {
   core::HybridMapper mapper(app.cdfg, p);
   const std::int64_t all_fine = mapper.all_fine_cycles(app.profile);
   const std::int64_t constraint = options.constraint.value_or(all_fine / 2);
-  const core::MethodologyOptions mo = methodology_options(options);
+  core::MethodologyOptions mo = methodology_options(options);
+  if (mo.objective.needs_energy() && !options.energy_budget) {
+    // Mirror the timing default (half of all-fine cycles): without an
+    // explicit budget, ask for half of the all-fine-grain energy.
+    mo.energy_budget_pj =
+        core::estimate_energy(mapper, app.profile, {}, mo.objective.energy)
+            .total_pj() *
+        0.5;
+  }
   const auto report = core::run_methodology(mapper, app.profile, constraint, mo);
-  std::fprintf(stderr, "strategy: %s, ordering: %s\n",
+  std::fprintf(stderr, "strategy: %s, ordering: %s, objective: %s\n",
                core::strategy_name(mo.strategy),
-               core::kernel_ordering_name(mo.ordering));
+               core::kernel_ordering_name(mo.ordering),
+               core::objective_name(mo.objective.kind));
   std::printf("%s", core::describe(report, app.cdfg).c_str());
   return report.met ? 0 : 1;
 }
@@ -452,6 +521,9 @@ int cmd_explore(const Options& options) {
   if (spec.constraints.empty() && options.constraint) {
     spec.constraints = {*options.constraint};
   }
+  // The energy axis: an explicit --energy-budgets list, else the single
+  // --energy-budget already in spec.base (0 when neither is given).
+  spec.energy_budgets = options.energy_budgets;
   if (!options.strategies.empty()) {
     spec.strategies = options.strategies;
   } else if (options.strategy) {
