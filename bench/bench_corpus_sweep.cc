@@ -8,6 +8,9 @@
 // fingerprint lookups, so the warm benchmark records the cache's
 // speedup in the bench JSON the CI regression gate archives.
 
+#include <thread>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "core/explorer.h"
@@ -92,6 +95,46 @@ void BM_CorpusSweepWarmCache(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CorpusSweepWarmCache)->Unit(benchmark::kMillisecond);
+
+// Lock contention on the sharded in-memory index: N threads hammer
+// get/put on a shared cache. Each thread walks its own key sequence
+// (hit on its own writes, miss on a rotated range), so the measurement
+// is dominated by index locking, not payload construction. Run with
+// --benchmark_min_time or the CI 16-thread arg to compare the sharded
+// index against the old single-mutex behavior (SweepCache(1)).
+void BM_CacheContention(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr std::uint64_t kKeysPerThread = 256;
+  core::SweepCache cache;  // default shard count
+  core::CachedCell cell;
+  cell.report.app = "contention";
+  cell.report.final_cycles = 1;
+  cell.report.moved = {1};
+  cell.moved_names = {"BB1"};
+  for (auto _ : state) {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&cache, &cell, t] {
+        const auto base =
+            static_cast<std::uint64_t>(t) * kKeysPerThread;
+        core::Fingerprint key;
+        key.hi = 0xc0ffee;
+        for (std::uint64_t i = 0; i < kKeysPerThread; ++i) {
+          key.lo = base + i;
+          cache.store_cell(key, cell);
+          benchmark::DoNotOptimize(cache.find_cell(key));
+          key.lo = base + kKeysPerThread + i;  // someone else's range
+          benchmark::DoNotOptimize(cache.find_cell(key));
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+  state.SetItemsProcessed(state.iterations() * threads * kKeysPerThread * 3);
+}
+BENCHMARK(BM_CacheContention)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_SweepJsonEmission(benchmark::State& state) {
   const auto summary = core::sweep_design_space(make_corpus(6), make_spec(4));

@@ -201,12 +201,33 @@ StrategyResult AnnealingStrategy::run(const StrategyContext& ctx) {
   std::uniform_real_distribution<double> uniform(0.0, 1.0);
 
   const int iterations = std::max(1, ctx.options.anneal_iterations);
-  // Hot enough that early uphill flips of the heaviest kernel are
-  // plausible, cooling geometrically to ~1 objective unit (cycle or pJ)
-  // by the final step. Timing objective values are exact integers in a
-  // double, so the walk replicates the original one decision-for-decision.
-  double temperature = std::max(1.0, best_value * 0.05);
-  const double cooling = std::pow(1.0 / temperature, 1.0 / iterations);
+  // The acceptance temperature must live on the objective's own scale.
+  // Timing keeps the historical absolute schedule — start at 5% of the
+  // initial cycle count, cool geometrically to 1 cycle — whose walks the
+  // sweep goldens pin byte-for-byte (the scale divisor is exactly 1.0,
+  // so delta/scale is the identity on those doubles). Energy and
+  // combined objectives are pJ-scale scalars, orders of magnitude
+  // larger than cycle counts on the same app; the absolute schedule
+  // started them far hotter in relative terms (and its floor of 1.0 pJ
+  // is relatively far colder), so their walks accepted uphill moves
+  // near-blindly for most of the budget. For those spaces the schedule
+  // is normalized by the initial objective value: deltas become
+  // fractions of the starting cost and temperature runs 5e-2 -> 1e-8
+  // relative. The floor sits below the smallest single-flip relative
+  // delta either space produces on the paper apps (~4e-7 in pJ space),
+  // the same relationship the absolute timing floor of 1 cycle has to
+  // its smallest delta, so late-stage walks reject uphill moves in
+  // every space instead of boiling forever in pJ space; the
+  // AcceptanceRateIsObjectiveScaleFree test pins the resulting rates
+  // to one band.
+  const bool normalized =
+      ctx.options.objective.kind != ObjectiveKind::kTiming;
+  const double scale = normalized ? std::max(1.0, best_value) : 1.0;
+  const double floor_temp = normalized ? 1e-8 : 1.0;
+  double temperature =
+      normalized ? 0.05 : std::max(1.0, best_value * 0.05);
+  const double cooling =
+      std::pow(floor_temp / temperature, 1.0 / iterations);
 
   std::vector<char> state(candidates.size(), 0);
   double current = best_value;
@@ -221,7 +242,10 @@ StrategyResult AnnealingStrategy::run(const StrategyContext& ctx) {
     }
     const double proposed = split.objective_value();
     const double delta = proposed - current;
-    if (delta <= 0.0 || uniform(rng) < std::exp(-delta / temperature)) {
+    if (delta > 0.0) result.uphill_proposed++;
+    if (delta <= 0.0 ||
+        uniform(rng) < std::exp(-(delta / scale) / temperature)) {
+      if (delta > 0.0) result.uphill_accepted++;
       state[i] ^= 1;
       current = proposed;
       if (proposed < best_value) {
@@ -256,7 +280,7 @@ StrategyResult AnnealingStrategy::run(const StrategyContext& ctx) {
         split.unmove(block);
       }
     }
-    temperature = std::max(1.0, temperature * cooling);
+    temperature = std::max(floor_temp, temperature * cooling);
   }
 
   result.cost = best_cost;

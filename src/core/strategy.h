@@ -30,6 +30,12 @@ struct StrategyResult {
   std::vector<ir::BlockId> moved;  ///< in movement/priority order
   SplitCost cost;
   int engine_iterations = 0;  ///< splits priced / search nodes visited
+  // Annealing acceptance telemetry (zero for the other strategies):
+  // uphill proposals seen and how many the Metropolis test accepted.
+  // The temperature-normalization regression test pins the accepted /
+  // proposed ratio to the same band across objective spaces.
+  int uphill_proposed = 0;
+  int uphill_accepted = 0;
 };
 
 /// The partitioning engine of paper Figure 2 steps 4-5, abstracted: a

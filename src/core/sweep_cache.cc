@@ -1,10 +1,17 @@
 #include "core/sweep_cache.h"
 
+#include <cassert>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
 
 #include "support/strings.h"
 
@@ -373,72 +380,13 @@ bool read_cell_line(const JsonValue& object, CachedCell& cell) {
   return true;
 }
 
-}  // namespace
-
-std::optional<CachedCell> SweepCache::find_cell(const Fingerprint& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = cells_.find(key);
-  if (it == cells_.end()) {
-    ++stats_.cell_misses;
-    return std::nullopt;
-  }
-  ++stats_.cell_hits;
-  return it->second;
-}
-
-void SweepCache::store_cell(const Fingerprint& key, CachedCell cell) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  cells_.insert_or_assign(key, std::move(cell));
-  stats_.cells = cells_.size();
-}
-
-std::optional<std::int64_t> SweepCache::find_all_fine(const Fingerprint& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = all_fine_.find(key);
-  if (it == all_fine_.end()) {
-    ++stats_.all_fine_misses;
-    return std::nullopt;
-  }
-  ++stats_.all_fine_hits;
-  return it->second;
-}
-
-void SweepCache::store_all_fine(const Fingerprint& key, std::int64_t cycles) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  all_fine_.insert_or_assign(key, cycles);
-}
-
-std::shared_ptr<const MapperState> SweepCache::find_mapper(
-    const Fingerprint& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = mappers_.find(key);
-  if (it == mappers_.end()) {
-    ++stats_.mapper_builds;
-    return nullptr;
-  }
-  ++stats_.mapper_restores;
-  return it->second;
-}
-
-void SweepCache::store_mapper(const Fingerprint& key,
-                              std::shared_ptr<const MapperState> state) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  mappers_.insert_or_assign(key, std::move(state));
-}
-
-SweepCacheStats SweepCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
-}
-
-void SweepCache::reset_stats() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const std::uint64_t cells = stats_.cells;
-  stats_ = SweepCacheStats{};
-  stats_.cells = cells;
-}
-
-bool SweepCache::load(const std::string& path, std::string* error) {
+/// Parses a whole cache file into the given maps with the strict
+/// whole-file rejection contract (shared by load() and the merge-on-save
+/// re-read inside save()). The maps are only filled on success.
+bool parse_cache_file(const std::string& path,
+                      std::map<Fingerprint, CachedCell>& cells,
+                      std::map<Fingerprint, std::int64_t>& all_fine,
+                      std::string* error) {
   auto reject = [&](const std::string& why) {
     if (error) *error = why;
     return false;
@@ -447,8 +395,6 @@ bool SweepCache::load(const std::string& path, std::string* error) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return reject("cannot open " + path);
 
-  std::map<Fingerprint, CachedCell> cells;
-  std::map<Fingerprint, std::int64_t> all_fine;
   std::string line;
   std::size_t line_no = 0;
   bool saw_header = false;
@@ -516,35 +462,309 @@ bool SweepCache::load(const std::string& path, std::string* error) {
   }
   if (in.bad()) return reject("read error on " + path);
   if (!saw_header) return reject(path + ": empty cache file (no header)");
+  return true;
+}
 
-  const std::lock_guard<std::mutex> lock(mutex_);
-  cells_ = std::move(cells);
-  all_fine_ = std::move(all_fine);
-  stats_.entries_loaded = cells_.size() + all_fine_.size();
-  stats_.cells = cells_.size();
+void serialize_cache(std::ostringstream& os,
+                     const std::map<Fingerprint, CachedCell>& cells,
+                     const std::map<Fingerprint, std::int64_t>& all_fine) {
+  os << "{\"kind\":\"header\",\"schema_version\":" << kSweepCacheSchemaVersion
+     << ",\"fingerprint_algorithm\":" << kFingerprintAlgorithmVersion
+     << ",\"generator\":\"amdrel\"}\n";
+  for (const auto& [key, cycles] : all_fine) {
+    os << "{\"kind\":\"all_fine\",\"key\":\"" << key.to_hex()
+       << "\",\"cycles\":" << cycles << "}\n";
+  }
+  for (const auto& [key, cell] : cells) {
+    write_cell_line(os, key, cell);
+  }
+}
+
+#ifndef NDEBUG
+// Content-addressed keys mean a collision must carry an identical
+// payload; compare via the canonical serialization so every field
+// participates.
+bool same_cell_payload(const Fingerprint& key, const CachedCell& a,
+                       const CachedCell& b) {
+  std::ostringstream sa;
+  std::ostringstream sb;
+  write_cell_line(sa, key, a);
+  write_cell_line(sb, key, b);
+  return sa.str() == sb.str();
+}
+#endif
+
+// Unions src into dst; dst (the existing entry) wins on collision, and
+// debug builds assert the colliding payloads are bit-identical — a
+// mismatch means two different computations hashed to one fingerprint,
+// i.e. a fingerprinting bug, not a merge-policy question.
+void union_cells(std::map<Fingerprint, CachedCell>& dst,
+                 std::map<Fingerprint, CachedCell>&& src) {
+  for (auto& [key, cell] : src) {
+    // try_emplace, not emplace: it must not move from `cell` when the
+    // key already exists, or the assert below would compare a husk.
+    const auto [it, inserted] = dst.try_emplace(key, std::move(cell));
+    assert(inserted || same_cell_payload(key, it->second, cell));
+    (void)it;
+    (void)inserted;
+  }
+}
+
+void union_all_fine(std::map<Fingerprint, std::int64_t>& dst,
+                    const std::map<Fingerprint, std::int64_t>& src) {
+  for (const auto& [key, cycles] : src) {
+    const auto [it, inserted] = dst.emplace(key, cycles);
+    assert(inserted || it->second == cycles);
+    (void)it;
+    (void)inserted;
+  }
+}
+
+/// Exclusive advisory lock on a sidecar lock file, held for the
+/// load-merge-write cycle in save(). The lock file is created on first
+/// use and intentionally never unlinked: deleting it would let a late
+/// locker open the old inode while a new one locks a fresh file, i.e.
+/// two "exclusive" holders. Failure to lock (exotic filesystem,
+/// unwritable directory) degrades to an unlocked save — the temp+rename
+/// write is still atomic, we only lose the cross-process union window,
+/// and the real failure surfaces as the write error the caller reports.
+class ScopedFileLock {
+ public:
+  explicit ScopedFileLock(const std::string& path) {
+#ifndef _WIN32
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0666);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+#else
+    (void)path;
+#endif
+  }
+
+  ScopedFileLock(const ScopedFileLock&) = delete;
+  ScopedFileLock& operator=(const ScopedFileLock&) = delete;
+
+  ~ScopedFileLock() {
+#ifndef _WIN32
+    if (fd_ >= 0) ::close(fd_);  // releases the flock
+#endif
+  }
+
+ private:
+#ifndef _WIN32
+  int fd_ = -1;
+#endif
+};
+
+}  // namespace
+
+SweepCache::SweepCache(int shard_count)
+    : shards_(static_cast<std::size_t>(
+          shard_count < 1 ? 1 : (shard_count > 4096 ? 4096 : shard_count))) {}
+
+SweepCache::Shard& SweepCache::shard_for(const Fingerprint& key) {
+  return shards_[static_cast<std::size_t>(key.lo) % shards_.size()];
+}
+
+const SweepCache::Shard& SweepCache::shard_for(const Fingerprint& key) const {
+  return shards_[static_cast<std::size_t>(key.lo) % shards_.size()];
+}
+
+std::optional<CachedCell> SweepCache::find_cell(const Fingerprint& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.cells.find(key);
+  if (it == shard.cells.end()) {
+    ++shard.stats.cell_misses;
+    return std::nullopt;
+  }
+  ++shard.stats.cell_hits;
+  return it->second;
+}
+
+void SweepCache::store_cell(const Fingerprint& key, CachedCell cell) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.cells.insert_or_assign(key, std::move(cell));
+}
+
+std::optional<std::int64_t> SweepCache::find_all_fine(const Fingerprint& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.all_fine.find(key);
+  if (it == shard.all_fine.end()) {
+    ++shard.stats.all_fine_misses;
+    return std::nullopt;
+  }
+  ++shard.stats.all_fine_hits;
+  return it->second;
+}
+
+void SweepCache::store_all_fine(const Fingerprint& key, std::int64_t cycles) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.all_fine.insert_or_assign(key, cycles);
+}
+
+std::shared_ptr<const MapperState> SweepCache::find_mapper(
+    const Fingerprint& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.mappers.find(key);
+  if (it == shard.mappers.end()) {
+    ++shard.stats.mapper_builds;
+    return nullptr;
+  }
+  ++shard.stats.mapper_restores;
+  return it->second;
+}
+
+void SweepCache::store_mapper(const Fingerprint& key,
+                              std::shared_ptr<const MapperState> state) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.mappers.insert_or_assign(key, std::move(state));
+}
+
+SweepCacheStats SweepCache::stats() const {
+  SweepCacheStats total;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total.cell_hits += shard.stats.cell_hits;
+    total.cell_misses += shard.stats.cell_misses;
+    total.mapper_restores += shard.stats.mapper_restores;
+    total.mapper_builds += shard.stats.mapper_builds;
+    total.all_fine_hits += shard.stats.all_fine_hits;
+    total.all_fine_misses += shard.stats.all_fine_misses;
+    total.cells += shard.cells.size();
+  }
+  total.entries_loaded = entries_loaded_.load(std::memory_order_relaxed);
+  return total;
+}
+
+void SweepCache::reset_stats() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.stats = SweepCacheStats{};
+  }
+  entries_loaded_.store(0, std::memory_order_relaxed);
+}
+
+void SweepCache::snapshot(std::map<Fingerprint, CachedCell>& cells,
+                          std::map<Fingerprint, std::int64_t>& all_fine) const {
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, cell] : shard.cells) cells.emplace(key, cell);
+    for (const auto& [key, cycles] : shard.all_fine) {
+      all_fine.emplace(key, cycles);
+    }
+  }
+}
+
+void SweepCache::merge_from(const SweepCache& other) {
+  if (&other == this) return;
+
+  // Snapshot the source shard-by-shard first, so the two caches' locks
+  // are never held together (no lock-order cycle if callers merge in
+  // both directions).
+  std::map<Fingerprint, CachedCell> cells;
+  std::map<Fingerprint, std::int64_t> all_fine;
+  std::map<Fingerprint, std::shared_ptr<const MapperState>> mappers;
+  for (const Shard& shard : other.shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, cell] : shard.cells) cells.emplace(key, cell);
+    for (const auto& [key, cycles] : shard.all_fine) {
+      all_fine.emplace(key, cycles);
+    }
+    for (const auto& [key, state] : shard.mappers) {
+      mappers.emplace(key, state);
+    }
+  }
+
+  for (auto& [key, cell] : cells) {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto [it, inserted] = shard.cells.try_emplace(key, std::move(cell));
+    assert(inserted || same_cell_payload(key, it->second, cell));
+    (void)it;
+    (void)inserted;
+  }
+  for (const auto& [key, cycles] : all_fine) {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto [it, inserted] = shard.all_fine.emplace(key, cycles);
+    assert(inserted || it->second == cycles);
+    (void)it;
+    (void)inserted;
+  }
+  for (auto& [key, state] : mappers) {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.mappers.try_emplace(key, std::move(state));
+  }
+}
+
+bool SweepCache::load(const std::string& path, std::string* error) {
+  std::map<Fingerprint, CachedCell> cells;
+  std::map<Fingerprint, std::int64_t> all_fine;
+  if (!parse_cache_file(path, cells, all_fine, error)) return false;
+
+  const std::uint64_t loaded = cells.size() + all_fine.size();
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cells.clear();
+    shard.all_fine.clear();
+  }
+  for (auto& [key, cell] : cells) {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cells.emplace(key, std::move(cell));
+  }
+  for (const auto& [key, cycles] : all_fine) {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.all_fine.emplace(key, cycles);
+  }
+  entries_loaded_.store(loaded, std::memory_order_relaxed);
   return true;
 }
 
 bool SweepCache::save(const std::string& path, std::string* error) const {
-  std::ostringstream os;
-  os << "{\"kind\":\"header\",\"schema_version\":" << kSweepCacheSchemaVersion
-     << ",\"fingerprint_algorithm\":" << kFingerprintAlgorithmVersion
-     << ",\"generator\":\"amdrel\"}\n";
+  // Serialize the whole load-merge-write cycle against other processes
+  // saving to the same path. The lock lives in a sidecar so it survives
+  // the rename below (locking `path` itself would lock an inode the
+  // rename is about to orphan).
+  const ScopedFileLock file_lock(path + ".lock");
+
+  std::map<Fingerprint, CachedCell> cells;
+  std::map<Fingerprint, std::int64_t> all_fine;
+  snapshot(cells, all_fine);
+
+  // Merge-on-save: union whatever another writer persisted since we
+  // loaded (or a pre-existing file we never loaded). Our in-memory
+  // entry wins a collision — both sides computed it from the same
+  // fingerprinted inputs, so the payloads match (asserted in debug).
+  // A corrupt or version-mismatched file fails the strict parse and is
+  // simply overwritten; that is the PR-4 rejection backstop.
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto& [key, cycles] : all_fine_) {
-      os << "{\"kind\":\"all_fine\",\"key\":\"" << key.to_hex()
-         << "\",\"cycles\":" << cycles << "}\n";
-    }
-    for (const auto& [key, cell] : cells_) {
-      write_cell_line(os, key, cell);
+    std::map<Fingerprint, CachedCell> disk_cells;
+    std::map<Fingerprint, std::int64_t> disk_all_fine;
+    std::string ignored;
+    if (parse_cache_file(path, disk_cells, disk_all_fine, &ignored)) {
+      union_cells(cells, std::move(disk_cells));
+      union_all_fine(all_fine, disk_all_fine);
     }
   }
+
+  std::ostringstream os;
+  serialize_cache(os, cells, all_fine);
+
   // Write-to-temp + rename keeps the save atomic: a failed or
   // interrupted write can never destroy the previously valid cache, and
   // a concurrent reader sees either the old file or the new one, never
-  // a truncated half (ROADMAP's "last writer wins" concurrency story
-  // depends on this).
+  // a truncated half. Writers do not race on the shared temp name —
+  // the file lock above serializes them.
   const std::string temp = path + ".tmp";
   {
     std::ofstream out(temp, std::ios::binary);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -60,15 +61,36 @@ struct SweepCacheStats {
 ///   - HybridMapper snapshots   (shard_key; in-memory only — they hold
 ///                               full schedules and are cheap to rebuild
 ///                               relative to their serialized size).
-/// Thread-safe: every operation takes an internal mutex, so one cache
-/// can back a whole explorer pool. Cached values are byte-identical to
-/// recomputation by construction (they ARE prior results, addressed by
-/// everything that influences them).
+///
+/// Thread-safe AND process-safe:
+///   - In memory the index is sharded into N fingerprint-addressed
+///     buckets (default kDefaultShardCount), each behind its own mutex,
+///     so a 16-thread sweep pool does not serialize on one lock. Keys
+///     are uniformly-mixed digests, so bucket occupancy is balanced.
+///   - On disk, save() is merge-on-save under an advisory file lock
+///     (sidecar "<path>.lock"): it re-loads the target file, unions it
+///     with the in-memory maps and atomically renames a temp file over
+///     the target. Two processes persisting to the same path therefore
+///     lose no entries — content-addressed keys make the union safe
+///     (equal keys imply equal payloads, asserted in debug builds).
+///
+/// Cached values are byte-identical to recomputation by construction
+/// (they ARE prior results, addressed by everything that influences
+/// them).
 class SweepCache {
  public:
-  SweepCache() = default;
+  /// Default in-memory shard count: matches the thread counts the sweep
+  /// pool realistically runs at; see ROADMAP direction 4.
+  static constexpr int kDefaultShardCount = 16;
+
+  /// shard_count is clamped to [1, 4096]. One shard degenerates to the
+  /// old single-mutex index (useful in tests); results never depend on
+  /// the count, only lock contention does.
+  explicit SweepCache(int shard_count = kDefaultShardCount);
   SweepCache(const SweepCache&) = delete;
   SweepCache& operator=(const SweepCache&) = delete;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
 
   std::optional<CachedCell> find_cell(const Fingerprint& key);
   void store_cell(const Fingerprint& key, CachedCell cell);
@@ -80,8 +102,19 @@ class SweepCache {
   void store_mapper(const Fingerprint& key,
                     std::shared_ptr<const MapperState> state);
 
+  /// Aggregated over every shard (each locked in turn, so the totals are
+  /// consistent per shard but not a cross-shard atomic snapshot — fine
+  /// for counters whose values already depend on thread interleaving).
   SweepCacheStats stats() const;
   void reset_stats();
+
+  /// Unions another cache's cell, all-fine and mapper-snapshot entries
+  /// into this one (the coordinator folding per-worker caches; the CLI
+  /// surface is `amdrelc cache-merge`). On a key collision the existing
+  /// entry wins — entries are content-addressed, so colliding payloads
+  /// must be identical, which debug builds assert. Stats counters are
+  /// not merged; they describe each cache's own traffic.
+  void merge_from(const SweepCache& other);
 
   /// Loads a cache file written by save(). Strict: any parse error,
   /// schema/algorithm version mismatch, duplicate or malformed key
@@ -91,20 +124,47 @@ class SweepCache {
   /// it is the normal first-run case.
   bool load(const std::string& path, std::string* error);
 
-  /// Writes every cell and all-fine entry as versioned JSON lines
+  /// Persists every cell and all-fine entry as versioned JSON lines
   /// (header line first, then entries sorted by key, so identical caches
-  /// serialize byte-identically). Atomic: written to "<path>.tmp" and
-  /// renamed over the target, so a failure leaves any previous cache
-  /// file intact. Returns false with a diagnostic on I/O failure.
-  /// Mapper snapshots are not persisted.
+  /// serialize byte-identically). Concurrent-writer safe:
+  ///   1. takes an exclusive advisory lock on "<path>.lock" (flock;
+  ///      created if absent, never deleted — unlink would race the lock),
+  ///   2. merge-on-save: re-loads `path` and unions it with the
+  ///      in-memory entries, so another process's save between our load
+  ///      and now is preserved, not clobbered (a corrupt or
+  ///      version-mismatched on-disk file is discarded — the strict
+  ///      rejection backstop — and simply overwritten),
+  ///   3. writes "<path>.tmp" and renames it over the target, so readers
+  ///      and a crash mid-write never observe a torn file.
+  /// The in-memory cache is NOT mutated (disk-only entries stay on
+  /// disk); load() afterwards to absorb them. Returns false with a
+  /// diagnostic on I/O failure. Mapper snapshots are not persisted.
   bool save(const std::string& path, std::string* error) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<Fingerprint, CachedCell> cells_;
-  std::map<Fingerprint, std::int64_t> all_fine_;
-  std::map<Fingerprint, std::shared_ptr<const MapperState>> mappers_;
-  SweepCacheStats stats_;
+  /// One bucket of the sharded index: its own mutex, the three key maps,
+  /// and the shard's share of the traffic counters (cells/entries_loaded
+  /// are derived, not counted per shard).
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<Fingerprint, CachedCell> cells;
+    std::map<Fingerprint, std::int64_t> all_fine;
+    std::map<Fingerprint, std::shared_ptr<const MapperState>> mappers;
+    SweepCacheStats stats;
+  };
+
+  Shard& shard_for(const Fingerprint& key);
+  const Shard& shard_for(const Fingerprint& key) const;
+
+  /// Copies every cell/all-fine entry into the given maps, locking one
+  /// shard at a time (the serialization and merge snapshot).
+  void snapshot(std::map<Fingerprint, CachedCell>& cells,
+                std::map<Fingerprint, std::int64_t>& all_fine) const;
+
+  // The shard array is sized once at construction and never reallocated
+  // (std::mutex is immovable).
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> entries_loaded_{0};
 };
 
 }  // namespace amdrel::core

@@ -148,6 +148,52 @@ TEST(AnnealingStrategyTest, FullBudgetNeverBeatsExhaustiveOptimum) {
   EXPECT_LT(sa.final_cycles, sa.initial_cycles);
 }
 
+// Runs the annealing strategy directly — run_methodology's report drops
+// the uphill acceptance counters — with stop_when_met disabled so every
+// walk spends the full iteration budget.
+StrategyResult anneal_probe(const PaperApp& app,
+                            const platform::Platform& p,
+                            ObjectiveKind objective) {
+  HybridMapper mapper(app.cdfg, p);
+  MethodologyOptions options;
+  options.strategy = StrategyKind::kAnnealing;
+  options.objective.kind = objective;
+  options.stop_when_met = false;
+  const auto kernels =
+      analysis::extract_kernels(app.cdfg, app.profile, options.analysis);
+  AnnealingStrategy strategy;
+  return strategy.run(
+      {mapper, app.profile, workloads::kOfdmTimingConstraint, options,
+       kernels});
+}
+
+// Regression test for the energy-space temperature bug: the 5% starting
+// temperature used to be computed on the raw objective scalar, so a
+// pJ-scale walk started orders of magnitude hotter (relative to its own
+// deltas) than a cycle-scale walk on the same app and accepted uphill
+// moves near-blindly for most of the budget. With the schedule
+// normalized by the initial objective value, the Metropolis acceptance
+// rate must land in the same band regardless of the objective's unit.
+TEST(AnnealingStrategyTest, AcceptanceRateIsObjectiveScaleFree) {
+  const PaperApp app = build_ofdm_model();
+  const auto p = paper_platform();
+
+  const StrategyResult timing = anneal_probe(app, p, ObjectiveKind::kTiming);
+  const StrategyResult energy = anneal_probe(app, p, ObjectiveKind::kEnergy);
+  ASSERT_GT(timing.uphill_proposed, 0);
+  ASSERT_GT(energy.uphill_proposed, 0);
+
+  const double timing_rate = static_cast<double>(timing.uphill_accepted) /
+                             timing.uphill_proposed;
+  const double energy_rate = static_cast<double>(energy.uphill_accepted) /
+                             energy.uphill_proposed;
+  // A blindly-hot walk accepts nearly every uphill proposal; a healthy
+  // geometric schedule rejects most of them over the full budget.
+  EXPECT_LT(energy_rate, 0.5);
+  // And the two spaces cool comparably: same acceptance band.
+  EXPECT_NEAR(energy_rate, timing_rate, 0.25);
+}
+
 TEST(StrategyTest, MapperReuseAcrossStrategiesIsConsistent) {
   const PaperApp app = build_ofdm_model();
   const auto p = paper_platform();

@@ -9,9 +9,15 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include <gtest/gtest.h>
 
@@ -360,6 +366,197 @@ TEST(SweepCacheTest, MapperSnapshotRejectsWrongBlockCount) {
   const MapperState state = HybridMapper(ofdm.cdfg, platform).state();
   EXPECT_THROW(HybridMapper(jpeg.cdfg, platform, state), Error);
 }
+
+Fingerprint key_of(std::uint64_t hi, std::uint64_t lo) {
+  Fingerprint key;
+  key.hi = hi;
+  key.lo = lo;
+  return key;
+}
+
+CachedCell cell_named(const std::string& app, std::int64_t cycles) {
+  CachedCell cell;
+  cell.report.app = app;
+  cell.report.final_cycles = cycles;
+  cell.report.moved = {1};  // moved_names must stay parallel to moved
+  cell.moved_names = {"BB1"};
+  return cell;
+}
+
+TEST(SweepCacheTest, ShardCountIsClampedAndResultsAreShardCountFree) {
+  EXPECT_EQ(SweepCache(0).shard_count(), 1);
+  EXPECT_EQ(SweepCache(-5).shard_count(), 1);
+  EXPECT_EQ(SweepCache(100000).shard_count(), 4096);
+  EXPECT_EQ(SweepCache().shard_count(), SweepCache::kDefaultShardCount);
+
+  // The memoized sweep must be byte-identical whatever the shard count
+  // and thread count — sharding moves lock boundaries, never results.
+  const auto corpus = workloads::paper_corpus();
+  const std::string uncached =
+      sweep_to_json(sweep_design_space(corpus, small_spec(2, nullptr)));
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  for (const int shards : {1, 16}) {
+    SweepCache cache(shards);
+    for (const int threads : {1, 2, hw}) {
+      EXPECT_EQ(sweep_to_json(
+                    sweep_design_space(corpus, small_spec(threads, &cache))),
+                uncached)
+          << shards << " shards, " << threads << " threads";
+    }
+    // Warm by now: every cell hit, nothing rebuilt.
+    cache.reset_stats();
+    sweep_design_space(corpus, small_spec(2, &cache));
+    EXPECT_EQ(cache.stats().cell_misses, 0u) << shards << " shards";
+    EXPECT_EQ(cache.stats().mapper_builds, 0u) << shards << " shards";
+  }
+}
+
+TEST(SweepCacheTest, StatsAggregateAcrossShards) {
+  SweepCache cache(8);
+  // Keys chosen to land on every bucket (shard = lo % 8).
+  for (std::uint64_t lo = 0; lo < 24; ++lo) {
+    cache.store_cell(key_of(1, lo), cell_named("app", 100));
+  }
+  for (std::uint64_t lo = 0; lo < 24; ++lo) {
+    EXPECT_TRUE(cache.find_cell(key_of(1, lo)).has_value());
+    EXPECT_FALSE(cache.find_cell(key_of(2, lo)).has_value());
+  }
+  const SweepCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.cells, 24u);
+  EXPECT_EQ(stats.cell_hits, 24u);
+  EXPECT_EQ(stats.cell_misses, 24u);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().cell_hits, 0u);
+  EXPECT_EQ(cache.stats().cells, 24u);  // contents survive a stats reset
+}
+
+TEST(SweepCacheTest, MergeFromUnionsEntriesAndKeepsExisting) {
+  SweepCache a;
+  SweepCache b(1);  // merging works across different shard counts
+  const Fingerprint shared = key_of(1, 1);
+  a.store_cell(shared, cell_named("shared", 42));
+  a.store_all_fine(key_of(2, 1), 1000);
+  b.store_cell(shared, cell_named("shared", 42));  // identical payload
+  b.store_cell(key_of(1, 2), cell_named("b_only", 7));
+  b.store_all_fine(key_of(2, 2), 2000);
+  b.store_mapper(key_of(3, 1), std::make_shared<const MapperState>());
+
+  a.merge_from(b);
+  EXPECT_EQ(a.stats().cells, 2u);
+  EXPECT_TRUE(a.find_cell(shared).has_value());
+  EXPECT_TRUE(a.find_cell(key_of(1, 2)).has_value());
+  EXPECT_EQ(a.find_all_fine(key_of(2, 1)).value_or(0), 1000);
+  EXPECT_EQ(a.find_all_fine(key_of(2, 2)).value_or(0), 2000);
+  EXPECT_NE(a.find_mapper(key_of(3, 1)), nullptr);
+  // b is untouched by the merge.
+  EXPECT_EQ(b.stats().cells, 2u);
+  EXPECT_FALSE(b.find_all_fine(key_of(2, 1)).has_value());
+  // Self-merge is a no-op, not a deadlock.
+  a.merge_from(a);
+  EXPECT_EQ(a.stats().cells, 2u);
+}
+
+// The last-writer-wins regression: two caches with disjoint entries save
+// to the same path one after the other. Before merge-on-save the second
+// save clobbered the first; now the file must hold the union.
+TEST(SweepCacheTest, MergeOnSavePreservesTheEarlierWritersEntries) {
+  const std::string path = temp_path("sweep_cache_merge_on_save.jsonl");
+  std::remove(path.c_str());
+  {
+    SweepCache first;
+    first.store_cell(key_of(1, 1), cell_named("first", 1));
+    first.store_all_fine(key_of(2, 1), 10);
+    std::string error;
+    ASSERT_TRUE(first.save(path, &error)) << error;
+  }
+  {
+    SweepCache second;  // never saw the file: cold process, disjoint keys
+    second.store_cell(key_of(1, 2), cell_named("second", 2));
+    second.store_all_fine(key_of(2, 2), 20);
+    std::string error;
+    ASSERT_TRUE(second.save(path, &error)) << error;
+  }
+  SweepCache loaded;
+  std::string error;
+  ASSERT_TRUE(loaded.load(path, &error)) << error;
+  EXPECT_EQ(loaded.stats().entries_loaded, 4u);
+  EXPECT_TRUE(loaded.find_cell(key_of(1, 1)).has_value());
+  EXPECT_TRUE(loaded.find_cell(key_of(1, 2)).has_value());
+  EXPECT_TRUE(loaded.find_all_fine(key_of(2, 1)).has_value());
+  EXPECT_TRUE(loaded.find_all_fine(key_of(2, 2)).has_value());
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+// A corrupt target file must not poison a save: the strict-parse
+// backstop discards it and the save simply overwrites.
+TEST(SweepCacheTest, SaveOverwritesACorruptTargetFile) {
+  const std::string path = temp_path("sweep_cache_corrupt_target.jsonl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a cache\n";
+  }
+  SweepCache cache;
+  cache.store_cell(key_of(1, 1), cell_named("fresh", 1));
+  std::string error;
+  ASSERT_TRUE(cache.save(path, &error)) << error;
+  SweepCache loaded;
+  ASSERT_TRUE(loaded.load(path, &error)) << error;
+  EXPECT_EQ(loaded.stats().entries_loaded, 1u);
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+#ifndef _WIN32
+// The multi-process acceptance property: several writer processes, each
+// holding a disjoint slice of entries, save to one path concurrently.
+// The advisory lock serializes the load-merge-write cycles, so the
+// final file is the full union — zero entries lost.
+TEST(SweepCacheTest, ConcurrentWriterProcessesLoseNoEntries) {
+  const std::string path = temp_path("sweep_cache_concurrent.jsonl");
+  std::remove(path.c_str());
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kEntriesEach = 25;
+
+  std::vector<pid_t> children;
+  for (int w = 0; w < kWriters; ++w) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      SweepCache mine;
+      for (std::uint64_t i = 0; i < kEntriesEach; ++i) {
+        const auto lo = static_cast<std::uint64_t>(w) * kEntriesEach + i;
+        mine.store_cell(key_of(1, lo),
+                        cell_named("w" + std::to_string(w),
+                                   static_cast<std::int64_t>(lo)));
+      }
+      std::string error;
+      // Repeated saves widen the race window the lock must close.
+      const bool ok =
+          mine.save(path, &error) && mine.save(path, &error);
+      _exit(ok ? 0 : 1);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "writer exited with status " << status;
+  }
+
+  SweepCache loaded;
+  std::string error;
+  ASSERT_TRUE(loaded.load(path, &error)) << error;
+  EXPECT_EQ(loaded.stats().entries_loaded, kWriters * kEntriesEach);
+  for (std::uint64_t lo = 0; lo < kWriters * kEntriesEach; ++lo) {
+    EXPECT_TRUE(loaded.find_cell(key_of(1, lo)).has_value()) << lo;
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+#endif  // !_WIN32
 
 TEST(SweepCacheTest, CacheStatsJsonShape) {
   SweepCacheStats stats;

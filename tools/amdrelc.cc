@@ -7,6 +7,8 @@
 //                                           ordering design-space sweep
 //   amdrelc dump-tac  <file.mc> [options]   lowered three-address code
 //   amdrelc dump-dot  <file.mc> [options]   CDFG in Graphviz DOT
+//   amdrelc cache-merge <out> <in...>       fold sweep cache files into one
+//                                           (per-worker caches -> coordinator)
 //
 // options:
 //   --area N         usable fine-grain area A_FPGA       (default 1500)
@@ -22,6 +24,8 @@
 //   --energy-budget N  energy budget in pJ for the energy/combined
 //                    objectives (partition default: half of the
 //                    all-fine-grain energy; explore default: 0)
+//   --timing-weight W  combined-objective weight on cycles   (default 1)
+//   --energy-weight W  combined-objective weight on energy   (default 1)
 //   --seed N         seed for random ordering / annealing (default 1)
 //   --input NAME=v0,v1,...   initialize array NAME before profiling
 //   --optimize       run the TAC optimizer before analysis
@@ -91,6 +95,8 @@ struct Options {
   std::optional<core::KernelOrdering> ordering;
   std::optional<core::ObjectiveKind> objective;
   std::optional<double> energy_budget;
+  std::optional<double> timing_weight;
+  std::optional<double> energy_weight;
   std::uint64_t seed = 1;
   bool optimize = false;
   int top = 10;
@@ -109,6 +115,9 @@ struct Options {
   std::string cache_stats_path;
   bool no_cache = false;
   int threads = 2;
+
+  // cache-merge input files (the positional file is the output)
+  std::vector<std::string> merge_inputs;
 };
 
 [[noreturn]] void usage() {
@@ -118,6 +127,7 @@ struct Options {
                "[--strategy greedy|exhaustive|annealing] "
                "[--ordering weight|benefit|code|random] "
                "[--objective timing|energy|combined] [--energy-budget N] "
+               "[--timing-weight W] [--energy-weight W] "
                "[--seed N] "
                "[--input NAME=v0,v1,...] [--optimize] [--top N] "
                "[--constraints c1,c2,...] [--energy-budgets b1,b2,...] "
@@ -126,6 +136,7 @@ struct Options {
                "[--corpus ofdm|jpeg|fir|sobel|file.mc,...] "
                "[--json PATH] [--csv PATH] [--threads N] "
                "[--cache PATH] [--no-cache] [--cache-stats PATH]\n"
+               "   or: amdrelc cache-merge <out> <in...>\n"
                "(explore accepts --corpus in place of the positional file)\n");
   std::exit(2);
 }
@@ -234,6 +245,18 @@ Options parse_args(int argc, char** argv) {
           *options.energy_budget < 0) {
         usage_error(arg, "energy budget must be >= 0 and finite");
       }
+    } else if (arg == "--timing-weight") {
+      options.timing_weight = parse_double(next(), arg);
+      if (!std::isfinite(*options.timing_weight) ||
+          *options.timing_weight < 0) {
+        usage_error(arg, "weight must be >= 0 and finite");
+      }
+    } else if (arg == "--energy-weight") {
+      options.energy_weight = parse_double(next(), arg);
+      if (!std::isfinite(*options.energy_weight) ||
+          *options.energy_weight < 0) {
+        usage_error(arg, "weight must be >= 0 and finite");
+      }
     } else if (arg == "--energy-budgets") {
       for (const std::string& item : split_list(next())) {
         const double budget = parse_double(item, arg);
@@ -318,6 +341,11 @@ Options parse_args(int argc, char** argv) {
         values.push_back(static_cast<std::int32_t>(parse_i64(item, arg)));
       }
       options.inputs.emplace_back(spec.substr(0, eq), std::move(values));
+    } else if (options.command == "cache-merge" && arg[0] != '-') {
+      // cache-merge is the one multi-positional command: first
+      // positional is the output path (options.file), the rest are the
+      // input caches to fold in.
+      options.merge_inputs.push_back(arg);
     } else {
       usage();
     }
@@ -326,6 +354,10 @@ Options parse_args(int argc, char** argv) {
   // whole corpus from --corpus.
   if (options.file.empty() &&
       !(options.command == "explore" && !options.corpus.empty())) {
+    usage();
+  }
+  // cache-merge with nothing to merge is a spec mistake, not a no-op.
+  if (options.command == "cache-merge" && options.merge_inputs.empty()) {
     usage();
   }
   // --cache-stats reports on a cache that actually ran; without one the
@@ -417,6 +449,12 @@ core::MethodologyOptions methodology_options(const Options& options) {
   mo.objective.kind =
       options.objective.value_or(core::ObjectiveKind::kTiming);
   mo.energy_budget_pj = options.energy_budget.value_or(0.0);
+  if (options.timing_weight) {
+    mo.objective.cycle_weight = *options.timing_weight;
+  }
+  if (options.energy_weight) {
+    mo.objective.energy_weight = *options.energy_weight;
+  }
   mo.random_seed = options.seed;
   return mo;
 }
@@ -608,6 +646,32 @@ int cmd_explore(const Options& options) {
   return 0;
 }
 
+// Folds worker cache files into one coordinator cache. Inputs are
+// loaded with the same strict validation explore uses, but here a bad
+// input is a hard error (exit 1), not a warn-and-recompute — a merge
+// that silently drops a worker's results is exactly the data loss this
+// command exists to prevent. The output is written with merge-on-save,
+// so pre-existing entries in <out> survive too.
+int cmd_cache_merge(const Options& options) {
+  core::SweepCache merged;
+  for (const std::string& input : options.merge_inputs) {
+    core::SweepCache cache;
+    std::string error;
+    require(cache.load(input, &error), error);
+    const core::SweepCacheStats stats = cache.stats();
+    std::fprintf(stderr, "cache-merge: loaded %llu entr%s from %s\n",
+                 static_cast<unsigned long long>(stats.entries_loaded),
+                 stats.entries_loaded == 1 ? "y" : "ies", input.c_str());
+    merged.merge_from(cache);
+  }
+  std::string error;
+  require(merged.save(options.file, &error), error);
+  std::printf("cache-merge: wrote %llu cell(s) from %zu input(s) to %s\n",
+              static_cast<unsigned long long>(merged.stats().cells),
+              options.merge_inputs.size(), options.file.c_str());
+  return 0;
+}
+
 int cmd_dump_tac(const Options& options) {
   ir::TacProgram tac = minic::compile(read_file(options.file), options.file);
   if (options.optimize) minic::optimize(tac);
@@ -633,6 +697,7 @@ int main(int argc, char** argv) {
     if (options.command == "explore") return cmd_explore(options);
     if (options.command == "dump-tac") return cmd_dump_tac(options);
     if (options.command == "dump-dot") return cmd_dump_dot(options);
+    if (options.command == "cache-merge") return cmd_cache_merge(options);
     usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "amdrelc: %s\n", e.what());
