@@ -15,6 +15,7 @@
 #include "core/methodology.h"
 #include "core/report.h"
 #include "core/strategy.h"
+#include "ir/packed_graph.h"
 #include "synth/cdfg_generator.h"
 #include "workloads/paper_models.h"
 
@@ -120,6 +121,70 @@ void BM_ExploreDesignSpace(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExploreDesignSpace)->Arg(1)->Arg(2)->Arg(4);
+
+// ---- packed engine vs the legacy IR-walking paths ------------------
+// The data-oriented core flattens per-block quantities into a
+// PackedCdfg (SoA node arrays + CSR adjacency) at mapper construction
+// and prices whole constraint axes from one strategy walk. Each pair
+// below measures a replaced hot path against the node-walking or
+// per-cell equivalent it displaced; the regression gate tracks both so
+// the gap itself is pinned.
+
+void BM_PackedVsLegacy_PackedAsap(benchmark::State& state) {
+  const auto app = make_scaling_app(32);
+  const ir::PackedCdfg packed(app.cdfg);
+  std::vector<std::int32_t> scratch;
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (ir::BlockId b = 0; b < packed.num_blocks(); ++b) {
+      sum += packed.asap_levels_into(b, scratch);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_PackedVsLegacy_PackedAsap);
+
+void BM_PackedVsLegacy_DfgAsap(benchmark::State& state) {
+  const auto app = make_scaling_app(32);
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (const auto& block : app.cdfg.blocks()) {
+      sum += block.dfg.max_asap_level();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_PackedVsLegacy_DfgAsap);
+
+void BM_PackedVsLegacy_BatchedAxis(benchmark::State& state) {
+  const auto app = make_scaling_app(16);
+  const auto p = platform::make_paper_platform(1500, 2);
+  core::HybridMapper mapper(app.cdfg, p);
+  const std::int64_t all_fine = mapper.all_fine_cycles(app.profile);
+  std::vector<core::AxisCell> cells;
+  for (int i = 1; i <= 8; ++i) cells.push_back({i * all_fine / 9, 0.0});
+  const core::MethodologyOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_methodology_axis(mapper, app.profile, cells, options));
+  }
+}
+BENCHMARK(BM_PackedVsLegacy_BatchedAxis);
+
+void BM_PackedVsLegacy_PerCellAxis(benchmark::State& state) {
+  const auto app = make_scaling_app(16);
+  const auto p = platform::make_paper_platform(1500, 2);
+  core::HybridMapper mapper(app.cdfg, p);
+  const std::int64_t all_fine = mapper.all_fine_cycles(app.profile);
+  const core::MethodologyOptions options;
+  for (auto _ : state) {
+    for (int i = 1; i <= 8; ++i) {
+      benchmark::DoNotOptimize(core::run_methodology(
+          mapper, app.profile, i * all_fine / 9, options));
+    }
+  }
+}
+BENCHMARK(BM_PackedVsLegacy_PerCellAxis);
 
 }  // namespace
 

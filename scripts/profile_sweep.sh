@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Profiles the corpus-sweep hot path (bench_corpus_sweep, cold-cache
+# filter by default) and prints a flat hot-spot report.
+#
+#   scripts/profile_sweep.sh [build-dir] [benchmark-filter]
+#
+# Defaults: build-dir "build", filter "ColdCache". Uses `perf record`
+# when available; falls back to a gprof build (-pg, its own build tree
+# under <build-dir>-gprof) when perf is missing — containers and CI
+# runners often lack perf_event access, and gprof needs no kernel
+# support. Artifacts (perf.data / gmon.out and the text report) land in
+# <build-dir>/profile/.
+set -eu
+
+BUILD_DIR=${1:-build}
+FILTER=${2:-ColdCache}
+SRC_DIR=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+OUT_DIR="$SRC_DIR/$BUILD_DIR/profile"
+mkdir -p "$OUT_DIR"
+
+BENCH_ARGS="--benchmark_filter=$FILTER --benchmark_repetitions=1"
+
+if command -v perf >/dev/null 2>&1 &&
+    perf record -o /dev/null -- true >/dev/null 2>&1; then
+  echo "== perf record over bench_corpus_sweep ($FILTER) =="
+  cmake --build "$SRC_DIR/$BUILD_DIR" --target bench_corpus_sweep -j
+  perf record -g -o "$OUT_DIR/perf.data" -- \
+    "$SRC_DIR/$BUILD_DIR/bench/bench_corpus_sweep" $BENCH_ARGS
+  perf report -i "$OUT_DIR/perf.data" --stdio --percent-limit 1 \
+    > "$OUT_DIR/perf_report.txt"
+  head -60 "$OUT_DIR/perf_report.txt"
+  echo "full report: $OUT_DIR/perf_report.txt"
+  exit 0
+fi
+
+echo "== perf unavailable; falling back to gprof (-pg instrumented build) =="
+GPROF_DIR="$SRC_DIR/$BUILD_DIR-gprof"
+cmake -B "$GPROF_DIR" -S "$SRC_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-pg" -DCMAKE_EXE_LINKER_FLAGS="-pg" >/dev/null
+cmake --build "$GPROF_DIR" --target bench_corpus_sweep -j
+(
+  cd "$OUT_DIR"
+  "$GPROF_DIR/bench/bench_corpus_sweep" $BENCH_ARGS
+)
+gprof "$GPROF_DIR/bench/bench_corpus_sweep" "$OUT_DIR/gmon.out" \
+  > "$OUT_DIR/gprof_report.txt"
+awk '/^ *time/{found=1} found' "$OUT_DIR/gprof_report.txt" | head -40
+echo "full report: $OUT_DIR/gprof_report.txt"

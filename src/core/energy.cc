@@ -6,16 +6,14 @@ namespace amdrel::core {
 
 namespace {
 
-double fine_block_energy(const ir::Dfg& dfg, const EnergyModel& model) {
-  const ir::OpMix mix = dfg.op_mix();
+double fine_mix_energy(const ir::OpMix& mix, const EnergyModel& model) {
   return static_cast<double>(mix.alu) * model.fpga_alu_pj +
          static_cast<double>(mix.mul) * model.fpga_mul_pj +
          static_cast<double>(mix.div) * model.fpga_div_pj +
          static_cast<double>(mix.mem) * model.fpga_mem_pj;
 }
 
-double coarse_block_energy(const ir::Dfg& dfg, const EnergyModel& model) {
-  const ir::OpMix mix = dfg.op_mix();
+double coarse_mix_energy(const ir::OpMix& mix, const EnergyModel& model) {
   return static_cast<double>(mix.alu) * model.cgc_alu_pj +
          static_cast<double>(mix.mul) * model.cgc_mul_pj +
          static_cast<double>(mix.mem) * model.cgc_mem_pj;
@@ -23,24 +21,31 @@ double coarse_block_energy(const ir::Dfg& dfg, const EnergyModel& model) {
 
 }  // namespace
 
-BlockEnergy block_energy(const ir::Dfg& dfg,
+BlockEnergy block_energy(const ir::OpMix& mix, std::int64_t comm_words,
                          const finegrain::FpgaBlockMapping& mapping,
                          std::uint64_t iterations, const EnergyModel& model) {
   BlockEnergy be;
   const auto iters = static_cast<double>(iterations);
   if (iters == 0) return be;
-  be.fine_pj = iters * fine_block_energy(dfg, model);
+  be.fine_pj = iters * fine_mix_energy(mix, model);
   be.fine_comm_pj = iters * static_cast<double>(mapping.boundary_words) *
                     model.spill_pj_per_word;
   const double reconfigs =
       static_cast<double>(mapping.reconfigs_per_invocation) * iters +
       static_cast<double>(mapping.amortized_reconfigs);
   be.fine_reconfig_pj = reconfigs * model.reconfiguration_pj;
-  be.coarse_pj = iters * coarse_block_energy(dfg, model);
-  const double words = static_cast<double>(dfg.live_in_count() +
-                                           dfg.live_out_count());
-  be.coarse_comm_pj = iters * words * model.transfer_pj_per_word;
+  be.coarse_pj = iters * coarse_mix_energy(mix, model);
+  be.coarse_comm_pj = iters * static_cast<double>(comm_words) *
+                      model.transfer_pj_per_word;
   return be;
+}
+
+BlockEnergy block_energy(const ir::Dfg& dfg,
+                         const finegrain::FpgaBlockMapping& mapping,
+                         std::uint64_t iterations, const EnergyModel& model) {
+  return block_energy(dfg.op_mix(),
+                      dfg.live_in_count() + dfg.live_out_count(), mapping,
+                      iterations, model);
 }
 
 EnergyBreakdown estimate_energy(const HybridMapper& mapper,
@@ -48,6 +53,7 @@ EnergyBreakdown estimate_energy(const HybridMapper& mapper,
                                 const std::vector<ir::BlockId>& moved,
                                 const EnergyModel& model) {
   const ir::Cdfg& cdfg = mapper.cdfg();
+  const ir::PackedCdfg& packed = mapper.packed();
   std::vector<bool> is_moved(cdfg.size(), false);
   for (ir::BlockId block : moved) {
     require(block >= 0 && block < cdfg.size(),
@@ -57,8 +63,10 @@ EnergyBreakdown estimate_energy(const HybridMapper& mapper,
 
   EnergyBreakdown breakdown;
   for (const ir::BasicBlock& block : cdfg.blocks()) {
-    const BlockEnergy be = block_energy(block.dfg, mapper.fine(block.id),
-                                        profile.count(block.id), model);
+    const BlockEnergy be = block_energy(
+        packed.op_mix(block.id),
+        packed.live_in_count(block.id) + packed.live_out_count(block.id),
+        mapper.fine(block.id), profile.count(block.id), model);
     if (is_moved[block.id]) {
       breakdown.coarse_pj += be.coarse_pj;
       breakdown.comm_pj += be.coarse_comm_pj;

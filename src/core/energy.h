@@ -21,6 +21,14 @@ BlockEnergy block_energy(const ir::Dfg& dfg,
                          const finegrain::FpgaBlockMapping& mapping,
                          std::uint64_t iterations, const EnergyModel& model);
 
+/// Same pricing from a precomputed op mix and live-in/out word count
+/// (the PackedCdfg per-block cache), so the engine hot paths never walk
+/// DFG nodes to price energy. Bit-identical to the Dfg overload: the
+/// same per-term arithmetic on the same values.
+BlockEnergy block_energy(const ir::OpMix& mix, std::int64_t comm_words,
+                         const finegrain::FpgaBlockMapping& mapping,
+                         std::uint64_t iterations, const EnergyModel& model);
+
 /// Prices the split where `moved` blocks run on the CGC data-path and the
 /// rest on the fine-grain hardware.
 EnergyBreakdown estimate_energy(const ir::Cdfg& cdfg,

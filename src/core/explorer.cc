@@ -5,6 +5,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <sstream>
 #include <thread>
 
@@ -65,6 +66,26 @@ std::vector<std::string> moved_block_names(const ir::Cdfg& cdfg,
   return names;
 }
 
+/// The default constraint axis: the paper's quarter points of the
+/// all-fine-grain cycle count. For tiny apps the integer divisions can
+/// collapse a fraction to 0 (an unmeetable "finish in no cycles"
+/// constraint) or onto a duplicate slot; each value is clamped to at
+/// least one cycle and duplicates are dropped, preserving order. Apps
+/// with all_fine >= 4 distinct quarter points (every paper app) are
+/// unchanged, so the sweep goldens never see the clamp.
+std::vector<std::int64_t> default_constraints(std::int64_t all_fine) {
+  std::vector<std::int64_t> fractions;
+  for (const std::int64_t raw :
+       {all_fine / 4, all_fine / 2, (3 * all_fine) / 4}) {
+    const std::int64_t clamped = std::max<std::int64_t>(1, raw);
+    if (std::find(fractions.begin(), fractions.end(), clamped) ==
+        fractions.end()) {
+      fractions.push_back(clamped);
+    }
+  }
+  return fractions;
+}
+
 }  // namespace
 
 ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
@@ -89,7 +110,7 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
     const std::int64_t all_fine =
         cache ? memoized_all_fine(cache, shard, cdfg, profile, platform)
               : HybridMapper(cdfg, platform).all_fine_cycles(profile);
-    constraints = {all_fine / 4, all_fine / 2, (3 * all_fine) / 4};
+    constraints = default_constraints(all_fine);
   }
   const std::vector<double> budgets =
       spec.energy_budgets.empty()
@@ -112,7 +133,14 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
     }
   }
 
-  const std::size_t jobs = summary.points.size();
+  // One job per (strategy, ordering) pair: those two pick the walk, and
+  // the whole constraints x budgets axis of that walk is priced in one
+  // run_methodology_axis call (a shared walk for greedy/annealing, a
+  // per-cell search for exhaustive). Cached cells are filtered out
+  // first so a warm axis never touches a mapper.
+  const std::size_t strategy_count = spec.strategies.size();
+  const std::size_t ordering_count = spec.orderings.size();
+  const std::size_t jobs = strategy_count * ordering_count;
   const int threads = worker_count(jobs, spec.threads);
 
   // Each worker owns one mapper for the (cdfg, platform) pair — built
@@ -127,29 +155,49 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
       return *mapper;
     };
     for (;;) {
-      const std::size_t index = next.fetch_add(1);
-      if (index >= jobs) break;
-      ExplorePoint& point = summary.points[index];
+      const std::size_t job = next.fetch_add(1);
+      if (job >= jobs) break;
       MethodologyOptions options = spec.base;
-      options.strategy = point.strategy;
-      options.ordering = point.ordering;
-      options.energy_budget_pj = point.energy_budget_pj;
-      if (cache) {
-        const Fingerprint key =
-            cell_key(app_fp, platform_fp, options, point.constraint);
-        if (const std::optional<CachedCell> hit = cache->find_cell(key)) {
-          point.report = hit->report;
-          continue;
+      options.strategy = spec.strategies[job / ordering_count];
+      options.ordering = spec.orderings[job % ordering_count];
+      std::vector<std::size_t> missed;
+      std::vector<AxisCell> axis;
+      for (std::size_t ci = 0; ci < constraints.size(); ++ci) {
+        for (std::size_t bi = 0; bi < budgets.size(); ++bi) {
+          const std::size_t index =
+              ((ci * budgets.size() + bi) * strategy_count +
+               job / ordering_count) *
+                  ordering_count +
+              job % ordering_count;
+          ExplorePoint& point = summary.points[index];
+          if (cache) {
+            options.energy_budget_pj = point.energy_budget_pj;
+            const Fingerprint key =
+                cell_key(app_fp, platform_fp, options, point.constraint);
+            if (const std::optional<CachedCell> hit = cache->find_cell(key)) {
+              point.report = hit->report;
+              continue;
+            }
+          }
+          missed.push_back(index);
+          axis.push_back({point.constraint, point.energy_budget_pj});
         }
-        point.report = run_methodology(ensure_mapper(), profile,
-                                       point.constraint, options);
-        CachedCell cell;
-        cell.report = point.report;
-        cell.moved_names = moved_block_names(cdfg, point.report);
-        cache->store_cell(key, std::move(cell));
-      } else {
-        point.report = run_methodology(ensure_mapper(), profile,
-                                       point.constraint, options);
+      }
+      if (missed.empty()) continue;
+      const std::vector<PartitionReport> reports =
+          run_methodology_axis(ensure_mapper(), profile, axis, options);
+      for (std::size_t m = 0; m < missed.size(); ++m) {
+        ExplorePoint& point = summary.points[missed[m]];
+        point.report = reports[m];
+        if (cache) {
+          options.energy_budget_pj = point.energy_budget_pj;
+          CachedCell cell;
+          cell.report = point.report;
+          cell.moved_names = moved_block_names(cdfg, point.report);
+          cache->store_cell(
+              cell_key(app_fp, platform_fp, options, point.constraint),
+              std::move(cell));
+        }
       }
     }
     // Republish the snapshot with the coarse schedules accumulated while
@@ -171,10 +219,10 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
   // Pareto front over (final cycles, kernels moved, energy pJ), all
   // minimized. A point is dominated when another is no worse on every
   // axis and strictly better on one.
-  for (std::size_t i = 0; i < jobs; ++i) {
+  for (std::size_t i = 0; i < summary.points.size(); ++i) {
     const PartitionReport& a = summary.points[i].report;
     bool dominated = false;
-    for (std::size_t j = 0; j < jobs && !dominated; ++j) {
+    for (std::size_t j = 0; j < summary.points.size() && !dominated; ++j) {
       if (i == j) continue;
       const PartitionReport& b = summary.points[j].report;
       const bool no_worse = b.final_cycles <= a.final_cycles &&
@@ -268,9 +316,12 @@ SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
 
   // A shard is one (app, platform) cell group; its constraint slots are
   // resolved inside the shard (the default fractions depend on the
-  // shard's all-fine-grain cycles), but the slot COUNT is fixed up
+  // shard's all-fine-grain cycles), but the slot CAPACITY is fixed up
   // front, so every cell has a precomputed output slot and thread
-  // scheduling cannot reorder anything.
+  // scheduling cannot reorder anything. Default fractions that collapse
+  // on tiny apps (see default_constraints) leave trailing slots unused;
+  // each shard records how many it filled and the unused tail is
+  // compacted away after the join.
   const std::size_t constraint_slots =
       spec.constraints.empty() ? 3 : spec.constraints.size();
   const std::vector<double> budgets =
@@ -297,6 +348,11 @@ SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
       app_fps.push_back(app_fingerprint(app.cdfg, app.profile));
     }
   }
+
+  // Cells each shard actually filled (== cells_per_shard except when
+  // default constraints collapsed); each slot is written by exactly the
+  // worker that claimed the shard.
+  std::vector<std::size_t> shard_used(shards, 0);
 
   std::atomic<std::size_t> next{0};
   auto worker = [&]() {
@@ -341,48 +397,70 @@ SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
           all_fine = ensure_mapper().all_fine_cycles(app.profile);
           if (cache) cache->store_all_fine(group_key, *all_fine);
         }
-        constraints = {*all_fine / 4, *all_fine / 2, (3 * *all_fine) / 4};
+        constraints = default_constraints(*all_fine);
       }
+      const std::size_t base_index = shard * cells_per_shard;
+      const std::size_t strategy_count = spec.strategies.size();
+      const std::size_t ordering_count = spec.orderings.size();
+      shard_used[shard] = constraints.size() * budgets.size() *
+                          strategy_count * ordering_count;
 
-      std::size_t index = shard * cells_per_shard;
-      for (const std::int64_t constraint : constraints) {
-        for (const double budget : budgets) {
-          for (const StrategyKind strategy : spec.strategies) {
-            for (const KernelOrdering ordering : spec.orderings) {
-              SweepCell& cell = summary.cells[index++];
+      // One walk per (strategy, ordering) pair prices the shard's whole
+      // constraints x budgets axis; cached cells are filtered out first
+      // so a fully warm group still costs zero mapper constructions.
+      for (std::size_t si = 0; si < strategy_count; ++si) {
+        for (std::size_t oi = 0; oi < ordering_count; ++oi) {
+          MethodologyOptions options = spec.base;
+          options.strategy = spec.strategies[si];
+          options.ordering = spec.orderings[oi];
+          std::vector<std::size_t> missed;
+          std::vector<AxisCell> axis;
+          for (std::size_t ci = 0; ci < constraints.size(); ++ci) {
+            for (std::size_t bi = 0; bi < budgets.size(); ++bi) {
+              const std::size_t index =
+                  base_index +
+                  ((ci * budgets.size() + bi) * strategy_count + si) *
+                      ordering_count +
+                  oi;
+              SweepCell& cell = summary.cells[index];
               cell.app = app_index;
               cell.a_fpga = area;
               cell.cgcs = cgcs;
               cell.platform_cost = cost;
-              cell.constraint = constraint;
-              cell.energy_budget_pj = budget;
-              cell.strategy = strategy;
-              cell.ordering = ordering;
-              MethodologyOptions options = spec.base;
-              options.strategy = strategy;
-              options.ordering = ordering;
-              options.energy_budget_pj = budget;
+              cell.constraint = constraints[ci];
+              cell.energy_budget_pj = budgets[bi];
+              cell.strategy = spec.strategies[si];
+              cell.ordering = spec.orderings[oi];
               if (cache) {
+                options.energy_budget_pj = budgets[bi];
                 const Fingerprint key = cell_key(app_fps[app_index],
                                                  platform_fp, options,
-                                                 constraint);
+                                                 constraints[ci]);
                 if (std::optional<CachedCell> hit = cache->find_cell(key)) {
                   cell.report = std::move(hit->report);
                   cell.moved_names = std::move(hit->moved_names);
                   continue;
                 }
-                cell.report = run_methodology(ensure_mapper(), app.profile,
-                                              constraint, options);
-                cell.moved_names = moved_block_names(app.cdfg, cell.report);
-                CachedCell fresh;
-                fresh.report = cell.report;
-                fresh.moved_names = cell.moved_names;
-                cache->store_cell(key, std::move(fresh));
-              } else {
-                cell.report = run_methodology(ensure_mapper(), app.profile,
-                                              constraint, options);
-                cell.moved_names = moved_block_names(app.cdfg, cell.report);
               }
+              missed.push_back(index);
+              axis.push_back({constraints[ci], budgets[bi]});
+            }
+          }
+          if (missed.empty()) continue;
+          const std::vector<PartitionReport> reports = run_methodology_axis(
+              ensure_mapper(), app.profile, axis, options);
+          for (std::size_t m = 0; m < missed.size(); ++m) {
+            SweepCell& cell = summary.cells[missed[m]];
+            cell.report = reports[m];
+            cell.moved_names = moved_block_names(app.cdfg, cell.report);
+            if (cache) {
+              options.energy_budget_pj = cell.energy_budget_pj;
+              CachedCell fresh;
+              fresh.report = cell.report;
+              fresh.moved_names = cell.moved_names;
+              cache->store_cell(cell_key(app_fps[app_index], platform_fp,
+                                         options, cell.constraint),
+                                std::move(fresh));
             }
           }
         }
@@ -404,6 +482,25 @@ SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
     pool.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
+  }
+
+  // Drop the unused tail slots of shards whose default constraints
+  // collapsed (a shard's filled cells are the contiguous prefix of its
+  // slot range — the constraint index is the outermost layout axis).
+  // A no-op whenever every shard filled its capacity.
+  std::size_t used_total = 0;
+  for (const std::size_t used : shard_used) used_total += used;
+  if (used_total != summary.cells.size()) {
+    std::vector<SweepCell> compact;
+    compact.reserve(used_total);
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      const auto begin =
+          summary.cells.begin() +
+          static_cast<std::ptrdiff_t>(shard * cells_per_shard);
+      std::move(begin, begin + static_cast<std::ptrdiff_t>(shard_used[shard]),
+                std::back_inserter(compact));
+    }
+    summary.cells = std::move(compact);
   }
 
   // Pareto fronts over (final cycles, kernels moved, platform cost,

@@ -6,10 +6,34 @@
 
 namespace amdrel::core {
 
+void HybridMapper::build_block_tables() {
+  const auto blocks = static_cast<std::size_t>(cdfg_->size());
+  fine_inv_cycles_.resize(blocks);
+  amortized_charge_.resize(blocks);
+  comm_inv_cycles_.resize(blocks);
+  eligible_.resize(blocks);
+  coarse_inv_cycles_.assign(blocks, -1);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const auto id = static_cast<ir::BlockId>(b);
+    fine_inv_cycles_[b] = fine_[b].cycles_per_invocation(platform_->fpga);
+    amortized_charge_[b] =
+        fine_[b].amortized_reconfigs * platform_->fpga.reconfig_cycles;
+    const std::int64_t words =
+        packed_.live_in_count(id) + packed_.live_out_count(id);
+    comm_inv_cycles_[b] = words * platform_->memory.transfer_cycles_per_word;
+    eligible_[b] = packed_.has_division(id) ? 0 : 1;
+    if (coarse_.size() > b && coarse_[b].has_value()) {
+      coarse_inv_cycles_[b] = coarse_[b]->cycles_per_invocation_fpga;
+    }
+  }
+}
+
 HybridMapper::HybridMapper(const ir::Cdfg& cdfg,
                            const platform::Platform& platform)
-    : cdfg_(&cdfg), platform_(&platform) {
+    : cdfg_(&cdfg), platform_(&platform), packed_(cdfg) {
   fine_ = finegrain::map_cdfg_to_fpga(cdfg, platform.fpga, platform.memory);
+  coarse_.resize(static_cast<std::size_t>(cdfg.size()));
+  build_block_tables();
 }
 
 HybridMapper::HybridMapper(const ir::Cdfg& cdfg,
@@ -17,54 +41,68 @@ HybridMapper::HybridMapper(const ir::Cdfg& cdfg,
                            const MapperState& state)
     : cdfg_(&cdfg),
       platform_(&platform),
+      packed_(cdfg),
       fine_(state.fine),
       coarse_(state.coarse) {
   require(static_cast<ir::BlockId>(fine_.size()) == cdfg.size(),
           cat("HybridMapper: snapshot covers ", fine_.size(),
               " blocks but the CDFG has ", cdfg.size()));
+  coarse_.resize(static_cast<std::size_t>(cdfg.size()));
+  build_block_tables();
 }
 
 const finegrain::FpgaBlockMapping& HybridMapper::fine(
     ir::BlockId block) const {
-  require(block >= 0 && block < static_cast<ir::BlockId>(fine_.size()),
-          cat("HybridMapper::fine: bad block ", block));
+  if (block < 0 || block >= static_cast<ir::BlockId>(fine_.size())) {
+    fail(cat("HybridMapper::fine: bad block ", block));
+  }
   return fine_[block];
 }
 
 const coarsegrain::CgcBlockMapping& HybridMapper::coarse(ir::BlockId block) {
-  const auto it = coarse_.find(block);
-  if (it != coarse_.end()) return it->second;
-  const ir::BasicBlock& bb = cdfg_->block(block);
-  auto mapping = coarsegrain::map_block_to_cgc(bb.dfg, *platform_);
-  return coarse_.emplace(block, std::move(mapping)).first->second;
+  std::optional<coarsegrain::CgcBlockMapping>& slot =
+      coarse_[static_cast<std::size_t>(block)];
+  if (!slot.has_value()) {
+    const ir::BasicBlock& bb = cdfg_->block(block);
+    slot = coarsegrain::map_block_to_cgc(bb.dfg, *platform_);
+    coarse_inv_cycles_[static_cast<std::size_t>(block)] =
+        slot->cycles_per_invocation_fpga;
+  }
+  return *slot;
 }
 
 bool HybridMapper::cgc_eligible(ir::BlockId block) const {
-  return !cdfg_->block(block).dfg.has_division();
+  return eligible_[static_cast<std::size_t>(block)] != 0;
 }
 
 std::int64_t HybridMapper::fine_cycles_per_invocation(
     ir::BlockId block) const {
-  return fine(block).cycles_per_invocation(platform_->fpga);
+  if (block < 0 || block >= static_cast<ir::BlockId>(fine_.size())) {
+    fail(cat("HybridMapper::fine: bad block ", block));
+  }
+  return fine_inv_cycles_[static_cast<std::size_t>(block)];
 }
 
 std::int64_t HybridMapper::coarse_cycles_per_invocation(ir::BlockId block) {
+  const std::int64_t memo =
+      coarse_inv_cycles_[static_cast<std::size_t>(block)];
+  if (memo >= 0) return memo;
   return coarse(block).cycles_per_invocation_fpga;
 }
 
 std::int64_t HybridMapper::comm_cycles_per_invocation(
     ir::BlockId block) const {
-  const ir::Dfg& dfg = cdfg_->block(block).dfg;
-  const std::int64_t words = dfg.live_in_count() + dfg.live_out_count();
-  return words * platform_->memory.transfer_cycles_per_word;
+  return comm_inv_cycles_[static_cast<std::size_t>(block)];
 }
 
 std::int64_t HybridMapper::fine_contribution_cycles(
     ir::BlockId block, const ir::ProfileData& profile) const {
-  const finegrain::FpgaBlockMapping& mapping = fine(block);
+  if (block < 0 || block >= static_cast<ir::BlockId>(fine_.size())) {
+    fail(cat("HybridMapper::fine: bad block ", block));
+  }
+  const auto b = static_cast<std::size_t>(block);
   const auto iterations = static_cast<std::int64_t>(profile.count(block));
-  return mapping.cycles_per_invocation(platform_->fpga) * iterations +
-         mapping.amortized_reconfigs * platform_->fpga.reconfig_cycles;
+  return fine_inv_cycles_[b] * iterations + amortized_charge_[b];
 }
 
 std::int64_t HybridMapper::move_benefit_cycles(ir::BlockId block,
@@ -81,10 +119,12 @@ SplitCost HybridMapper::evaluate(const ir::ProfileData& profile,
   SplitCost cost;
   std::vector<bool> stays_fine(cdfg_->size(), true);
   for (ir::BlockId block : moved) {
-    require(block >= 0 && block < cdfg_->size(),
-            cat("HybridMapper::evaluate: bad moved block ", block));
-    require(stays_fine[block],
-            cat("HybridMapper::evaluate: block ", block, " moved twice"));
+    if (block < 0 || block >= cdfg_->size()) {
+      fail(cat("HybridMapper::evaluate: bad moved block ", block));
+    }
+    if (!stays_fine[block]) {
+      fail(cat("HybridMapper::evaluate: block ", block, " moved twice"));
+    }
     stays_fine[block] = false;
   }
   cost.t_fpga =
@@ -122,17 +162,38 @@ IncrementalSplit::IncrementalSplit(HybridMapper& mapper,
     : mapper_(&mapper),
       profile_(&profile),
       objective_(&objective),
-      order_index_(static_cast<std::size_t>(mapper.cdfg().size()), -1) {
-  cost_.t_fpga = mapper.all_fine_cycles(profile);
+      moved_(static_cast<std::size_t>(mapper.cdfg().size())),
+      pos_(static_cast<std::size_t>(mapper.cdfg().size()), -1) {
+  const auto blocks = static_cast<std::size_t>(mapper.cdfg().size());
+  iters_.resize(blocks);
+  fine_contrib_.resize(blocks);
+  comm_total_.resize(blocks);
+  coarse_total_.assign(blocks, -1);
+  // One pricing pass per construction: the all-fine t_fpga accumulates
+  // each block's cycles * iterations followed by its amortized charge,
+  // the same per-block integer adds as fpga_total_cycles, so the sum is
+  // bit-identical to mapper.all_fine_cycles(profile).
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const auto id = static_cast<ir::BlockId>(b);
+    iters_[b] = static_cast<std::int64_t>(profile.count(id));
+    fine_contrib_[b] =
+        mapper.fine_cycles_per_invocation(id) * iters_[b] +
+        mapper.fine(id).amortized_reconfigs *
+            mapper.platform().fpga.reconfig_cycles;
+    comm_total_[b] = mapper.comm_cycles_per_invocation(id) * iters_[b];
+    cost_.t_fpga += fine_contrib_[b];
+  }
   if (!objective.needs_energy()) return;
   // Price every block once; the all-fine starting breakdown accumulates
   // the fine-side terms in block order, matching estimate_energy({}).
-  const ir::Cdfg& cdfg = mapper.cdfg();
-  block_energy_.reserve(static_cast<std::size_t>(cdfg.size()));
-  for (const ir::BasicBlock& block : cdfg.blocks()) {
-    block_energy_.push_back(block_energy(block.dfg, mapper.fine(block.id),
-                                         profile.count(block.id),
-                                         objective.energy));
+  const ir::PackedCdfg& packed = mapper.packed();
+  block_energy_.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const auto id = static_cast<ir::BlockId>(b);
+    block_energy_.push_back(block_energy(
+        packed.op_mix(id),
+        packed.live_in_count(id) + packed.live_out_count(id),
+        mapper.fine(id), profile.count(id), objective.energy));
     const BlockEnergy& be = block_energy_.back();
     energy_.fine_pj += be.fine_pj;
     energy_.comm_pj += be.fine_comm_pj;
@@ -141,49 +202,55 @@ IncrementalSplit::IncrementalSplit(HybridMapper& mapper,
 }
 
 bool IncrementalSplit::is_moved(ir::BlockId block) const {
-  require(block >= 0 &&
-              block < static_cast<ir::BlockId>(order_index_.size()),
-          cat("IncrementalSplit::is_moved: bad block ", block));
-  return order_index_[block] >= 0;
+  if (block < 0 || block >= static_cast<ir::BlockId>(pos_.size())) {
+    fail(cat("IncrementalSplit::is_moved: bad block ", block));
+  }
+  return moved_.test(static_cast<std::size_t>(block));
+}
+
+std::int64_t IncrementalSplit::coarse_total_cycles(ir::BlockId block) {
+  std::int64_t& memo = coarse_total_[static_cast<std::size_t>(block)];
+  if (memo < 0) {
+    memo = mapper_->coarse_cycles_per_invocation(block) *
+           iters_[static_cast<std::size_t>(block)];
+  }
+  return memo;
 }
 
 void IncrementalSplit::move(ir::BlockId block) {
-  require(!is_moved(block),
-          cat("IncrementalSplit::move: block ", block, " moved twice"));
-  const auto iterations =
-      static_cast<std::int64_t>(profile_->count(block));
-  // Compute every delta before mutating, so a throw from coarse
+  if (is_moved(block)) {
+    fail(cat("IncrementalSplit::move: block ", block, " moved twice"));
+  }
+  const auto b = static_cast<std::size_t>(block);
+  // Resolve the coarse price before mutating, so a throw from coarse
   // scheduling (CGC-ineligible block) leaves the split untouched.
-  const std::int64_t coarse =
-      mapper_->coarse_cycles_per_invocation(block) * iterations;
-  const std::int64_t fine = mapper_->fine_contribution_cycles(block, *profile_);
-  const std::int64_t comm =
-      mapper_->comm_cycles_per_invocation(block) * iterations;
-  cost_.t_fpga -= fine;
+  const std::int64_t coarse = coarse_total_cycles(block);
+  cost_.t_fpga -= fine_contrib_[b];
   cost_.t_coarse += coarse;
-  cost_.t_comm += comm;
+  cost_.t_comm += comm_total_[b];
   if (!block_energy_.empty()) {
-    const BlockEnergy& be = block_energy_[static_cast<std::size_t>(block)];
+    const BlockEnergy& be = block_energy_[b];
     energy_.fine_pj -= be.fine_pj;
     energy_.comm_pj -= be.fine_comm_pj;
     energy_.reconfig_pj -= be.fine_reconfig_pj;
     energy_.coarse_pj += be.coarse_pj;
     energy_.comm_pj += be.coarse_comm_pj;
   }
-  order_index_[block] = static_cast<std::ptrdiff_t>(order_.size());
+  moved_.set(b);
+  pos_[b] = static_cast<std::int32_t>(order_.size());
   order_.push_back(block);
 }
 
 void IncrementalSplit::unmove(ir::BlockId block) {
-  require(is_moved(block),
-          cat("IncrementalSplit::unmove: block ", block, " is not moved"));
-  const auto iterations =
-      static_cast<std::int64_t>(profile_->count(block));
-  cost_.t_fpga += mapper_->fine_contribution_cycles(block, *profile_);
-  cost_.t_coarse -= mapper_->coarse_cycles_per_invocation(block) * iterations;
-  cost_.t_comm -= mapper_->comm_cycles_per_invocation(block) * iterations;
+  if (!is_moved(block)) {
+    fail(cat("IncrementalSplit::unmove: block ", block, " is not moved"));
+  }
+  const auto b = static_cast<std::size_t>(block);
+  cost_.t_fpga += fine_contrib_[b];
+  cost_.t_coarse -= coarse_total_[b];
+  cost_.t_comm -= comm_total_[b];
   if (!block_energy_.empty()) {
-    const BlockEnergy& be = block_energy_[static_cast<std::size_t>(block)];
+    const BlockEnergy& be = block_energy_[b];
     energy_.fine_pj += be.fine_pj;
     energy_.comm_pj += be.fine_comm_pj;
     energy_.reconfig_pj += be.fine_reconfig_pj;
@@ -191,12 +258,13 @@ void IncrementalSplit::unmove(ir::BlockId block) {
     energy_.comm_pj -= be.coarse_comm_pj;
   }
   // Swap-remove from the order list, keeping the index map consistent.
-  const std::ptrdiff_t index = order_index_[block];
+  const std::int32_t index = pos_[b];
   const ir::BlockId last = order_.back();
   order_[static_cast<std::size_t>(index)] = last;
-  order_index_[last] = index;
+  pos_[static_cast<std::size_t>(last)] = index;
   order_.pop_back();
-  order_index_[block] = -1;
+  pos_[b] = -1;
+  moved_.clear(b);
 }
 
 }  // namespace amdrel::core

@@ -1,15 +1,17 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <optional>
 #include <vector>
 
 #include "coarsegrain/cgc_mapper.h"
 #include "core/objective.h"
 #include "finegrain/fpga_mapper.h"
 #include "ir/cdfg.h"
+#include "ir/packed_graph.h"
 #include "ir/profile.h"
 #include "platform/platform.h"
+#include "support/bitset.h"
 
 namespace amdrel::core {
 
@@ -26,16 +28,23 @@ struct SplitCost {
 /// (cdfg, platform) it was derived from. The sweep cache memoizes these
 /// per (app, platform) fingerprint so repeated cell groups restore the
 /// expensive fine-grain temporal partitioning in O(blocks) copies
-/// instead of recomputing it.
+/// instead of recomputing it. Coarse mappings are dense, indexed by
+/// block id; unscheduled blocks hold an empty optional.
 struct MapperState {
   std::vector<finegrain::FpgaBlockMapping> fine;
-  std::map<ir::BlockId, coarsegrain::CgcBlockMapping> coarse;
+  std::vector<std::optional<coarsegrain::CgcBlockMapping>> coarse;
 };
 
 /// Caches the fine-grain and coarse-grain mappings of every basic block of
 /// one application on one platform, and prices arbitrary splits. The
 /// partitioning engine re-evaluates the split after every kernel movement
 /// (paper section 3.4); caching keeps that loop cheap and deterministic.
+///
+/// Construction also builds a PackedCdfg view of the application and
+/// flattens every per-block quantity the engine hot paths need —
+/// fine-grain invocation cycles, amortized reconfiguration charges,
+/// communication cycles, CGC eligibility — into dense arrays indexed by
+/// block id, so split pricing never walks IR nodes or searches a map.
 class HybridMapper {
  public:
   HybridMapper(const ir::Cdfg& cdfg, const platform::Platform& platform);
@@ -53,6 +62,10 @@ class HybridMapper {
 
   const ir::Cdfg& cdfg() const { return *cdfg_; }
   const platform::Platform& platform() const { return *platform_; }
+
+  /// The packed, structure-of-arrays view of the application built at
+  /// construction; the engine's zero-allocation traversal substrate.
+  const ir::PackedCdfg& packed() const { return packed_; }
 
   const finegrain::FpgaBlockMapping& fine(ir::BlockId block) const;
 
@@ -92,10 +105,20 @@ class HybridMapper {
   std::int64_t all_fine_cycles(const ir::ProfileData& profile) const;
 
  private:
+  void build_block_tables();
+
   const ir::Cdfg* cdfg_;
   const platform::Platform* platform_;
+  ir::PackedCdfg packed_;
   std::vector<finegrain::FpgaBlockMapping> fine_;
-  std::map<ir::BlockId, coarsegrain::CgcBlockMapping> coarse_;
+  std::vector<std::optional<coarsegrain::CgcBlockMapping>> coarse_;
+
+  // Dense per-block tables flattened at construction (block-id indexed).
+  std::vector<std::int64_t> fine_inv_cycles_;   ///< cycles_per_invocation
+  std::vector<std::int64_t> amortized_charge_;  ///< amortized reconfig cycles
+  std::vector<std::int64_t> comm_inv_cycles_;   ///< live words * transfer cost
+  std::vector<std::int64_t> coarse_inv_cycles_;  ///< memo; -1 = unscheduled
+  std::vector<std::uint8_t> eligible_;
 };
 
 /// Incrementally-priced fine/coarse split. Starts at the all-fine-grain
@@ -103,6 +126,12 @@ class HybridMapper {
 /// engine loop pays O(blocks) once at construction instead of per
 /// candidate. cost() is bit-identical to HybridMapper::evaluate() on the
 /// same moved set (all terms are integer and per-block additive).
+///
+/// The split state is a SmallBitset over block ids plus a movement-order
+/// list; every per-block term (execution count, fine contribution,
+/// communication cycles, lazily-resolved coarse cycles, energy) is
+/// flattened into a dense array at construction, so move()/unmove() are
+/// a handful of array reads and integer adds.
 ///
 /// Constructed with a CostObjective that needs_energy(), the split also
 /// tracks an EnergyBreakdown with the same O(1) per-move deltas: every
@@ -157,13 +186,23 @@ class IncrementalSplit {
   void unmove(ir::BlockId block);
 
  private:
+  std::int64_t coarse_total_cycles(ir::BlockId block);
+
   HybridMapper* mapper_;
   const ir::ProfileData* profile_;
   const CostObjective* objective_;  ///< never null (default: timing)
   SplitCost cost_;
   EnergyBreakdown energy_;
   std::vector<BlockEnergy> block_energy_;  ///< per block; empty when untracked
-  std::vector<std::ptrdiff_t> order_index_;  ///< position in order_; -1 = fine
+
+  // Dense per-block pricing tables, built once at construction.
+  std::vector<std::int64_t> iters_;         ///< profile execution counts
+  std::vector<std::int64_t> fine_contrib_;  ///< equation (4) contribution
+  std::vector<std::int64_t> comm_total_;    ///< comm cycles * iterations
+  std::vector<std::int64_t> coarse_total_;  ///< memo; -1 = not yet priced
+
+  SmallBitset moved_;                 ///< membership, block-id indexed
+  std::vector<std::int32_t> pos_;     ///< position in order_; -1 = fine
   std::vector<ir::BlockId> order_;
 };
 

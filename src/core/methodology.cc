@@ -1,6 +1,7 @@
 #include "core/methodology.h"
 
 #include <algorithm>
+#include <map>
 #include <random>
 
 #include "core/energy.h"
@@ -50,10 +51,9 @@ std::vector<analysis::KernelInfo> order_kernels(
 
 }  // namespace
 
-PartitionReport run_methodology(HybridMapper& mapper,
-                                const ir::ProfileData& profile,
-                                std::int64_t timing_constraint_cycles,
-                                const MethodologyOptions& options) {
+std::vector<PartitionReport> run_methodology_axis(
+    HybridMapper& mapper, const ir::ProfileData& profile,
+    const std::vector<AxisCell>& cells, const MethodologyOptions& options) {
   // The branch-and-bound lower bound (and the greedy/annealing "best"
   // tracking) assume the combined scalarization is monotone in both
   // axes; a negative weight would make the suffix-gain bound
@@ -62,58 +62,96 @@ PartitionReport run_methodology(HybridMapper& mapper,
               options.objective.energy_weight >= 0,
           "run_methodology: combined-objective weights must be >= 0");
 
-  PartitionReport report;
-  report.app = mapper.cdfg().name();
-  report.timing_constraint = timing_constraint_cycles;
-  report.objective = options.objective.kind;
-  report.energy_budget_pj = options.energy_budget_pj;
+  std::vector<PartitionReport> reports(cells.size());
+  if (cells.empty()) return reports;
 
-  // Step 2: map everything to the fine-grain hardware; exit when the
-  // objective's constraint(s) — timing, energy budget, or both — are
-  // already met. Every report carries energy columns (priced by a
-  // deterministic full repricing), so sweeps can front on energy even
-  // for timing-driven runs.
-  report.initial_cycles = mapper.all_fine_cycles(profile);
-  report.energy =
+  // Step 2 once: the all-fine solution is cell-independent. Every
+  // report carries energy columns (priced by a deterministic full
+  // repricing), so sweeps can front on energy even for timing-driven
+  // runs. Cells the all-fine solution already satisfies exit here.
+  const std::int64_t initial_cycles = mapper.all_fine_cycles(profile);
+  const EnergyBreakdown initial_energy =
       estimate_energy(mapper, profile, {}, options.objective.energy);
-  report.initial_energy_pj = report.energy.total_pj();
-  report.final_cycles = report.initial_cycles;
-  report.cost.t_fpga = report.initial_cycles;
-  if (options.objective.met(report.initial_cycles, report.initial_energy_pj,
-                            timing_constraint_cycles,
-                            options.energy_budget_pj)) {
-    report.initial_meets = true;
-    report.met = true;
-    return report;
-  }
+  const double initial_pj = initial_energy.total_pj();
 
-  // Step 3: analysis — kernel extraction and ordering.
-  report.kernels = order_kernels(
+  std::vector<std::size_t> open;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    PartitionReport& report = reports[c];
+    report.app = mapper.cdfg().name();
+    report.timing_constraint = cells[c].timing_constraint;
+    report.objective = options.objective.kind;
+    report.energy_budget_pj = cells[c].energy_budget_pj;
+    report.initial_cycles = initial_cycles;
+    report.energy = initial_energy;
+    report.initial_energy_pj = initial_pj;
+    report.final_cycles = initial_cycles;
+    report.cost.t_fpga = initial_cycles;
+    if (options.objective.met(initial_cycles, initial_pj,
+                              cells[c].timing_constraint,
+                              cells[c].energy_budget_pj)) {
+      report.initial_meets = true;
+      report.met = true;
+    } else {
+      open.push_back(c);
+    }
+  }
+  if (open.empty()) return reports;
+
+  // Step 3 once: kernel extraction and ordering never consult the
+  // constraint or the budget.
+  const std::vector<analysis::KernelInfo> kernels = order_kernels(
       analysis::extract_kernels(mapper.cdfg(), profile, options.analysis),
       mapper, options);
 
-  // Steps 4-5: the partitioning engine, dispatched to the selected
-  // strategy (the paper's greedy flow by default).
-  const StrategyResult result = make_strategy(options.strategy)
-                                    ->run({mapper, profile,
-                                           timing_constraint_cycles, options,
-                                           report.kernels});
+  // Steps 4-5: the partitioning engine prices every open cell —
+  // greedy/annealing from one shared walk, the exhaustive search per
+  // cell (its pruning depends on the constraint).
+  std::vector<AxisCell> open_cells;
+  open_cells.reserve(open.size());
+  for (std::size_t c : open) open_cells.push_back(cells[c]);
+  const std::vector<StrategyResult> results =
+      make_strategy(options.strategy)
+          ->run_axis({mapper, profile, options, kernels, open_cells});
 
-  report.moved = result.moved;
-  report.cost = result.cost;
-  report.final_cycles = result.cost.total();
-  report.cycles_in_cgc = result.cost.t_coarse;
-  // Reprice the final split's energy from scratch (block order, not the
-  // search's move order) so the emitted numbers never depend on the
-  // path the strategy walked.
-  report.energy = estimate_energy(mapper, profile, report.moved,
-                                  options.objective.energy);
-  report.met = options.objective.met(report.final_cycles,
-                                     report.energy.total_pj(),
-                                     timing_constraint_cycles,
-                                     options.energy_budget_pj);
-  report.engine_iterations = result.engine_iterations;
-  return report;
+  // Reprice each final split's energy from scratch (block order, not
+  // the search's move order) so the emitted numbers never depend on the
+  // path the strategy walked. Adjacent cells usually stop on the same
+  // split, so the (deterministic) repricing is memoized on the moved
+  // set.
+  std::map<std::vector<ir::BlockId>, EnergyBreakdown> energy_memo;
+  for (std::size_t j = 0; j < open.size(); ++j) {
+    PartitionReport& report = reports[open[j]];
+    const StrategyResult& result = results[j];
+    report.kernels = kernels;
+    report.moved = result.moved;
+    report.cost = result.cost;
+    report.final_cycles = result.cost.total();
+    report.cycles_in_cgc = result.cost.t_coarse;
+    auto memo = energy_memo.find(report.moved);
+    if (memo == energy_memo.end()) {
+      memo = energy_memo
+                 .emplace(report.moved,
+                          estimate_energy(mapper, profile, report.moved,
+                                          options.objective.energy))
+                 .first;
+    }
+    report.energy = memo->second;
+    report.met = options.objective.met(report.final_cycles,
+                                       report.energy.total_pj(),
+                                       report.timing_constraint,
+                                       report.energy_budget_pj);
+    report.engine_iterations = result.engine_iterations;
+  }
+  return reports;
+}
+
+PartitionReport run_methodology(HybridMapper& mapper,
+                                const ir::ProfileData& profile,
+                                std::int64_t timing_constraint_cycles,
+                                const MethodologyOptions& options) {
+  const std::vector<AxisCell> cells = {
+      {timing_constraint_cycles, options.energy_budget_pj}};
+  return std::move(run_methodology_axis(mapper, profile, cells, options)[0]);
 }
 
 PartitionReport run_methodology(const ir::Cdfg& cdfg,

@@ -100,6 +100,15 @@ struct PartitionReport {
   }
 };
 
+/// One (timing constraint, energy budget) cell of a batched constraint
+/// axis (see run_methodology_axis / PartitionStrategy::run_axis).
+/// options.energy_budget_pj is ignored on the axis path — each cell
+/// carries its own budget.
+struct AxisCell {
+  std::int64_t timing_constraint = 0;
+  double energy_budget_pj = 0;
+};
+
 /// Runs the complete flow of paper Figure 2: CDFG in, fine-grain mapping,
 /// timing check, analysis, then the partitioning engine (the strategy
 /// selected by options.strategy) moving kernels to the coarse-grain
@@ -117,5 +126,20 @@ PartitionReport run_methodology(HybridMapper& mapper,
                                 const ir::ProfileData& profile,
                                 std::int64_t timing_constraint_cycles,
                                 const MethodologyOptions& options = {});
+
+/// Prices a whole constraint axis — every (timing constraint, energy
+/// budget) cell over one fixed (mapper, profile, strategy, ordering) —
+/// in a single pass: the all-fine baseline, kernel extraction and
+/// ordering run once (they are cell-independent), and strategies whose
+/// walk does not consult the constraint (greedy, annealing) price all
+/// cells from one shared walk via PartitionStrategy::run_axis. Each
+/// returned report is byte-identical to a standalone run_methodology
+/// with that cell's constraint and budget (the explorer's golden sweeps
+/// pin this). Cells already met by the all-fine solution early-exit
+/// with empty kernel lists, exactly like the single-cell flow.
+std::vector<PartitionReport> run_methodology_axis(
+    HybridMapper& mapper, const ir::ProfileData& profile,
+    const std::vector<AxisCell>& cells,
+    const MethodologyOptions& options = {});
 
 }  // namespace amdrel::core

@@ -2,36 +2,68 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <random>
 
+#include "support/bitset.h"
 #include "support/error.h"
 
 namespace amdrel::core {
 
+std::vector<StrategyResult> PartitionStrategy::run_axis(
+    const AxisContext& ctx) {
+  std::vector<StrategyResult> results;
+  results.reserve(ctx.cells.size());
+  for (const AxisCell& cell : ctx.cells) {
+    MethodologyOptions options = ctx.options;
+    options.energy_budget_pj = cell.energy_budget_pj;
+    results.push_back(run({ctx.mapper, ctx.profile, cell.timing_constraint,
+                           options, ctx.kernels}));
+  }
+  return results;
+}
+
 namespace {
 
-/// The construction objective's stop/acceptance test for one split,
-/// against the context's timing constraint and energy budget.
-bool split_met(const StrategyContext& ctx, const IncrementalSplit& split) {
-  return split.meets(ctx.timing_constraint, ctx.options.energy_budget_pj);
+/// Narrows a single-cell StrategyContext to the axis form the batched
+/// walks consume; the greedy and annealing run() entry points delegate
+/// through this so the single-cell and batched paths are one code path.
+std::vector<AxisCell> single_cell(const StrategyContext& ctx) {
+  return {{ctx.timing_constraint, ctx.options.energy_budget_pj}};
 }
 
 }  // namespace
 
 StrategyResult GreedyPaperStrategy::run(const StrategyContext& ctx) {
-  StrategyResult result;
+  const std::vector<AxisCell> cells = single_cell(ctx);
+  return std::move(run_axis(
+      {ctx.mapper, ctx.profile, ctx.options, ctx.kernels, cells})[0]);
+}
+
+std::vector<StrategyResult> GreedyPaperStrategy::run_axis(
+    const AxisContext& ctx) {
+  const std::size_t cells = ctx.cells.size();
+  std::vector<StrategyResult> results(cells);
   IncrementalSplit split(ctx.mapper, ctx.profile, ctx.options.objective);
   // Objective values of pure-timing splits are integer cycle counts held
   // exactly in a double, so these comparisons replicate the original
   // int64 ones bit-for-bit.
   double best_value = split.objective_value();
   SplitCost best_cost = split.cost();
-  std::vector<ir::BlockId> best_moved;
+  std::size_t best_commits = 0;  ///< committed prefix length at the best
+
+  // The commit walk never consults a constraint: each cell only decides
+  // where along the shared trajectory it stops. A cell's result at its
+  // stop point is exactly what a standalone run would have returned,
+  // including engine_iterations (the stop index).
+  std::vector<ir::BlockId> committed;
+  std::vector<char> resolved(cells, 0);
+  std::size_t unresolved = cells;
+  int step = 0;  ///< eligible kernels processed so far
 
   for (const analysis::KernelInfo& kernel : ctx.kernels) {
+    if (unresolved == 0) break;  // every cell already stopped
     if (!kernel.cgc_eligible) continue;  // divisions stay on the FPGA
-    result.engine_iterations++;
+    step++;
 
     split.move(kernel.block);
     const double value = split.objective_value();
@@ -40,20 +72,42 @@ StrategyResult GreedyPaperStrategy::run(const StrategyContext& ctx) {
       split.unmove(kernel.block);
       continue;  // ablation mode only; the paper always commits the move
     }
+    committed.push_back(kernel.block);
     if (value < best_value) {
       best_value = value;
       best_cost = split.cost();
-      best_moved = split.moved();
+      best_commits = committed.size();
     }
-    if (ctx.options.stop_when_met && split_met(ctx, split)) {
-      best_cost = split.cost();
-      best_moved = split.moved();
-      break;
+    if (ctx.options.stop_when_met) {
+      const std::int64_t cycles = split.cost().total();
+      const double energy_pj = split.energy().total_pj();
+      for (std::size_t c = 0; c < cells; ++c) {
+        if (resolved[c]) continue;
+        if (!ctx.options.objective.met(cycles, energy_pj,
+                                       ctx.cells[c].timing_constraint,
+                                       ctx.cells[c].energy_budget_pj)) {
+          continue;
+        }
+        StrategyResult& result = results[c];
+        result.cost = split.cost();
+        result.moved = committed;
+        result.engine_iterations = step;
+        resolved[c] = 1;
+        unresolved--;
+      }
     }
   }
-  result.moved = std::move(best_moved);
-  result.cost = best_cost;
-  return result;
+  // Cells the walk never satisfied report the best split it found.
+  for (std::size_t c = 0; c < cells && unresolved != 0; ++c) {
+    if (resolved[c]) continue;
+    StrategyResult& result = results[c];
+    result.cost = best_cost;
+    result.moved.assign(committed.begin(),
+                        committed.begin() +
+                            static_cast<std::ptrdiff_t>(best_commits));
+    result.engine_iterations = step;
+  }
+  return results;
 }
 
 StrategyResult ExhaustiveStrategy::run(const StrategyContext& ctx) {
@@ -61,6 +115,9 @@ StrategyResult ExhaustiveStrategy::run(const StrategyContext& ctx) {
   const CostObjective& objective = ctx.options.objective;
   IncrementalSplit split(ctx.mapper, ctx.profile, objective);
   const double root_value = split.objective_value();
+  const auto split_met = [&](const IncrementalSplit& s) {
+    return s.meets(ctx.timing_constraint, ctx.options.energy_budget_pj);
+  };
 
   // Candidates: the first eligible kernels in the analysis order (capped),
   // then sorted most-beneficial-first so the bound prunes early. Each
@@ -113,17 +170,21 @@ StrategyResult ExhaustiveStrategy::run(const StrategyContext& ctx) {
         suffix_energy[i + 1] + std::min(0.0, candidates[i].energy_delta);
   }
 
-  std::vector<char> taken(n, 0);
+  // The whole recursion state — current subset, fewest-moves-met record,
+  // best-anywhere record — lives in word-sized bitsets, so taking and
+  // dropping a candidate is a bit flip and record updates are word
+  // copies.
+  SmallBitset taken(n);
   bool met_found = false;
   std::size_t met_moves = 0;
   double met_value = 0.0;
   SplitCost met_cost;
-  std::vector<char> met_taken;
+  SmallBitset met_taken(n);
   double best_any_value = root_value;
   SplitCost best_any_cost = split.cost();
-  std::vector<char> best_any_taken(n, 0);
+  SmallBitset best_any_taken(n);
 
-  const std::function<void(std::size_t)> dfs = [&](std::size_t i) {
+  const auto dfs = [&](const auto& self, std::size_t i) -> void {
     result.engine_iterations++;
     const double value = split.objective_value();
     if (value < best_any_value) {
@@ -131,7 +192,7 @@ StrategyResult ExhaustiveStrategy::run(const StrategyContext& ctx) {
       best_any_cost = split.cost();
       best_any_taken = taken;
     }
-    if (split_met(ctx, split)) {
+    if (split_met(split)) {
       const std::size_t moves = split.moved_count();
       if (!met_found || moves < met_moves ||
           (moves == met_moves && value < met_value)) {
@@ -157,32 +218,40 @@ StrategyResult ExhaustiveStrategy::run(const StrategyContext& ctx) {
     if (!can_improve_any && !can_improve_met) return;
 
     split.move(candidates[i].block);
-    taken[i] = 1;
-    dfs(i + 1);
+    taken.set(i);
+    self(self, i + 1);
     split.unmove(candidates[i].block);
-    taken[i] = 0;
-    dfs(i + 1);
+    taken.clear(i);
+    self(self, i + 1);
   };
-  dfs(0);
+  dfs(dfs, 0);
 
-  const std::vector<char>& chosen = met_found ? met_taken : best_any_taken;
+  const SmallBitset& chosen = met_found ? met_taken : best_any_taken;
   result.cost = met_found ? met_cost : best_any_cost;
   // Emit the moved blocks in the analysis (priority) order for readable
   // reports, independent of the internal search order.
-  std::vector<char> is_chosen(static_cast<std::size_t>(
-                                  ctx.mapper.cdfg().size()),
-                              0);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (i < chosen.size() && chosen[i]) is_chosen[candidates[i].block] = 1;
-  }
+  SmallBitset is_chosen(static_cast<std::size_t>(ctx.mapper.cdfg().size()));
+  chosen.for_each_set(
+      [&](std::size_t i) { is_chosen.set(
+          static_cast<std::size_t>(candidates[i].block)); });
   for (const analysis::KernelInfo& kernel : ctx.kernels) {
-    if (is_chosen[kernel.block]) result.moved.push_back(kernel.block);
+    if (is_chosen.test(static_cast<std::size_t>(kernel.block))) {
+      result.moved.push_back(kernel.block);
+    }
   }
   return result;
 }
 
 StrategyResult AnnealingStrategy::run(const StrategyContext& ctx) {
-  StrategyResult result;
+  const std::vector<AxisCell> cells = single_cell(ctx);
+  return std::move(run_axis(
+      {ctx.mapper, ctx.profile, ctx.options, ctx.kernels, cells})[0]);
+}
+
+std::vector<StrategyResult> AnnealingStrategy::run_axis(
+    const AxisContext& ctx) {
+  const std::size_t cells = ctx.cells.size();
+  std::vector<StrategyResult> results(cells);
   IncrementalSplit split(ctx.mapper, ctx.profile, ctx.options.objective);
 
   std::vector<ir::BlockId> candidates;
@@ -192,9 +261,9 @@ StrategyResult AnnealingStrategy::run(const StrategyContext& ctx) {
   double best_value = split.objective_value();
   SplitCost best_cost = split.cost();
   double best_energy = split.energy().total_pj();
-  std::vector<char> best_state(candidates.size(), 0);
-  result.cost = best_cost;
-  if (candidates.empty()) return result;
+  SmallBitset best_state(candidates.size());
+  for (StrategyResult& result : results) result.cost = best_cost;
+  if (candidates.empty()) return results;
 
   std::mt19937_64 rng(ctx.options.random_seed);
   std::uniform_int_distribution<std::size_t> pick(0, candidates.size() - 1);
@@ -229,24 +298,36 @@ StrategyResult AnnealingStrategy::run(const StrategyContext& ctx) {
   const double cooling =
       std::pow(floor_temp / temperature, 1.0 / iterations);
 
-  std::vector<char> state(candidates.size(), 0);
+  // One walk prices every cell: the rng stream, acceptance tests and
+  // best tracking consult only objective values, never a constraint or
+  // budget, so the trajectory a standalone run() would follow for any
+  // cell is exactly this one up to that cell's stop point. Each cell
+  // resolves online the first time the accepted split meets it; the
+  // walk ends early once every cell has resolved (which makes the
+  // single-cell run() byte-identical to the old implementation by
+  // construction).
+  std::vector<char> resolved(cells, 0);
+  std::size_t unresolved = cells;
+  int uphill_proposed = 0;
+  int uphill_accepted = 0;
+
+  SmallBitset state(candidates.size());
   double current = best_value;
-  for (int step = 0; step < iterations; ++step) {
-    result.engine_iterations++;
+  for (int step = 0; step < iterations && unresolved > 0; ++step) {
     const std::size_t i = pick(rng);
     const ir::BlockId block = candidates[i];
-    if (state[i]) {
+    if (state.test(i)) {
       split.unmove(block);
     } else {
       split.move(block);
     }
     const double proposed = split.objective_value();
     const double delta = proposed - current;
-    if (delta > 0.0) result.uphill_proposed++;
+    if (delta > 0.0) uphill_proposed++;
     if (delta <= 0.0 ||
         uniform(rng) < std::exp(-(delta / scale) / temperature)) {
-      if (delta > 0.0) result.uphill_accepted++;
-      state[i] ^= 1;
+      if (delta > 0.0) uphill_accepted++;
+      state.flip(i);
       current = proposed;
       if (proposed < best_value) {
         best_value = proposed;
@@ -254,27 +335,43 @@ StrategyResult AnnealingStrategy::run(const StrategyContext& ctx) {
         best_energy = split.energy().total_pj();
         best_state = state;
       }
-      if (ctx.options.stop_when_met && split_met(ctx, split)) {
-        // Stop once the constraint holds (paper-flow semantics) — but
-        // return a split that actually meets it. For timing and energy
-        // objectives best_value <= current implies the recorded best
-        // meets too (the scalar IS the constrained quantity), so this
-        // keeps those walks bit-identical; under kCombined the scalar
-        // is a weighted sum while met() is per-axis, so the lower-value
-        // best can violate an axis the current split satisfies.
-        if (!ctx.options.objective.met(best_cost.total(), best_energy,
-                                       ctx.timing_constraint,
-                                       ctx.options.energy_budget_pj)) {
-          best_value = proposed;
-          best_cost = split.cost();
-          best_energy = split.energy().total_pj();
-          best_state = state;
+      if (ctx.options.stop_when_met) {
+        for (std::size_t c = 0; c < cells; ++c) {
+          if (resolved[c]) continue;
+          const AxisCell& cell = ctx.cells[c];
+          if (!split.meets(cell.timing_constraint, cell.energy_budget_pj)) {
+            continue;
+          }
+          // Stop this cell once its constraint holds (paper-flow
+          // semantics) — but hand it a split that actually meets it.
+          // For timing and energy objectives best_value <= current
+          // implies the recorded best meets too (the scalar IS the
+          // constrained quantity), so those cells take the shared best
+          // bit-identically; under kCombined the scalar is a weighted
+          // sum while met() is per-axis, so the lower-value best can
+          // violate an axis the current split satisfies — then the cell
+          // takes the current split instead. The shared best itself is
+          // never touched: later cells see the same walk state a
+          // standalone run would.
+          const bool best_meets = ctx.options.objective.met(
+              best_cost.total(), best_energy, cell.timing_constraint,
+              cell.energy_budget_pj);
+          StrategyResult& result = results[c];
+          result.cost = best_meets ? best_cost : split.cost();
+          result.engine_iterations = step + 1;
+          result.uphill_proposed = uphill_proposed;
+          result.uphill_accepted = uphill_accepted;
+          const SmallBitset& chosen = best_meets ? best_state : state;
+          for (std::size_t k = 0; k < candidates.size(); ++k) {
+            if (chosen.test(k)) result.moved.push_back(candidates[k]);
+          }
+          resolved[c] = 1;
+          --unresolved;
         }
-        break;
       }
     } else {
       // Rejected: revert the flip.
-      if (state[i]) {
+      if (state.test(i)) {
         split.move(block);
       } else {
         split.unmove(block);
@@ -283,11 +380,20 @@ StrategyResult AnnealingStrategy::run(const StrategyContext& ctx) {
     temperature = std::max(floor_temp, temperature * cooling);
   }
 
-  result.cost = best_cost;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (best_state[i]) result.moved.push_back(candidates[i]);
+  // Cells the walk never satisfied get the best split of the full
+  // budget, exactly as a standalone run reaching its iteration cap.
+  for (std::size_t c = 0; c < cells; ++c) {
+    if (resolved[c]) continue;
+    StrategyResult& result = results[c];
+    result.cost = best_cost;
+    result.engine_iterations = iterations;
+    result.uphill_proposed = uphill_proposed;
+    result.uphill_accepted = uphill_accepted;
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+      if (best_state.test(k)) result.moved.push_back(candidates[k]);
+    }
   }
-  return result;
+  return results;
 }
 
 std::unique_ptr<PartitionStrategy> make_strategy(StrategyKind kind) {

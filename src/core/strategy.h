@@ -25,6 +25,21 @@ struct StrategyContext {
   const std::vector<analysis::KernelInfo>& kernels;  ///< already ordered
 };
 
+// AxisCell lives in core/methodology.h (next to MethodologyOptions) so
+// run_methodology_axis can take cells without including this header.
+
+/// A whole constraint axis sharing one (mapper, profile, options,
+/// kernels) walk: the cells differ only in their stop/acceptance limits.
+/// options.energy_budget_pj is ignored — each cell carries its own
+/// budget.
+struct AxisContext {
+  HybridMapper& mapper;
+  const ir::ProfileData& profile;
+  const MethodologyOptions& options;
+  const std::vector<analysis::KernelInfo>& kernels;  ///< already ordered
+  const std::vector<AxisCell>& cells;
+};
+
 /// What a strategy hands back to the run_methodology dispatcher.
 struct StrategyResult {
   std::vector<ir::BlockId> moved;  ///< in movement/priority order
@@ -51,21 +66,39 @@ class PartitionStrategy {
   virtual ~PartitionStrategy() = default;
   virtual const char* name() const = 0;
   virtual StrategyResult run(const StrategyContext& ctx) = 0;
+
+  /// Prices every cell of a constraint axis, one StrategyResult per
+  /// ctx.cells entry, each byte-identical to a standalone run() with
+  /// that cell's constraint and budget. Strategies whose walk does not
+  /// depend on the constraint (greedy commits and annealing acceptance
+  /// consult only objective values; the limits only decide where each
+  /// cell stops) override this with a single shared walk that finalizes
+  /// cells online — turning the sweep's constraints x budgets factor
+  /// into array scans. The default falls back to one run() per cell
+  /// (the branch-and-bound search prunes differently per constraint, so
+  /// its visit counts are not derivable from a shared walk).
+  virtual std::vector<StrategyResult> run_axis(const AxisContext& ctx);
 };
 
 /// The paper's engine: commit kernels one by one in the analysis order,
 /// re-pricing the split after each movement (now via O(1) incremental
-/// deltas), until the timing constraint is met.
+/// deltas), until the timing constraint is met. The walk itself is
+/// constraint-independent, so run_axis prices a whole constraint axis
+/// from one walk.
 class GreedyPaperStrategy final : public PartitionStrategy {
  public:
   const char* name() const override { return "greedy"; }
   StrategyResult run(const StrategyContext& ctx) override;
+  std::vector<StrategyResult> run_axis(const AxisContext& ctx) override;
 };
 
 /// Branch-and-bound over subsets of the top options.exhaustive_max_kernels
 /// eligible kernels. Returns the subset meeting the constraint with the
 /// fewest moves (ties: fewest cycles); when no subset meets it, the
-/// subset minimizing total cycles.
+/// subset minimizing total cycles. Recursion state lives in SmallBitsets
+/// so the frontier fits in registers; run_axis keeps the per-cell
+/// default (the pruning — and thus engine_iterations — depends on the
+/// constraint).
 class ExhaustiveStrategy final : public PartitionStrategy {
  public:
   const char* name() const override { return "exhaustive"; }
@@ -74,11 +107,14 @@ class ExhaustiveStrategy final : public PartitionStrategy {
 
 /// Seeded simulated annealing over all eligible kernels: random membership
 /// flips with a geometric cooling schedule, minimizing total cycles. Meant
-/// for kernel sets too large for the exhaustive search.
+/// for kernel sets too large for the exhaustive search. Acceptance
+/// depends only on objective values, so run_axis replays one walk for
+/// every cell of a constraint axis.
 class AnnealingStrategy final : public PartitionStrategy {
  public:
   const char* name() const override { return "annealing"; }
   StrategyResult run(const StrategyContext& ctx) override;
+  std::vector<StrategyResult> run_axis(const AxisContext& ctx) override;
 };
 
 std::unique_ptr<PartitionStrategy> make_strategy(StrategyKind kind);

@@ -1,0 +1,125 @@
+#include "ir/packed_graph.h"
+
+#include <algorithm>
+
+namespace amdrel::ir {
+
+PackedCdfg::PackedCdfg(const Cdfg& cdfg) {
+  const auto blocks = static_cast<std::size_t>(cdfg.size());
+
+  // First pass: arena sizes, so every vector is allocated exactly once.
+  std::size_t total_nodes = 0;
+  std::size_t total_edges = 0;
+  std::size_t total_succs = 0;
+  for (const BasicBlock& block : cdfg.blocks()) {
+    total_nodes += static_cast<std::size_t>(block.dfg.size());
+    for (const Dfg::Node& node : block.dfg.nodes()) {
+      total_edges += node.operands.size();
+    }
+    total_succs += cdfg.successors(block.id).size();
+  }
+
+  node_offsets_.reserve(blocks + 1);
+  kinds_.reserve(total_nodes);
+  widths_.reserve(total_nodes);
+  operand_offsets_.reserve(total_nodes + 1);
+  operand_data_.reserve(total_edges);
+  user_offsets_.reserve(total_nodes + 1);
+  user_data_.reserve(total_edges);
+  block_mix_.resize(blocks);
+  live_in_.assign(blocks, 0);
+  live_out_.assign(blocks, 0);
+  has_div_.assign(blocks, 0);
+  max_asap_.assign(blocks, 0);
+  succ_offsets_.reserve(blocks + 1);
+  succ_data_.reserve(total_succs);
+
+  node_offsets_.push_back(0);
+  operand_offsets_.push_back(0);
+  user_offsets_.push_back(0);
+  succ_offsets_.push_back(0);
+
+  std::vector<std::int32_t> asap_scratch;
+  for (const BasicBlock& block : cdfg.blocks()) {
+    const Dfg& dfg = block.dfg;
+    const auto index = static_cast<std::size_t>(block.id);
+    OpMix& mix = block_mix_[index];
+    for (NodeId id = 0; id < dfg.size(); ++id) {
+      const Dfg::Node& node = dfg.node(id);
+      kinds_.push_back(node.kind);
+      widths_.push_back(node.bit_width);
+      for (const NodeId operand : node.operands) {
+        operand_data_.push_back(operand);
+      }
+      operand_offsets_.push_back(
+          static_cast<std::int32_t>(operand_data_.size()));
+      for (const NodeId user : dfg.users(id)) {
+        user_data_.push_back(user);
+      }
+      user_offsets_.push_back(static_cast<std::int32_t>(user_data_.size()));
+      switch (op_class(node.kind)) {
+        case OpClass::kAlu: mix.alu++; break;
+        case OpClass::kMul: mix.mul++; break;
+        case OpClass::kDiv: mix.div++; break;
+        case OpClass::kMem: mix.mem++; break;
+        case OpClass::kMeta: mix.meta++; break;
+      }
+      if (node.kind == OpKind::kInput) live_in_[index]++;
+      if (node.kind == OpKind::kOutput) live_out_[index]++;
+    }
+    has_div_[index] = mix.div > 0 ? 1 : 0;
+    node_offsets_.push_back(static_cast<std::int32_t>(kinds_.size()));
+    max_asap_[index] = asap_levels_into(block.id, asap_scratch);
+    for (const BlockId succ : cdfg.successors(block.id)) {
+      succ_data_.push_back(succ);
+    }
+    succ_offsets_.push_back(static_cast<std::int32_t>(succ_data_.size()));
+  }
+}
+
+PackedDfgView PackedCdfg::view(BlockId block) const {
+  const auto index = static_cast<std::size_t>(block);
+  const std::int32_t first = node_offsets_[index];
+  PackedDfgView v;
+  v.node_count = node_offsets_[index + 1] - first;
+  v.kinds = kinds_.data() + first;
+  v.bit_widths = widths_.data() + first;
+  v.operand_offsets = operand_offsets_.data() + first;
+  v.operand_data = operand_data_.data();
+  v.user_offsets = user_offsets_.data() + first;
+  v.user_data = user_data_.data();
+  v.mix = block_mix_[index];
+  v.live_in = live_in_[index];
+  v.live_out = live_out_[index];
+  v.has_division = has_div_[index] != 0;
+  v.max_asap = max_asap_[index];
+  return v;
+}
+
+std::int32_t PackedCdfg::asap_levels_into(
+    BlockId block, std::vector<std::int32_t>& levels) const {
+  const auto index = static_cast<std::size_t>(block);
+  const std::int32_t first = node_offsets_[index];
+  const std::int32_t count = node_offsets_[index + 1] - first;
+  levels.assign(static_cast<std::size_t>(count), 0);
+  std::int32_t max_level = 0;
+  for (std::int32_t n = 0; n < count; ++n) {
+    if (!is_schedulable(kinds_[static_cast<std::size_t>(first + n)])) continue;
+    std::int32_t max_pred = 0;
+    const std::int32_t begin =
+        operand_offsets_[static_cast<std::size_t>(first + n)];
+    const std::int32_t end =
+        operand_offsets_[static_cast<std::size_t>(first + n) + 1];
+    for (std::int32_t e = begin; e < end; ++e) {
+      max_pred = std::max(
+          max_pred,
+          levels[static_cast<std::size_t>(operand_data_[
+              static_cast<std::size_t>(e)])]);
+    }
+    levels[static_cast<std::size_t>(n)] = max_pred + 1;
+    max_level = std::max(max_level, max_pred + 1);
+  }
+  return max_level;
+}
+
+}  // namespace amdrel::ir

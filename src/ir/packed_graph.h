@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/cdfg.h"
+#include "ir/dfg.h"
+#include "ir/op.h"
+
+namespace amdrel::ir {
+
+/// Immutable structure-of-arrays view of one basic block's DFG inside a
+/// PackedCdfg: node kinds and bit widths as contiguous arrays, operand
+/// and user adjacency in CSR form over two flat arenas (int32 offsets +
+/// int32 data, node ids block-local), and the per-block analysis results
+/// the engine hot paths consume (op mix, live-in/out counts, division
+/// flag, DFG depth) precomputed at pack time.
+///
+/// Offsets index the owning PackedCdfg's arenas directly: the operands of
+/// block-local node n are operand_data[operand_offsets[n]] ..
+/// operand_data[operand_offsets[n + 1]].
+struct PackedDfgView {
+  std::int32_t node_count = 0;
+  const OpKind* kinds = nullptr;
+  const std::int32_t* bit_widths = nullptr;
+  const std::int32_t* operand_offsets = nullptr;  ///< [node_count + 1]
+  const std::int32_t* operand_data = nullptr;     ///< arena base
+  const std::int32_t* user_offsets = nullptr;     ///< [node_count + 1]
+  const std::int32_t* user_data = nullptr;        ///< arena base
+
+  OpMix mix;
+  std::int32_t live_in = 0;
+  std::int32_t live_out = 0;
+  bool has_division = false;
+  std::int32_t max_asap = 0;  ///< largest ASAP level of any schedulable node
+};
+
+/// Packed, read-only mirror of a Cdfg, built once per application and
+/// traversed millions of times by the partitioning engine: every block's
+/// node kinds/widths live in one flat array each, operand/user/successor
+/// adjacency in CSR arenas, and the per-block quantities the split
+/// pricing needs (OpMix, live-in/out word counts, CGC eligibility) are
+/// precomputed so the move/unmove hot path never touches a Dfg::Node or
+/// allocates. The source Cdfg must outlive the view only for as long as
+/// callers hold references obtained from it elsewhere — the PackedCdfg
+/// itself copies everything it needs.
+class PackedCdfg {
+ public:
+  explicit PackedCdfg(const Cdfg& cdfg);
+
+  std::int32_t num_blocks() const {
+    return static_cast<std::int32_t>(block_mix_.size());
+  }
+  std::int32_t node_count(BlockId block) const {
+    return node_offsets_[static_cast<std::size_t>(block) + 1] -
+           node_offsets_[static_cast<std::size_t>(block)];
+  }
+
+  /// Cheap per-block view into the arenas (a handful of pointer adds).
+  PackedDfgView view(BlockId block) const;
+
+  const OpMix& op_mix(BlockId block) const {
+    return block_mix_[static_cast<std::size_t>(block)];
+  }
+  std::int32_t live_in_count(BlockId block) const {
+    return live_in_[static_cast<std::size_t>(block)];
+  }
+  std::int32_t live_out_count(BlockId block) const {
+    return live_out_[static_cast<std::size_t>(block)];
+  }
+  bool has_division(BlockId block) const {
+    return has_div_[static_cast<std::size_t>(block)] != 0;
+  }
+  std::int32_t max_asap_level(BlockId block) const {
+    return max_asap_[static_cast<std::size_t>(block)];
+  }
+
+  /// ASAP levels of one block, written into a caller-owned scratch buffer
+  /// (resized to the block's node count) so repeated calls never
+  /// allocate. Returns the largest level of any schedulable node.
+  /// Identical level assignment to Dfg::asap_levels().
+  std::int32_t asap_levels_into(BlockId block,
+                                std::vector<std::int32_t>& levels) const;
+
+  /// CSR control-flow successors of a block.
+  const std::int32_t* successors_begin(BlockId block) const {
+    return succ_data_.data() + succ_offsets_[static_cast<std::size_t>(block)];
+  }
+  const std::int32_t* successors_end(BlockId block) const {
+    return succ_data_.data() +
+           succ_offsets_[static_cast<std::size_t>(block) + 1];
+  }
+
+ private:
+  // Node arenas, all blocks concatenated in block-id order.
+  std::vector<std::int32_t> node_offsets_;  ///< [blocks + 1] into kinds_
+  std::vector<OpKind> kinds_;
+  std::vector<std::int32_t> widths_;
+  std::vector<std::int32_t> operand_offsets_;  ///< [nodes + 1] into data
+  std::vector<std::int32_t> operand_data_;     ///< block-local node ids
+  std::vector<std::int32_t> user_offsets_;     ///< [nodes + 1] into data
+  std::vector<std::int32_t> user_data_;        ///< block-local node ids
+
+  // Per-block precomputed analysis.
+  std::vector<OpMix> block_mix_;
+  std::vector<std::int32_t> live_in_;
+  std::vector<std::int32_t> live_out_;
+  std::vector<std::uint8_t> has_div_;
+  std::vector<std::int32_t> max_asap_;
+
+  // Control-flow successor CSR.
+  std::vector<std::int32_t> succ_offsets_;  ///< [blocks + 1]
+  std::vector<std::int32_t> succ_data_;
+};
+
+}  // namespace amdrel::ir

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace amdrel {
+
+/// Fixed-width bitset sized at construction, built for the partitioning
+/// engine's split state: membership tests, flips and copies on the
+/// move/unmove hot path and the branch-and-bound frontier. Up to 256 bits
+/// (four 64-bit words) live inline so the common case — a few dozen
+/// CGC-eligible kernels — never touches the heap; larger widths spill to
+/// a vector transparently. Iteration over set bits uses ctz, counting
+/// uses popcount.
+class SmallBitset {
+ public:
+  SmallBitset() = default;
+
+  explicit SmallBitset(std::size_t bits) : bits_(bits) {
+    words_ = (bits + 63) / 64;
+    if (words_ > kInlineWords) heap_.assign(words_, 0);
+  }
+
+  std::size_t size() const { return bits_; }
+
+  bool test(std::size_t i) const {
+    return (words()[i / 64] >> (i % 64)) & 1u;
+  }
+
+  void set(std::size_t i) { words()[i / 64] |= std::uint64_t{1} << (i % 64); }
+
+  void clear(std::size_t i) {
+    words()[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+
+  void flip(std::size_t i) { words()[i / 64] ^= std::uint64_t{1} << (i % 64); }
+
+  void reset() {
+    std::uint64_t* w = words();
+    for (std::size_t k = 0; k < words_; ++k) w[k] = 0;
+  }
+
+  /// Number of set bits (popcount over the words).
+  std::size_t count() const {
+    const std::uint64_t* w = words();
+    std::size_t total = 0;
+    for (std::size_t k = 0; k < words_; ++k) total += popcount64(w[k]);
+    return total;
+  }
+
+  bool any() const {
+    const std::uint64_t* w = words();
+    for (std::size_t k = 0; k < words_; ++k) {
+      if (w[k] != 0) return true;
+    }
+    return false;
+  }
+
+  /// Calls fn(index) for every set bit in ascending index order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    const std::uint64_t* w = words();
+    for (std::size_t k = 0; k < words_; ++k) {
+      std::uint64_t word = w[k];
+      while (word != 0) {
+        const unsigned bit = ctz64(word);
+        fn(k * 64 + bit);
+        word &= word - 1;  // clear lowest set bit
+      }
+    }
+  }
+
+  friend bool operator==(const SmallBitset& a, const SmallBitset& b) {
+    if (a.bits_ != b.bits_) return false;
+    const std::uint64_t* wa = a.words();
+    const std::uint64_t* wb = b.words();
+    for (std::size_t k = 0; k < a.words_; ++k) {
+      if (wa[k] != wb[k]) return false;
+    }
+    return true;
+  }
+
+  friend bool operator!=(const SmallBitset& a, const SmallBitset& b) {
+    return !(a == b);
+  }
+
+ private:
+  static constexpr std::size_t kInlineWords = 4;  // 256 bits without heap
+
+  static std::size_t popcount64(std::uint64_t word) {
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<std::size_t>(__builtin_popcountll(word));
+#else
+    std::size_t count = 0;
+    while (word != 0) {
+      word &= word - 1;
+      ++count;
+    }
+    return count;
+#endif
+  }
+
+  static unsigned ctz64(std::uint64_t word) {
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<unsigned>(__builtin_ctzll(word));
+#else
+    unsigned bit = 0;
+    while ((word & 1u) == 0) {
+      word >>= 1;
+      ++bit;
+    }
+    return bit;
+#endif
+  }
+
+  const std::uint64_t* words() const {
+    return words_ <= kInlineWords ? inline_ : heap_.data();
+  }
+  std::uint64_t* words() {
+    return words_ <= kInlineWords ? inline_ : heap_.data();
+  }
+
+  std::size_t bits_ = 0;
+  std::size_t words_ = 0;
+  std::uint64_t inline_[kInlineWords] = {0, 0, 0, 0};
+  std::vector<std::uint64_t> heap_;
+};
+
+}  // namespace amdrel

@@ -160,5 +160,34 @@ TEST(ExplorerTest, EmptyStrategyGridRejected) {
   EXPECT_THROW(explore_design_space(app.cdfg, app.profile, p, spec), Error);
 }
 
+TEST(ExplorerTest, TinyAppDefaultConstraintsClampAndDedupe) {
+  // A one-block app whose all-fine cycle count rounds the default 1/4,
+  // 1/2, 3/4 fractions down to 0: the explorer must clamp each to at
+  // least one cycle and drop the duplicates instead of sweeping three
+  // unmeetable "finish in no cycles" constraints.
+  ir::Cdfg cdfg("tiny");
+  const ir::BlockId b = cdfg.add_block();
+  ir::Dfg& dfg = cdfg.block(b).dfg;
+  const ir::NodeId in = dfg.add_node(ir::OpKind::kInput);
+  const ir::NodeId sum = dfg.add_node(ir::OpKind::kAdd, {in, in});
+  dfg.add_node(ir::OpKind::kOutput, {sum});
+  cdfg.set_entry(b);
+  const ir::ProfileData profile;  // never executes: all_fine == 0
+
+  const auto p = platform::make_paper_platform(1500, 2);
+  ASSERT_EQ(HybridMapper(cdfg, p).all_fine_cycles(profile), 0);
+
+  ExploreSpec spec;  // default constraints
+  spec.threads = 1;
+  const auto summary = explore_design_space(cdfg, profile, p, spec);
+  // All three fractions collapse to the single clamped constraint 1.
+  ASSERT_EQ(summary.points.size(),
+            spec.strategies.size() * spec.orderings.size());
+  for (const ExplorePoint& point : summary.points) {
+    EXPECT_EQ(point.constraint, 1);
+    EXPECT_TRUE(point.report.met);
+  }
+}
+
 }  // namespace
 }  // namespace amdrel::core

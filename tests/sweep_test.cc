@@ -419,5 +419,53 @@ TEST(SweepIoTest, JsonDeclaresSchemaVersionAndCellCountMatchesCsv) {
   EXPECT_EQ(csv_rows, summary.cells.size() + 1);  // header + one per cell
 }
 
+TEST(SweepTest, TinyAppDefaultConstraintSlotsCompacted) {
+  // One corpus app whose all-fine cycle count collapses the default 1/4,
+  // 1/2, 3/4 fractions to the single clamped constraint 1 (see the
+  // explorer test of the same name), swept next to OFDM whose fractions
+  // stay distinct: the tiny app's shards fill one constraint slot each
+  // and the unused tail must be compacted away, not emitted as
+  // uninitialized cells.
+  CorpusApp tiny;
+  tiny.name = "tiny";
+  tiny.cdfg = ir::Cdfg("tiny");
+  const ir::BlockId b = tiny.cdfg.add_block();
+  ir::Dfg& dfg = tiny.cdfg.block(b).dfg;
+  const ir::NodeId in = dfg.add_node(ir::OpKind::kInput);
+  const ir::NodeId sum = dfg.add_node(ir::OpKind::kAdd, {in, in});
+  dfg.add_node(ir::OpKind::kOutput, {sum});
+  tiny.cdfg.set_entry(b);
+
+  std::vector<CorpusApp> corpus;
+  corpus.push_back(std::move(tiny));
+  const workloads::PaperApp ofdm = build_ofdm_model();
+  corpus.push_back({"ofdm", ofdm.cdfg, ofdm.profile});
+
+  SweepSpec spec;  // default constraints
+  spec.grid.areas = {1500, 5000};
+  spec.grid.cgc_counts = {2};
+  spec.strategies = {StrategyKind::kGreedyPaper};
+  spec.threads = 2;
+  const auto summary = sweep_design_space(corpus, spec);
+
+  // tiny: 2 platforms x 1 deduped constraint; ofdm: 2 platforms x 3.
+  ASSERT_EQ(summary.cells.size(), 2u * 1u + 2u * 3u);
+  for (const SweepCell& cell : summary.cells) {
+    EXPECT_GE(cell.constraint, 1) << summary.apps[cell.app];
+    if (cell.app == 0) EXPECT_EQ(cell.constraint, 1);
+  }
+  // App-major cell order survives the compaction.
+  EXPECT_EQ(summary.cells[0].app, 0u);
+  EXPECT_EQ(summary.cells[1].app, 0u);
+  for (std::size_t i = 2; i < summary.cells.size(); ++i) {
+    EXPECT_EQ(summary.cells[i].app, 1u);
+  }
+  // The emitted formats agree with the compacted cell count.
+  const std::string csv = sweep_to_csv(summary);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            summary.cells.size() + 1);
+}
+
 }  // namespace
 }  // namespace amdrel::core
