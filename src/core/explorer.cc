@@ -297,8 +297,22 @@ std::optional<PlatformGrid> parse_platform_grid(std::string_view spec) {
   return grid;
 }
 
-SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
-                                const SweepSpec& spec) {
+std::size_t sweep_cells_per_shard(const SweepSpec& spec) {
+  const std::size_t constraint_slots =
+      spec.constraints.empty() ? 3 : spec.constraints.size();
+  const std::size_t budget_slots =
+      spec.energy_budgets.empty() ? 1 : spec.energy_budgets.size();
+  return constraint_slots * budget_slots * spec.strategies.size() *
+         spec.orderings.size();
+}
+
+std::size_t sweep_shard_count(const std::vector<CorpusApp>& corpus,
+                              const SweepSpec& spec) {
+  return corpus.size() * spec.grid.size();
+}
+
+void validate_sweep_inputs(const std::vector<CorpusApp>& corpus,
+                           const SweepSpec& spec) {
   require(!corpus.empty(), "sweep_design_space: empty corpus");
   require(!spec.grid.areas.empty() && !spec.grid.cgc_counts.empty(),
           "sweep_design_space: empty platform grid");
@@ -313,181 +327,148 @@ SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
                   corpus[i].name + "'");
     }
   }
+}
 
-  // A shard is one (app, platform) cell group; its constraint slots are
-  // resolved inside the shard (the default fractions depend on the
-  // shard's all-fine-grain cycles), but the slot CAPACITY is fixed up
-  // front, so every cell has a precomputed output slot and thread
-  // scheduling cannot reorder anything. Default fractions that collapse
-  // on tiny apps (see default_constraints) leave trailing slots unused;
-  // each shard records how many it filled and the unused tail is
-  // compacted away after the join.
-  const std::size_t constraint_slots =
-      spec.constraints.empty() ? 3 : spec.constraints.size();
+std::vector<Fingerprint> sweep_app_fingerprints(
+    const std::vector<CorpusApp>& corpus) {
+  std::vector<Fingerprint> app_fps;
+  app_fps.reserve(corpus.size());
+  for (const CorpusApp& app : corpus) {
+    app_fps.push_back(app_fingerprint(app.cdfg, app.profile));
+  }
+  return app_fps;
+}
+
+std::size_t compute_sweep_shard(const std::vector<CorpusApp>& corpus,
+                                const SweepSpec& spec,
+                                const std::vector<Fingerprint>& app_fps,
+                                std::size_t shard, SweepCell* slots) {
+  SweepCache* cache = spec.cache;
   const std::vector<double> budgets =
       spec.energy_budgets.empty()
           ? std::vector<double>{spec.base.energy_budget_pj}
           : spec.energy_budgets;
-  const std::size_t cells_per_shard =
-      constraint_slots * budgets.size() * spec.strategies.size() *
-      spec.orderings.size();
-  const std::size_t shards = corpus.size() * spec.grid.size();
 
-  SweepSummary summary;
-  summary.apps.reserve(corpus.size());
-  for (const CorpusApp& app : corpus) summary.apps.push_back(app.name);
-  summary.cells.resize(shards * cells_per_shard);
+  const std::size_t app_index = shard / spec.grid.size();
+  const std::size_t platform_index = shard % spec.grid.size();
+  const double area =
+      spec.grid.areas[platform_index / spec.grid.cgc_counts.size()];
+  const int cgcs =
+      spec.grid.cgc_counts[platform_index % spec.grid.cgc_counts.size()];
+  const CorpusApp& app = corpus[app_index];
+  const platform::Platform p = platform::make_paper_platform(area, cgcs);
+  const double cost = platform::platform_cost(p);
 
-  // App fingerprints are shared by every platform cell of an app;
-  // computed once up front rather than per shard.
-  SweepCache* cache = spec.cache;
-  std::vector<Fingerprint> app_fps;
+  Fingerprint platform_fp;
+  Fingerprint group_key;
   if (cache) {
-    app_fps.reserve(corpus.size());
-    for (const CorpusApp& app : corpus) {
-      app_fps.push_back(app_fingerprint(app.cdfg, app.profile));
-    }
+    platform_fp = fingerprint(p);
+    group_key = shard_key(app_fps[app_index], platform_fp);
   }
 
-  // Cells each shard actually filled (== cells_per_shard except when
-  // default constraints collapsed); each slot is written by exactly the
-  // worker that claimed the shard.
-  std::vector<std::size_t> shard_used(shards, 0);
-
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t shard = next.fetch_add(1);
-      if (shard >= shards) return;
-      const std::size_t app_index = shard / spec.grid.size();
-      const std::size_t platform_index = shard % spec.grid.size();
-      const double area =
-          spec.grid.areas[platform_index / spec.grid.cgc_counts.size()];
-      const int cgcs =
-          spec.grid.cgc_counts[platform_index % spec.grid.cgc_counts.size()];
-      const CorpusApp& app = corpus[app_index];
-      const platform::Platform p = platform::make_paper_platform(area, cgcs);
-      const double cost = platform::platform_cost(p);
-
-      Fingerprint platform_fp;
-      Fingerprint group_key;
-      if (cache) {
-        platform_fp = fingerprint(p);
-        group_key = shard_key(app_fps[app_index], platform_fp);
-      }
-
-      // The mapper is built (or restored from a cached snapshot) only
-      // when some cell of this group actually misses — a fully warm
-      // group costs zero mapper constructions.
-      std::optional<HybridMapper> mapper;
-      auto ensure_mapper = [&]() -> HybridMapper& {
-        if (!mapper) {
-          mapper.emplace(make_mapper(cache, group_key, app.cdfg, p));
-        }
-        return *mapper;
-      };
-
-      std::vector<std::int64_t> constraints = spec.constraints;
-      if (constraints.empty()) {
-        // Resolved through the all-fine memo when warm; on a miss the
-        // mapper built here is the group's mapper, reused by every cell.
-        std::optional<std::int64_t> all_fine =
-            cache ? cache->find_all_fine(group_key) : std::nullopt;
-        if (!all_fine) {
-          all_fine = ensure_mapper().all_fine_cycles(app.profile);
-          if (cache) cache->store_all_fine(group_key, *all_fine);
-        }
-        constraints = default_constraints(*all_fine);
-      }
-      const std::size_t base_index = shard * cells_per_shard;
-      const std::size_t strategy_count = spec.strategies.size();
-      const std::size_t ordering_count = spec.orderings.size();
-      shard_used[shard] = constraints.size() * budgets.size() *
-                          strategy_count * ordering_count;
-
-      // One walk per (strategy, ordering) pair prices the shard's whole
-      // constraints x budgets axis; cached cells are filtered out first
-      // so a fully warm group still costs zero mapper constructions.
-      for (std::size_t si = 0; si < strategy_count; ++si) {
-        for (std::size_t oi = 0; oi < ordering_count; ++oi) {
-          MethodologyOptions options = spec.base;
-          options.strategy = spec.strategies[si];
-          options.ordering = spec.orderings[oi];
-          std::vector<std::size_t> missed;
-          std::vector<AxisCell> axis;
-          for (std::size_t ci = 0; ci < constraints.size(); ++ci) {
-            for (std::size_t bi = 0; bi < budgets.size(); ++bi) {
-              const std::size_t index =
-                  base_index +
-                  ((ci * budgets.size() + bi) * strategy_count + si) *
-                      ordering_count +
-                  oi;
-              SweepCell& cell = summary.cells[index];
-              cell.app = app_index;
-              cell.a_fpga = area;
-              cell.cgcs = cgcs;
-              cell.platform_cost = cost;
-              cell.constraint = constraints[ci];
-              cell.energy_budget_pj = budgets[bi];
-              cell.strategy = spec.strategies[si];
-              cell.ordering = spec.orderings[oi];
-              if (cache) {
-                options.energy_budget_pj = budgets[bi];
-                const Fingerprint key = cell_key(app_fps[app_index],
-                                                 platform_fp, options,
-                                                 constraints[ci]);
-                if (std::optional<CachedCell> hit = cache->find_cell(key)) {
-                  cell.report = std::move(hit->report);
-                  cell.moved_names = std::move(hit->moved_names);
-                  continue;
-                }
-              }
-              missed.push_back(index);
-              axis.push_back({constraints[ci], budgets[bi]});
-            }
-          }
-          if (missed.empty()) continue;
-          const std::vector<PartitionReport> reports = run_methodology_axis(
-              ensure_mapper(), app.profile, axis, options);
-          for (std::size_t m = 0; m < missed.size(); ++m) {
-            SweepCell& cell = summary.cells[missed[m]];
-            cell.report = reports[m];
-            cell.moved_names = moved_block_names(app.cdfg, cell.report);
-            if (cache) {
-              options.energy_budget_pj = cell.energy_budget_pj;
-              CachedCell fresh;
-              fresh.report = cell.report;
-              fresh.moved_names = cell.moved_names;
-              cache->store_cell(cell_key(app_fps[app_index], platform_fp,
-                                         options, cell.constraint),
-                                std::move(fresh));
-            }
-          }
-        }
-      }
-      // Republish the snapshot including the lazily-built coarse
-      // schedules of this group.
-      if (cache && mapper) {
-        cache->store_mapper(group_key,
-                            std::make_shared<MapperState>(mapper->state()));
-      }
+  // The mapper is built (or restored from a cached snapshot) only
+  // when some cell of this group actually misses — a fully warm
+  // group costs zero mapper constructions.
+  std::optional<HybridMapper> mapper;
+  auto ensure_mapper = [&]() -> HybridMapper& {
+    if (!mapper) {
+      mapper.emplace(make_mapper(cache, group_key, app.cdfg, p));
     }
+    return *mapper;
   };
 
-  const int threads = worker_count(shards, spec.threads);
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+  std::vector<std::int64_t> constraints = spec.constraints;
+  if (constraints.empty()) {
+    // Resolved through the all-fine memo when warm; on a miss the
+    // mapper built here is the group's mapper, reused by every cell.
+    std::optional<std::int64_t> all_fine =
+        cache ? cache->find_all_fine(group_key) : std::nullopt;
+    if (!all_fine) {
+      all_fine = ensure_mapper().all_fine_cycles(app.profile);
+      if (cache) cache->store_all_fine(group_key, *all_fine);
+    }
+    constraints = default_constraints(*all_fine);
   }
+  const std::size_t strategy_count = spec.strategies.size();
+  const std::size_t ordering_count = spec.orderings.size();
+  const std::size_t used =
+      constraints.size() * budgets.size() * strategy_count * ordering_count;
 
+  // One walk per (strategy, ordering) pair prices the shard's whole
+  // constraints x budgets axis; cached cells are filtered out first
+  // so a fully warm group still costs zero mapper constructions.
+  for (std::size_t si = 0; si < strategy_count; ++si) {
+    for (std::size_t oi = 0; oi < ordering_count; ++oi) {
+      MethodologyOptions options = spec.base;
+      options.strategy = spec.strategies[si];
+      options.ordering = spec.orderings[oi];
+      std::vector<std::size_t> missed;
+      std::vector<AxisCell> axis;
+      for (std::size_t ci = 0; ci < constraints.size(); ++ci) {
+        for (std::size_t bi = 0; bi < budgets.size(); ++bi) {
+          const std::size_t index =
+              ((ci * budgets.size() + bi) * strategy_count + si) *
+                  ordering_count +
+              oi;
+          SweepCell& cell = slots[index];
+          cell.app = app_index;
+          cell.a_fpga = area;
+          cell.cgcs = cgcs;
+          cell.platform_cost = cost;
+          cell.constraint = constraints[ci];
+          cell.energy_budget_pj = budgets[bi];
+          cell.strategy = spec.strategies[si];
+          cell.ordering = spec.orderings[oi];
+          if (cache) {
+            options.energy_budget_pj = budgets[bi];
+            const Fingerprint key = cell_key(app_fps[app_index], platform_fp,
+                                             options, constraints[ci]);
+            if (std::optional<CachedCell> hit = cache->find_cell(key)) {
+              cell.report = std::move(hit->report);
+              cell.moved_names = std::move(hit->moved_names);
+              continue;
+            }
+          }
+          missed.push_back(index);
+          axis.push_back({constraints[ci], budgets[bi]});
+        }
+      }
+      if (missed.empty()) continue;
+      const std::vector<PartitionReport> reports =
+          run_methodology_axis(ensure_mapper(), app.profile, axis, options);
+      for (std::size_t m = 0; m < missed.size(); ++m) {
+        SweepCell& cell = slots[missed[m]];
+        cell.report = reports[m];
+        cell.moved_names = moved_block_names(app.cdfg, cell.report);
+        if (cache) {
+          options.energy_budget_pj = cell.energy_budget_pj;
+          CachedCell fresh;
+          fresh.report = cell.report;
+          fresh.moved_names = cell.moved_names;
+          cache->store_cell(cell_key(app_fps[app_index], platform_fp,
+                                     options, cell.constraint),
+                            std::move(fresh));
+        }
+      }
+    }
+  }
+  // Republish the snapshot including the lazily-built coarse
+  // schedules of this group.
+  if (cache && mapper) {
+    cache->store_mapper(group_key,
+                        std::make_shared<MapperState>(mapper->state()));
+  }
+  return used;
+}
+
+void finalize_sweep_summary(SweepSummary& summary,
+                            const std::vector<std::size_t>& shard_used,
+                            std::size_t cells_per_shard) {
   // Drop the unused tail slots of shards whose default constraints
   // collapsed (a shard's filled cells are the contiguous prefix of its
   // slot range — the constraint index is the outermost layout axis).
   // A no-op whenever every shard filled its capacity.
+  const std::size_t shards = shard_used.size();
   std::size_t used_total = 0;
   for (const std::size_t used : shard_used) used_total += used;
   if (used_total != summary.cells.size()) {
@@ -519,7 +500,7 @@ SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
                             a.report.energy.total_pj();
     return no_worse && better;
   };
-  summary.app_pareto.resize(corpus.size());
+  summary.app_pareto.resize(summary.apps.size());
   for (std::size_t i = 0; i < summary.cells.size(); ++i) {
     SweepCell& cell = summary.cells[i];
     bool app_dominated = false;
@@ -539,6 +520,60 @@ SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
       summary.global_pareto.push_back(i);
     }
   }
+}
+
+SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
+                                const SweepSpec& spec) {
+  validate_sweep_inputs(corpus, spec);
+
+  // A shard is one (app, platform) cell group; its constraint slots are
+  // resolved inside the shard (the default fractions depend on the
+  // shard's all-fine-grain cycles), but the slot CAPACITY is fixed up
+  // front, so every cell has a precomputed output slot and thread
+  // scheduling cannot reorder anything. Default fractions that collapse
+  // on tiny apps (see default_constraints) leave trailing slots unused;
+  // each shard records how many it filled and the unused tail is
+  // compacted away after the join.
+  const std::size_t cells_per_shard = sweep_cells_per_shard(spec);
+  const std::size_t shards = sweep_shard_count(corpus, spec);
+
+  SweepSummary summary;
+  summary.apps.reserve(corpus.size());
+  for (const CorpusApp& app : corpus) summary.apps.push_back(app.name);
+  summary.cells.resize(shards * cells_per_shard);
+
+  // App fingerprints are shared by every platform cell of an app;
+  // computed once up front rather than per shard.
+  const std::vector<Fingerprint> app_fps =
+      spec.cache ? sweep_app_fingerprints(corpus) : std::vector<Fingerprint>{};
+
+  // Cells each shard actually filled (== cells_per_shard except when
+  // default constraints collapsed); each slot is written by exactly the
+  // worker that claimed the shard.
+  std::vector<std::size_t> shard_used(shards, 0);
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t shard = next.fetch_add(1);
+      if (shard >= shards) return;
+      shard_used[shard] =
+          compute_sweep_shard(corpus, spec, app_fps, shard,
+                              summary.cells.data() + shard * cells_per_shard);
+    }
+  };
+
+  const int threads = worker_count(shards, spec.threads);
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  finalize_sweep_summary(summary, shard_used, cells_per_shard);
   return summary;
 }
 

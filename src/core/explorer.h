@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/fingerprint.h"
 #include "core/methodology.h"
 #include "core/strategy.h"
 
@@ -169,6 +170,61 @@ int worker_count(std::size_t jobs, int requested);
 /// scheduling.
 SweepSummary sweep_design_space(const std::vector<CorpusApp>& corpus,
                                 const SweepSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Building blocks of sweep_design_space, exported so the distributed
+// sweep service (core/sweep_service.h) runs workers and coordinator
+// through the EXACT code path of a single-process sweep — that identity,
+// not a parallel re-implementation, is what makes the distributed output
+// byte-identical by construction.
+// ---------------------------------------------------------------------------
+
+/// Slot CAPACITY of one (app, platform) shard: constraint slots (3 when
+/// spec.constraints is empty — the default quarter-point fractions) x
+/// energy budgets x strategies x orderings. A shard may FILL fewer when
+/// default fractions collapse on a tiny app; see compute_sweep_shard.
+std::size_t sweep_cells_per_shard(const SweepSpec& spec);
+
+/// Number of (app, platform) shards: corpus size x grid size. Shard s is
+/// app s / grid.size(), platform s % grid.size() — the deterministic
+/// index the sweep service partitions across workers.
+std::size_t sweep_shard_count(const std::vector<CorpusApp>& corpus,
+                              const SweepSpec& spec);
+
+/// The argument checks sweep_design_space performs (non-empty corpus,
+/// grid and strategy/ordering axes; unique app names). Throws Error.
+void validate_sweep_inputs(const std::vector<CorpusApp>& corpus,
+                           const SweepSpec& spec);
+
+/// App fingerprints, one per corpus app (shared by every platform cell
+/// of an app, so computed once, not per shard). Only meaningful with a
+/// cache; pass the empty vector when spec.cache is null.
+std::vector<Fingerprint> sweep_app_fingerprints(
+    const std::vector<CorpusApp>& corpus);
+
+/// Computes ONE shard's cell group into slots[0 .. cells_per_shard), the
+/// work a sweep worker thread performs for one claimed shard: builds (or
+/// cache-restores) the shard's HybridMapper lazily, resolves the
+/// constraint axis, prices the grid one (strategy, ordering) walk at a
+/// time, and publishes cells/mapper snapshots to spec.cache when set.
+/// Returns the number of slots actually filled (the contiguous prefix;
+/// fewer than capacity only when default constraints collapsed).
+/// app_fps must be sweep_app_fingerprints(corpus) when spec.cache is
+/// set, and is ignored otherwise.
+std::size_t compute_sweep_shard(const std::vector<CorpusApp>& corpus,
+                                const SweepSpec& spec,
+                                const std::vector<Fingerprint>& app_fps,
+                                std::size_t shard, SweepCell* slots);
+
+/// The post-compute half of sweep_design_space: compacts away unused
+/// tail slots (summary.cells must hold shard_used.size() x
+/// cells_per_shard slots in shard order) and computes the per-app and
+/// global Pareto fronts. The coordinator runs this over worker-streamed
+/// cells; byte-identity follows because fronts are derived here, never
+/// transmitted.
+void finalize_sweep_summary(SweepSummary& summary,
+                            const std::vector<std::size_t>& shard_used,
+                            std::size_t cells_per_shard);
 
 /// Renders the sweep as a fixed-width table: one row per cell, per-app
 /// Pareto cells marked "*", cells also on the merged global front "**".

@@ -47,6 +47,22 @@ HybridMapper::HybridMapper(const ir::Cdfg& cdfg,
   require(static_cast<ir::BlockId>(fine_.size()) == cdfg.size(),
           cat("HybridMapper: snapshot covers ", fine_.size(),
               " blocks but the CDFG has ", cdfg.size()));
+  require(coarse_.size() <= fine_.size(),
+          cat("HybridMapper: snapshot holds ", coarse_.size(),
+              " coarse mappings for ", fine_.size(), " blocks"));
+  // Snapshots persist on disk since cache schema v3, so the block-count
+  // vouch above is no longer enough: a snapshot keyed correctly but
+  // edited (or decoded from a corrupted line that slipped every other
+  // check) could still carry per-node vectors of the wrong shape, which
+  // the engine would index out of bounds.
+  for (std::size_t b = 0; b < fine_.size(); ++b) {
+    const ir::BasicBlock& bb = cdfg.block(static_cast<ir::BlockId>(b));
+    require(static_cast<ir::NodeId>(fine_[b].partitioning.partition_of
+                                        .size()) == bb.dfg.size(),
+            cat("HybridMapper: snapshot partitioning of block ", b,
+                " covers ", fine_[b].partitioning.partition_of.size(),
+                " nodes but the block has ", bb.dfg.size()));
+  }
   coarse_.resize(static_cast<std::size_t>(cdfg.size()));
   build_block_tables();
 }

@@ -1,0 +1,252 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace amdrel::core::jsonl {
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON machinery shared by the two newline-delimited JSON
+// surfaces of the system: the sweep cache's on-disk format
+// (core/sweep_cache.cc) and the sweep service's coordinator<->worker wire
+// protocol (core/sweep_service.cc). Header-only so both stay free of a
+// shared translation unit; the strictness is the point — every malformed
+// line is rejected, never coerced, which is what makes "corrupt input ->
+// reject whole stream" a reliable contract on both surfaces.
+// ---------------------------------------------------------------------------
+
+/// Minimal strict JSON value: everything the cache/wire schemas use
+/// (integers, booleans, strings, arrays, objects). No floats — the
+/// schemas have none (doubles travel as IEEE-754 bit patterns), and
+/// rejecting them keeps round-trips exact.
+struct JsonValue {
+  enum class Kind { kBool, kInt, kString, kArray, kObject };
+  Kind kind = Kind::kInt;
+  bool boolean = false;
+  std::int64_t integer = 0;
+  std::string string;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* find(const std::string& name) const {
+    for (const auto& [key, value] : fields) {
+      if (key == name) return &value;
+    }
+    return nullptr;
+  }
+};
+
+/// Recursive-descent parser for one JSON line. Strict: unknown escape
+/// sequences, floats, trailing garbage and depth past the schemas' needs
+/// all fail.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool parse(JsonValue& out) {
+    skip_space();
+    if (!parse_value(out, /*depth=*/0)) return false;
+    skip_space();
+    return p_ == end_;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 8;
+
+  void skip_space() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t')) ++p_;
+  }
+
+  bool literal(const char* text) {
+    const char* q = p_;
+    for (; *text; ++text, ++q) {
+      if (q == end_ || *q != *text) return false;
+    }
+    p_ = q;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth || p_ == end_) return false;
+    switch (*p_) {
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_int(out);
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++p_;  // opening quote
+    out.clear();
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p_ == end_) return false;
+      switch (*p_++) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (p_ == end_) return false;
+            const char d = *p_++;
+            value <<= 4;
+            if (d >= '0' && d <= '9') {
+              value |= static_cast<unsigned>(d - '0');
+            } else if (d >= 'a' && d <= 'f') {
+              value |= static_cast<unsigned>(d - 'a' + 10);
+            } else {
+              return false;
+            }
+          }
+          if (value > 0x7f) return false;  // writer only escapes control chars
+          out += static_cast<char>(value);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    if (p_ == end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool parse_int(JsonValue& out) {
+    out.kind = JsonValue::Kind::kInt;
+    const bool negative = p_ != end_ && *p_ == '-';
+    if (negative) ++p_;
+    if (p_ == end_ || *p_ < '0' || *p_ > '9') return false;
+    std::uint64_t magnitude = 0;
+    while (p_ != end_ && *p_ >= '0' && *p_ <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(*p_++ - '0');
+      if (magnitude > (0x7fffffffffffffffULL - digit) / 10) return false;
+      magnitude = magnitude * 10 + digit;
+    }
+    out.integer = negative ? -static_cast<std::int64_t>(magnitude)
+                           : static_cast<std::int64_t>(magnitude);
+    return true;
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++p_;  // '['
+    skip_space();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      JsonValue item;
+      if (!parse_value(item, depth + 1)) return false;
+      out.items.push_back(std::move(item));
+      skip_space();
+      if (p_ == end_) return false;
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      if (*p_++ != ',') return false;
+      skip_space();
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++p_;  // '{'
+    skip_space();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      if (p_ == end_ || *p_ != '"') return false;
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_space();
+      if (p_ == end_ || *p_++ != ':') return false;
+      skip_space();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.fields.emplace_back(std::move(key), std::move(value));
+      skip_space();
+      if (p_ == end_) return false;
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      if (*p_++ != ',') return false;
+      skip_space();
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+// Typed field accessors: each returns false when the field is missing or
+// of the wrong kind, so every malformed line is caught, never coerced.
+inline bool get_int(const JsonValue& object, const char* name,
+                    std::int64_t& out) {
+  const JsonValue* v = object.find(name);
+  if (!v || v->kind != JsonValue::Kind::kInt) return false;
+  out = v->integer;
+  return true;
+}
+
+inline bool get_bool(const JsonValue& object, const char* name, bool& out) {
+  const JsonValue* v = object.find(name);
+  if (!v || v->kind != JsonValue::Kind::kBool) return false;
+  out = v->boolean;
+  return true;
+}
+
+inline bool get_string(const JsonValue& object, const char* name,
+                       std::string& out) {
+  const JsonValue* v = object.find(name);
+  if (!v || v->kind != JsonValue::Kind::kString) return false;
+  out = v->string;
+  return true;
+}
+
+// Doubles round-trip through their IEEE-754 bit pattern (as a signed
+// 64-bit integer) so the strict integer-only parser needs no float
+// grammar and a reader recovers exactly the bits the writer held.
+inline std::int64_t double_to_bits(double value) {
+  std::int64_t bits = 0;
+  static_assert(sizeof bits == sizeof value, "IEEE-754 double expected");
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+inline double bits_to_double(std::int64_t bits) {
+  double value = 0;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+}  // namespace amdrel::core::jsonl

@@ -1,13 +1,16 @@
 #include "core/sweep_cache.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
+#include <numeric>
+#include <ostream>
 #include <sstream>
 #include <utility>
 
 #ifndef _WIN32
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/file.h>
 #include <unistd.h>
@@ -17,248 +20,23 @@
 
 namespace amdrel::core {
 
-namespace {
+using jsonl::JsonParser;
+using jsonl::JsonValue;
+using jsonl::bits_to_double;
+using jsonl::double_to_bits;
+using jsonl::get_bool;
+using jsonl::get_int;
+using jsonl::get_string;
 
 // ---------------------------------------------------------------------------
-// Serialization helpers. The cache file is JSON lines: one header object
-// then one object per entry, every line written in canonical field order
-// so identical caches are byte-identical on disk.
+// Cell payload codec — the canonical field order shared by the cache
+// file's "cell" lines and the sweep service's wire "cell" lines. The
+// JSON machinery itself lives in core/json_lines.h.
 // ---------------------------------------------------------------------------
 
-// Minimal strict JSON value: everything the cache schema uses (integers,
-// booleans, strings, arrays, objects). No floats — the schema has none,
-// and rejecting them keeps round-trips exact.
-struct JsonValue {
-  enum class Kind { kBool, kInt, kString, kArray, kObject };
-  Kind kind = Kind::kInt;
-  bool boolean = false;
-  std::int64_t integer = 0;
-  std::string string;
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> fields;
-
-  const JsonValue* find(const std::string& name) const {
-    for (const auto& [key, value] : fields) {
-      if (key == name) return &value;
-    }
-    return nullptr;
-  }
-};
-
-/// Recursive-descent parser for one cache line. Strict: unknown escape
-/// sequences, floats, trailing garbage and depth past the schema's needs
-/// all fail, which is what makes "corrupt file -> warn and recompute"
-/// a reliable contract.
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text)
-      : p_(text.data()), end_(text.data() + text.size()) {}
-
-  bool parse(JsonValue& out) {
-    skip_space();
-    if (!parse_value(out, /*depth=*/0)) return false;
-    skip_space();
-    return p_ == end_;
-  }
-
- private:
-  static constexpr int kMaxDepth = 8;
-
-  void skip_space() {
-    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t')) ++p_;
-  }
-
-  bool literal(const char* text) {
-    const char* q = p_;
-    for (; *text; ++text, ++q) {
-      if (q == end_ || *q != *text) return false;
-    }
-    p_ = q;
-    return true;
-  }
-
-  bool parse_value(JsonValue& out, int depth) {
-    if (depth > kMaxDepth || p_ == end_) return false;
-    switch (*p_) {
-      case 't':
-        out.kind = JsonValue::Kind::kBool;
-        out.boolean = true;
-        return literal("true");
-      case 'f':
-        out.kind = JsonValue::Kind::kBool;
-        out.boolean = false;
-        return literal("false");
-      case '"':
-        out.kind = JsonValue::Kind::kString;
-        return parse_string(out.string);
-      case '[':
-        return parse_array(out, depth);
-      case '{':
-        return parse_object(out, depth);
-      default:
-        return parse_int(out);
-    }
-  }
-
-  bool parse_string(std::string& out) {
-    ++p_;  // opening quote
-    out.clear();
-    while (p_ != end_ && *p_ != '"') {
-      char c = *p_++;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (p_ == end_) return false;
-      switch (*p_++) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          unsigned value = 0;
-          for (int i = 0; i < 4; ++i) {
-            if (p_ == end_) return false;
-            const char d = *p_++;
-            value <<= 4;
-            if (d >= '0' && d <= '9') {
-              value |= static_cast<unsigned>(d - '0');
-            } else if (d >= 'a' && d <= 'f') {
-              value |= static_cast<unsigned>(d - 'a' + 10);
-            } else {
-              return false;
-            }
-          }
-          if (value > 0x7f) return false;  // writer only escapes control chars
-          out += static_cast<char>(value);
-          break;
-        }
-        default:
-          return false;
-      }
-    }
-    if (p_ == end_) return false;
-    ++p_;  // closing quote
-    return true;
-  }
-
-  bool parse_int(JsonValue& out) {
-    out.kind = JsonValue::Kind::kInt;
-    const bool negative = p_ != end_ && *p_ == '-';
-    if (negative) ++p_;
-    if (p_ == end_ || *p_ < '0' || *p_ > '9') return false;
-    std::uint64_t magnitude = 0;
-    while (p_ != end_ && *p_ >= '0' && *p_ <= '9') {
-      const std::uint64_t digit = static_cast<std::uint64_t>(*p_++ - '0');
-      if (magnitude > (0x7fffffffffffffffULL - digit) / 10) return false;
-      magnitude = magnitude * 10 + digit;
-    }
-    out.integer = negative ? -static_cast<std::int64_t>(magnitude)
-                           : static_cast<std::int64_t>(magnitude);
-    return true;
-  }
-
-  bool parse_array(JsonValue& out, int depth) {
-    out.kind = JsonValue::Kind::kArray;
-    ++p_;  // '['
-    skip_space();
-    if (p_ != end_ && *p_ == ']') {
-      ++p_;
-      return true;
-    }
-    for (;;) {
-      JsonValue item;
-      if (!parse_value(item, depth + 1)) return false;
-      out.items.push_back(std::move(item));
-      skip_space();
-      if (p_ == end_) return false;
-      if (*p_ == ']') {
-        ++p_;
-        return true;
-      }
-      if (*p_++ != ',') return false;
-      skip_space();
-    }
-  }
-
-  bool parse_object(JsonValue& out, int depth) {
-    out.kind = JsonValue::Kind::kObject;
-    ++p_;  // '{'
-    skip_space();
-    if (p_ != end_ && *p_ == '}') {
-      ++p_;
-      return true;
-    }
-    for (;;) {
-      if (p_ == end_ || *p_ != '"') return false;
-      std::string key;
-      if (!parse_string(key)) return false;
-      skip_space();
-      if (p_ == end_ || *p_++ != ':') return false;
-      skip_space();
-      JsonValue value;
-      if (!parse_value(value, depth + 1)) return false;
-      out.fields.emplace_back(std::move(key), std::move(value));
-      skip_space();
-      if (p_ == end_) return false;
-      if (*p_ == '}') {
-        ++p_;
-        return true;
-      }
-      if (*p_++ != ',') return false;
-      skip_space();
-    }
-  }
-
-  const char* p_;
-  const char* end_;
-};
-
-// Typed field accessors: each returns false when the field is missing or
-// of the wrong kind, so every malformed line is caught, never coerced.
-bool get_int(const JsonValue& object, const char* name, std::int64_t& out) {
-  const JsonValue* v = object.find(name);
-  if (!v || v->kind != JsonValue::Kind::kInt) return false;
-  out = v->integer;
-  return true;
-}
-
-bool get_bool(const JsonValue& object, const char* name, bool& out) {
-  const JsonValue* v = object.find(name);
-  if (!v || v->kind != JsonValue::Kind::kBool) return false;
-  out = v->boolean;
-  return true;
-}
-
-bool get_string(const JsonValue& object, const char* name, std::string& out) {
-  const JsonValue* v = object.find(name);
-  if (!v || v->kind != JsonValue::Kind::kString) return false;
-  out = v->string;
-  return true;
-}
-
-// Energy doubles round-trip through their IEEE-754 bit pattern (as a
-// signed 64-bit integer) so the strict integer-only parser needs no
-// float grammar and a hit returns exactly the bits a cold run computed.
-std::int64_t double_to_bits(double value) {
-  std::int64_t bits = 0;
-  static_assert(sizeof bits == sizeof value, "IEEE-754 double expected");
-  std::memcpy(&bits, &value, sizeof bits);
-  return bits;
-}
-
-double bits_to_double(std::int64_t bits) {
-  double value = 0;
-  std::memcpy(&value, &bits, sizeof value);
-  return value;
-}
-
-void write_cell_line(std::ostringstream& os, const Fingerprint& key,
-                     const CachedCell& cell) {
-  const PartitionReport& r = cell.report;
-  os << "{\"kind\":\"cell\",\"key\":\"" << key.to_hex() << "\","
-     << "\"app\":\"" << json_escape(r.app) << "\","
+void write_cell_payload(std::ostream& os, const PartitionReport& r,
+                        const std::vector<std::string>& moved_names) {
+  os << "\"app\":\"" << json_escape(r.app) << "\","
      << "\"constraint\":" << r.timing_constraint << ","
      << "\"objective\":" << static_cast<int>(r.objective) << ","
      << "\"energy_budget_bits\":" << double_to_bits(r.energy_budget_pj)
@@ -281,9 +59,9 @@ void write_cell_line(std::ostringstream& os, const Fingerprint& key,
     os << r.moved[i];
   }
   os << "],\"moved_names\":[";
-  for (std::size_t i = 0; i < cell.moved_names.size(); ++i) {
+  for (std::size_t i = 0; i < moved_names.size(); ++i) {
     if (i) os << ',';
-    os << '"' << json_escape(cell.moved_names[i]) << '"';
+    os << '"' << json_escape(moved_names[i]) << '"';
   }
   os << "],\"t_fpga\":" << r.cost.t_fpga << ","
      << "\"t_coarse\":" << r.cost.t_coarse << ","
@@ -295,10 +73,10 @@ void write_cell_line(std::ostringstream& os, const Fingerprint& key,
      << double_to_bits(r.energy.reconfig_pj) << ","
      << double_to_bits(r.energy.comm_pj) << "],"
      << "\"met\":" << (r.met ? "true" : "false") << ","
-     << "\"engine_iterations\":" << r.engine_iterations << "}\n";
+     << "\"engine_iterations\":" << r.engine_iterations;
 }
 
-bool read_cell_line(const JsonValue& object, CachedCell& cell) {
+bool read_cell_payload(const JsonValue& object, CachedCell& cell) {
   PartitionReport& r = cell.report;
   std::int64_t iterations = 0;
   std::int64_t objective = 0;
@@ -380,12 +158,228 @@ bool read_cell_line(const JsonValue& object, CachedCell& cell) {
   return true;
 }
 
-/// Parses a whole cache file into the given maps with the strict
-/// whole-file rejection contract (shared by load() and the merge-on-save
-/// re-read inside save()). The maps are only filled on success.
-bool parse_cache_file(const std::string& path,
-                      std::map<Fingerprint, CachedCell>& cells,
-                      std::map<Fingerprint, std::int64_t>& all_fine,
+namespace {
+
+// ---------------------------------------------------------------------------
+// Whole-line writers/readers for the cache file. Every line is written
+// in canonical field order so identical caches are byte-identical on
+// disk.
+// ---------------------------------------------------------------------------
+
+void write_cell_line(std::ostream& os, const Fingerprint& key,
+                     std::uint64_t gen, const CachedCell& cell) {
+  os << "{\"kind\":\"cell\",\"key\":\"" << key.to_hex() << "\",\"gen\":"
+     << gen << ",";
+  write_cell_payload(os, cell.report, cell.moved_names);
+  os << "}\n";
+}
+
+void write_all_fine_line(std::ostream& os, const Fingerprint& key,
+                         std::uint64_t gen, std::int64_t cycles) {
+  os << "{\"kind\":\"all_fine\",\"key\":\"" << key.to_hex() << "\",\"gen\":"
+     << gen << ",\"cycles\":" << cycles << "}\n";
+}
+
+template <typename T>
+void write_int_array(std::ostream& os, const std::vector<T>& values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ',';
+    os << values[i];
+  }
+  os << ']';
+}
+
+// A mapper snapshot serializes the full MapperState: per block the
+// fine-grain mapping (temporal partitioning + timing model) and, when
+// present, the coarse-grain schedule. Partition areas are doubles and
+// travel as IEEE-754 bit patterns like every other double in the file.
+void write_mapper_payload(std::ostream& os, const MapperState& state) {
+  os << "\"fine\":[";
+  for (std::size_t b = 0; b < state.fine.size(); ++b) {
+    const finegrain::FpgaBlockMapping& m = state.fine[b];
+    if (b) os << ',';
+    os << '[';
+    write_int_array(os, m.partitioning.partition_of);
+    os << ',' << m.partitioning.num_partitions << ",[";
+    for (std::size_t i = 0; i < m.partitioning.partition_area.size(); ++i) {
+      if (i) os << ',';
+      os << double_to_bits(m.partitioning.partition_area[i]);
+    }
+    os << "]," << m.exec_cycles << ',' << m.boundary_words << ','
+       << m.boundary_cycles << ',' << m.reconfigs_per_invocation << ','
+       << m.amortized_reconfigs << ']';
+  }
+  os << "],\"coarse\":[";
+  for (std::size_t b = 0; b < state.coarse.size(); ++b) {
+    if (b) os << ',';
+    if (!state.coarse[b].has_value()) {
+      // The strict parser has no null; an empty array marks a block
+      // whose coarse schedule was never (lazily) built.
+      os << "[]";
+      continue;
+    }
+    const coarsegrain::CgcBlockMapping& m = *state.coarse[b];
+    os << '[';
+    write_int_array(os, m.schedule.start);
+    os << ',';
+    write_int_array(os, m.schedule.finish);
+    os << ",[";
+    for (std::size_t i = 0; i < m.schedule.placement.size(); ++i) {
+      const coarsegrain::CgcPlacement& p = m.schedule.placement[i];
+      if (i) os << ',';
+      os << p.cgc << ',' << p.row << ',' << p.col;
+    }
+    os << "]," << m.schedule.total_cgc_cycles << ','
+       << m.schedule.configurations << ',' << m.schedule.mem_accesses << ','
+       << m.schedule.peak_registers << ',' << m.cycles_per_invocation_fpga
+       << ']';
+  }
+  os << ']';
+}
+
+void write_mapper_line(std::ostream& os, const Fingerprint& key,
+                       std::uint64_t gen, const MapperState& state) {
+  os << "{\"kind\":\"mapper\",\"key\":\"" << key.to_hex() << "\",\"gen\":"
+     << gen << ",";
+  write_mapper_payload(os, state);
+  os << "}\n";
+}
+
+bool read_int_array(const JsonValue& value, std::vector<std::int64_t>& out) {
+  if (value.kind != JsonValue::Kind::kArray) return false;
+  out.reserve(value.items.size());
+  for (const JsonValue& item : value.items) {
+    if (item.kind != JsonValue::Kind::kInt) return false;
+    out.push_back(item.integer);
+  }
+  return true;
+}
+
+bool read_mapper_payload(const JsonValue& object, MapperState& state) {
+  const JsonValue* fine = object.find("fine");
+  const JsonValue* coarse = object.find("coarse");
+  if (!fine || fine->kind != JsonValue::Kind::kArray || !coarse ||
+      coarse->kind != JsonValue::Kind::kArray ||
+      fine->items.size() != coarse->items.size()) {
+    return false;
+  }
+
+  state.fine.reserve(fine->items.size());
+  for (const JsonValue& row : fine->items) {
+    // [partition_of, num_partitions, partition_area_bits, exec_cycles,
+    //  boundary_words, boundary_cycles, reconfigs_per_invocation,
+    //  amortized_reconfigs]
+    if (row.kind != JsonValue::Kind::kArray || row.items.size() != 8) {
+      return false;
+    }
+    finegrain::FpgaBlockMapping m;
+    std::vector<std::int64_t> partition_of;
+    if (!read_int_array(row.items[0], partition_of)) return false;
+    m.partitioning.partition_of.reserve(partition_of.size());
+    for (const std::int64_t p : partition_of) {
+      m.partitioning.partition_of.push_back(static_cast<int>(p));
+    }
+    if (row.items[1].kind != JsonValue::Kind::kInt ||
+        row.items[1].integer < 0) {
+      return false;
+    }
+    m.partitioning.num_partitions = static_cast<int>(row.items[1].integer);
+    std::vector<std::int64_t> area_bits;
+    if (!read_int_array(row.items[2], area_bits)) return false;
+    m.partitioning.partition_area.reserve(area_bits.size());
+    for (const std::int64_t bits : area_bits) {
+      m.partitioning.partition_area.push_back(bits_to_double(bits));
+    }
+    for (const int i : {3, 4, 5, 6, 7}) {
+      if (row.items[static_cast<std::size_t>(i)].kind !=
+          JsonValue::Kind::kInt) {
+        return false;
+      }
+    }
+    m.exec_cycles = row.items[3].integer;
+    m.boundary_words = row.items[4].integer;
+    m.boundary_cycles = row.items[5].integer;
+    m.reconfigs_per_invocation = row.items[6].integer;
+    m.amortized_reconfigs = row.items[7].integer;
+    state.fine.push_back(std::move(m));
+  }
+
+  state.coarse.reserve(coarse->items.size());
+  for (const JsonValue& row : coarse->items) {
+    if (row.kind != JsonValue::Kind::kArray) return false;
+    if (row.items.empty()) {
+      state.coarse.emplace_back(std::nullopt);
+      continue;
+    }
+    // [start, finish, placement_triples, total_cgc_cycles,
+    //  configurations, mem_accesses, peak_registers,
+    //  cycles_per_invocation_fpga]
+    if (row.items.size() != 8) return false;
+    coarsegrain::CgcBlockMapping m;
+    if (!read_int_array(row.items[0], m.schedule.start) ||
+        !read_int_array(row.items[1], m.schedule.finish) ||
+        m.schedule.start.size() != m.schedule.finish.size()) {
+      return false;
+    }
+    std::vector<std::int64_t> triples;
+    if (!read_int_array(row.items[2], triples) ||
+        triples.size() != 3 * m.schedule.start.size()) {
+      return false;
+    }
+    m.schedule.placement.reserve(m.schedule.start.size());
+    for (std::size_t i = 0; i < triples.size(); i += 3) {
+      coarsegrain::CgcPlacement p;
+      p.cgc = static_cast<int>(triples[i]);
+      p.row = static_cast<int>(triples[i + 1]);
+      p.col = static_cast<int>(triples[i + 2]);
+      m.schedule.placement.push_back(p);
+    }
+    for (const int i : {3, 4, 5, 6, 7}) {
+      if (row.items[static_cast<std::size_t>(i)].kind !=
+          JsonValue::Kind::kInt) {
+        return false;
+      }
+    }
+    m.schedule.total_cgc_cycles = row.items[3].integer;
+    m.schedule.configurations = row.items[4].integer;
+    m.schedule.mem_accesses = row.items[5].integer;
+    m.schedule.peak_registers = static_cast<int>(row.items[6].integer);
+    m.cycles_per_invocation_fpga = row.items[7].integer;
+    state.coarse.emplace_back(std::move(m));
+  }
+  return true;
+}
+
+// The optional "gen" stamp on entry lines (and "generation" on the
+// header): absent means 0 (oldest), present must be a non-negative
+// integer — anything else is a malformed line.
+bool read_gen(const JsonValue& object, const char* name, std::uint64_t& out) {
+  const JsonValue* v = object.find(name);
+  if (!v) {
+    out = 0;
+    return true;
+  }
+  if (v->kind != JsonValue::Kind::kInt || v->integer < 0) return false;
+  out = static_cast<std::uint64_t>(v->integer);
+  return true;
+}
+
+/// Everything one cache file holds, with per-entry generation stamps.
+struct ParsedFile {
+  std::map<Fingerprint, CachedCell> cells;
+  std::map<Fingerprint, std::int64_t> all_fine;
+  std::map<Fingerprint, MapperState> mappers;
+  std::map<Fingerprint, std::uint64_t> cell_gens;
+  std::map<Fingerprint, std::uint64_t> all_fine_gens;
+  std::map<Fingerprint, std::uint64_t> mapper_gens;
+  std::uint64_t generation = 0;  ///< header counter; the next save is +1
+};
+
+/// Parses a whole cache file with the strict whole-file rejection
+/// contract (shared by load() and the merge-on-save re-read inside
+/// save()). `out` may be partially filled on failure; callers discard it.
+bool parse_cache_file(const std::string& path, ParsedFile& out,
                       std::string* error) {
   auto reject = [&](const std::string& why) {
     if (error) *error = why;
@@ -428,6 +422,9 @@ bool parse_cache_file(const std::string& path,
                           " (this build uses ", kFingerprintAlgorithmVersion,
                           ")"));
       }
+      if (!read_gen(object, "generation", out.generation)) {
+        return reject(cat(path, ":", line_no, ": malformed generation"));
+      }
       saw_header = true;
       continue;
     }
@@ -440,22 +437,37 @@ bool parse_cache_file(const std::string& path,
     if (!key) {
       return reject(cat(path, ":", line_no, ": malformed key"));
     }
+    std::uint64_t gen = 0;
+    if (!read_gen(object, "gen", gen)) {
+      return reject(cat(path, ":", line_no, ": malformed gen"));
+    }
     if (kind == "all_fine") {
       std::int64_t cycles = 0;
       if (!get_int(object, "cycles", cycles)) {
         return reject(cat(path, ":", line_no, ": malformed all_fine entry"));
       }
-      if (!all_fine.emplace(*key, cycles).second) {
+      if (!out.all_fine.emplace(*key, cycles).second) {
         return reject(cat(path, ":", line_no, ": duplicate key"));
       }
+      out.all_fine_gens.emplace(*key, gen);
     } else if (kind == "cell") {
       CachedCell cell;
-      if (!read_cell_line(object, cell)) {
+      if (!read_cell_payload(object, cell)) {
         return reject(cat(path, ":", line_no, ": malformed cell entry"));
       }
-      if (!cells.emplace(*key, std::move(cell)).second) {
+      if (!out.cells.emplace(*key, std::move(cell)).second) {
         return reject(cat(path, ":", line_no, ": duplicate key"));
       }
+      out.cell_gens.emplace(*key, gen);
+    } else if (kind == "mapper") {
+      MapperState state;
+      if (!read_mapper_payload(object, state)) {
+        return reject(cat(path, ":", line_no, ": malformed mapper entry"));
+      }
+      if (!out.mappers.emplace(*key, std::move(state)).second) {
+        return reject(cat(path, ":", line_no, ": duplicate key"));
+      }
+      out.mapper_gens.emplace(*key, gen);
     } else {
       return reject(cat(path, ":", line_no, ": unknown kind \"", kind, "\""));
     }
@@ -465,69 +477,28 @@ bool parse_cache_file(const std::string& path,
   return true;
 }
 
-void serialize_cache(std::ostringstream& os,
-                     const std::map<Fingerprint, CachedCell>& cells,
-                     const std::map<Fingerprint, std::int64_t>& all_fine) {
-  os << "{\"kind\":\"header\",\"schema_version\":" << kSweepCacheSchemaVersion
-     << ",\"fingerprint_algorithm\":" << kFingerprintAlgorithmVersion
-     << ",\"generator\":\"amdrel\"}\n";
-  for (const auto& [key, cycles] : all_fine) {
-    os << "{\"kind\":\"all_fine\",\"key\":\"" << key.to_hex()
-       << "\",\"cycles\":" << cycles << "}\n";
-  }
-  for (const auto& [key, cell] : cells) {
-    write_cell_line(os, key, cell);
-  }
-}
-
 #ifndef NDEBUG
 // Content-addressed keys mean a collision must carry an identical
 // payload; compare via the canonical serialization so every field
-// participates.
-bool same_cell_payload(const Fingerprint& key, const CachedCell& a,
-                       const CachedCell& b) {
+// participates. (Mapper snapshots are exempt: their coarse half
+// accumulates lazily, so two correct snapshots can differ.)
+bool same_cell_payload(const CachedCell& a, const CachedCell& b) {
   std::ostringstream sa;
   std::ostringstream sb;
-  write_cell_line(sa, key, a);
-  write_cell_line(sb, key, b);
+  write_cell_payload(sa, a.report, a.moved_names);
+  write_cell_payload(sb, b.report, b.moved_names);
   return sa.str() == sb.str();
 }
 #endif
 
-// Unions src into dst; dst (the existing entry) wins on collision, and
-// debug builds assert the colliding payloads are bit-identical — a
-// mismatch means two different computations hashed to one fingerprint,
-// i.e. a fingerprinting bug, not a merge-policy question.
-void union_cells(std::map<Fingerprint, CachedCell>& dst,
-                 std::map<Fingerprint, CachedCell>&& src) {
-  for (auto& [key, cell] : src) {
-    // try_emplace, not emplace: it must not move from `cell` when the
-    // key already exists, or the assert below would compare a husk.
-    const auto [it, inserted] = dst.try_emplace(key, std::move(cell));
-    assert(inserted || same_cell_payload(key, it->second, cell));
-    (void)it;
-    (void)inserted;
-  }
-}
-
-void union_all_fine(std::map<Fingerprint, std::int64_t>& dst,
-                    const std::map<Fingerprint, std::int64_t>& src) {
-  for (const auto& [key, cycles] : src) {
-    const auto [it, inserted] = dst.emplace(key, cycles);
-    assert(inserted || it->second == cycles);
-    (void)it;
-    (void)inserted;
-  }
-}
-
 /// Exclusive advisory lock on a sidecar lock file, held for the
-/// load-merge-write cycle in save(). The lock file is created on first
-/// use and intentionally never unlinked: deleting it would let a late
-/// locker open the old inode while a new one locks a fresh file, i.e.
-/// two "exclusive" holders. Failure to lock (exotic filesystem,
-/// unwritable directory) degrades to an unlocked save — the temp+rename
-/// write is still atomic, we only lose the cross-process union window,
-/// and the real failure surfaces as the write error the caller reports.
+/// load-merge-evict-write cycle in save(). The lock file is created on
+/// first use and intentionally never unlinked: deleting it would let a
+/// late locker open the old inode while a new one locks a fresh file,
+/// i.e. two "exclusive" holders. Failure to lock (exotic filesystem,
+/// unwritable directory) degrades to an unlocked save — the unique-temp
+/// +rename write is still atomic, we only lose the cross-process union
+/// window; the caller surfaces the degrade via held().
 class ScopedFileLock {
  public:
   explicit ScopedFileLock(const std::string& path) {
@@ -551,13 +522,91 @@ class ScopedFileLock {
 #endif
   }
 
+  bool held() const {
+#ifndef _WIN32
+    return fd_ >= 0;
+#else
+    // No locking on this platform; report held so single-process saves
+    // stay silent (there is no cross-process union window to lose).
+    return true;
+#endif
+  }
+
  private:
 #ifndef _WIN32
   int fd_ = -1;
 #endif
 };
 
+// One-shot operator-facing warning for the degraded-lock path: losing
+// the cross-process union window silently would make fleet-level entry
+// loss undiagnosable. Per process, not per cache — the condition is
+// environmental (filesystem/permissions), so once is signal, every save
+// would be noise.
+void warn_lock_degraded(const std::string& path) {
+  static std::atomic<bool> warned{false};
+  if (warned.exchange(true, std::memory_order_relaxed)) return;
+  std::fprintf(stderr,
+               "warning: cannot lock %s.lock; saving unlocked (entries "
+               "written concurrently by another process may be lost)\n",
+               path.c_str());
+}
+
+// Unique per-process temp name: "<path>.tmp.<pid>.<seq>". The pid keeps
+// two DEGRADED-lock writers (who by definition do not exclude each
+// other) on distinct temp files, so neither can truncate, promote or
+// remove the other's half-written data; the sequence number keeps
+// threads of one process distinct without consulting thread ids.
+std::string unique_temp_path(const std::string& path) {
+  static std::atomic<std::uint64_t> sequence{0};
+#ifndef _WIN32
+  const long long pid = static_cast<long long>(::getpid());
+#else
+  const long long pid = 0;
+#endif
+  return cat(path, ".tmp.", pid, ".",
+             sequence.fetch_add(1, std::memory_order_relaxed));
+}
+
+// Sweeps "<path>.tmp.*" leftovers from writers that crashed between
+// write and rename. ONLY called with the file lock held: under the lock
+// no other writer can have a live temp, so everything matching is
+// garbage; in degraded mode a matching temp might be another writer's
+// in-flight data and must be left alone.
+void remove_stale_temps(const std::string& path) {
+#ifndef _WIN32
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".")
+      : slash == 0               ? std::string("/")
+                                 : path.substr(0, slash);
+  const std::string prefix =
+      (slash == std::string::npos ? path : path.substr(slash + 1)) + ".tmp.";
+  DIR* d = ::opendir(dir.c_str());
+  if (!d) return;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() > prefix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0) {
+      std::remove((dir + "/" + name).c_str());
+    }
+  }
+  ::closedir(d);
+#else
+  (void)path;
+#endif
+}
+
 }  // namespace
+
+struct SweepCache::Entries {
+  std::map<Fingerprint, CachedCell> cells;
+  std::map<Fingerprint, std::int64_t> all_fine;
+  std::map<Fingerprint, std::shared_ptr<const MapperState>> mappers;
+  std::map<Fingerprint, std::uint64_t> cell_gens;
+  std::map<Fingerprint, std::uint64_t> all_fine_gens;
+  std::map<Fingerprint, std::uint64_t> mapper_gens;
+};
 
 SweepCache::SweepCache(int shard_count)
     : shards_(static_cast<std::size_t>(
@@ -580,6 +629,7 @@ std::optional<CachedCell> SweepCache::find_cell(const Fingerprint& key) {
     return std::nullopt;
   }
   ++shard.stats.cell_hits;
+  shard.cell_gens.erase(key);  // touched: stamped fresh on the next save
   return it->second;
 }
 
@@ -587,6 +637,7 @@ void SweepCache::store_cell(const Fingerprint& key, CachedCell cell) {
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   shard.cells.insert_or_assign(key, std::move(cell));
+  shard.cell_gens.erase(key);
 }
 
 std::optional<std::int64_t> SweepCache::find_all_fine(const Fingerprint& key) {
@@ -598,6 +649,7 @@ std::optional<std::int64_t> SweepCache::find_all_fine(const Fingerprint& key) {
     return std::nullopt;
   }
   ++shard.stats.all_fine_hits;
+  shard.all_fine_gens.erase(key);
   return it->second;
 }
 
@@ -605,6 +657,7 @@ void SweepCache::store_all_fine(const Fingerprint& key, std::int64_t cycles) {
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   shard.all_fine.insert_or_assign(key, cycles);
+  shard.all_fine_gens.erase(key);
 }
 
 std::shared_ptr<const MapperState> SweepCache::find_mapper(
@@ -617,6 +670,7 @@ std::shared_ptr<const MapperState> SweepCache::find_mapper(
     return nullptr;
   }
   ++shard.stats.mapper_restores;
+  shard.mapper_gens.erase(key);
   return it->second;
 }
 
@@ -625,6 +679,7 @@ void SweepCache::store_mapper(const Fingerprint& key,
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
   shard.mappers.insert_or_assign(key, std::move(state));
+  shard.mapper_gens.erase(key);
 }
 
 SweepCacheStats SweepCache::stats() const {
@@ -640,6 +695,8 @@ SweepCacheStats SweepCache::stats() const {
     total.cells += shard.cells.size();
   }
   total.entries_loaded = entries_loaded_.load(std::memory_order_relaxed);
+  total.lock_degraded = lock_degraded_.load(std::memory_order_relaxed);
+  total.entries_evicted = entries_evicted_.load(std::memory_order_relaxed);
   return total;
 }
 
@@ -649,15 +706,28 @@ void SweepCache::reset_stats() {
     shard.stats = SweepCacheStats{};
   }
   entries_loaded_.store(0, std::memory_order_relaxed);
+  lock_degraded_.store(0, std::memory_order_relaxed);
+  entries_evicted_.store(0, std::memory_order_relaxed);
 }
 
-void SweepCache::snapshot(std::map<Fingerprint, CachedCell>& cells,
-                          std::map<Fingerprint, std::int64_t>& all_fine) const {
+void SweepCache::snapshot(Entries& out) const {
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mutex);
-    for (const auto& [key, cell] : shard.cells) cells.emplace(key, cell);
+    for (const auto& [key, cell] : shard.cells) out.cells.emplace(key, cell);
     for (const auto& [key, cycles] : shard.all_fine) {
-      all_fine.emplace(key, cycles);
+      out.all_fine.emplace(key, cycles);
+    }
+    for (const auto& [key, state] : shard.mappers) {
+      out.mappers.emplace(key, state);
+    }
+    for (const auto& [key, gen] : shard.cell_gens) {
+      out.cell_gens.emplace(key, gen);
+    }
+    for (const auto& [key, gen] : shard.all_fine_gens) {
+      out.all_fine_gens.emplace(key, gen);
+    }
+    for (const auto& [key, gen] : shard.mapper_gens) {
+      out.mapper_gens.emplace(key, gen);
     }
   }
 }
@@ -682,13 +752,16 @@ void SweepCache::merge_from(const SweepCache& other) {
     }
   }
 
+  // Merging counts as touching: the merged key is wanted by this cache,
+  // so the next save stamps it with the fresh generation.
   for (auto& [key, cell] : cells) {
     Shard& shard = shard_for(key);
     const std::lock_guard<std::mutex> lock(shard.mutex);
     const auto [it, inserted] = shard.cells.try_emplace(key, std::move(cell));
-    assert(inserted || same_cell_payload(key, it->second, cell));
+    assert(inserted || same_cell_payload(it->second, cell));
     (void)it;
     (void)inserted;
+    shard.cell_gens.erase(key);
   }
   for (const auto& [key, cycles] : all_fine) {
     Shard& shard = shard_for(key);
@@ -697,78 +770,228 @@ void SweepCache::merge_from(const SweepCache& other) {
     assert(inserted || it->second == cycles);
     (void)it;
     (void)inserted;
+    shard.all_fine_gens.erase(key);
   }
   for (auto& [key, state] : mappers) {
     Shard& shard = shard_for(key);
     const std::lock_guard<std::mutex> lock(shard.mutex);
     shard.mappers.try_emplace(key, std::move(state));
+    shard.mapper_gens.erase(key);
   }
 }
 
 bool SweepCache::load(const std::string& path, std::string* error) {
-  std::map<Fingerprint, CachedCell> cells;
-  std::map<Fingerprint, std::int64_t> all_fine;
-  if (!parse_cache_file(path, cells, all_fine, error)) return false;
+  ParsedFile file;
+  if (!parse_cache_file(path, file, error)) return false;
 
-  const std::uint64_t loaded = cells.size() + all_fine.size();
+  const std::uint64_t loaded =
+      file.cells.size() + file.all_fine.size() + file.mappers.size();
   for (Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     shard.cells.clear();
     shard.all_fine.clear();
+    shard.mappers.clear();
+    shard.cell_gens.clear();
+    shard.all_fine_gens.clear();
+    shard.mapper_gens.clear();
   }
-  for (auto& [key, cell] : cells) {
+  for (auto& [key, cell] : file.cells) {
     Shard& shard = shard_for(key);
     const std::lock_guard<std::mutex> lock(shard.mutex);
     shard.cells.emplace(key, std::move(cell));
+    shard.cell_gens.emplace(key, file.cell_gens[key]);
   }
-  for (const auto& [key, cycles] : all_fine) {
+  for (const auto& [key, cycles] : file.all_fine) {
     Shard& shard = shard_for(key);
     const std::lock_guard<std::mutex> lock(shard.mutex);
     shard.all_fine.emplace(key, cycles);
+    shard.all_fine_gens.emplace(key, file.all_fine_gens[key]);
+  }
+  for (auto& [key, state] : file.mappers) {
+    Shard& shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.mappers.emplace(key,
+                          std::make_shared<MapperState>(std::move(state)));
+    shard.mapper_gens.emplace(key, file.mapper_gens[key]);
   }
   entries_loaded_.store(loaded, std::memory_order_relaxed);
   return true;
 }
 
 bool SweepCache::save(const std::string& path, std::string* error) const {
-  // Serialize the whole load-merge-write cycle against other processes
-  // saving to the same path. The lock lives in a sidecar so it survives
-  // the rename below (locking `path` itself would lock an inode the
-  // rename is about to orphan).
+  // Serialize the whole load-merge-evict-write cycle against other
+  // processes saving to the same path. The lock lives in a sidecar so it
+  // survives the rename below (locking `path` itself would lock an
+  // inode the rename is about to orphan).
   const ScopedFileLock file_lock(path + ".lock");
+  if (!file_lock.held()) {
+    lock_degraded_.fetch_add(1, std::memory_order_relaxed);
+    warn_lock_degraded(path);
+  }
 
-  std::map<Fingerprint, CachedCell> cells;
-  std::map<Fingerprint, std::int64_t> all_fine;
-  snapshot(cells, all_fine);
+  Entries mem;
+  snapshot(mem);
 
   // Merge-on-save: union whatever another writer persisted since we
   // loaded (or a pre-existing file we never loaded). Our in-memory
   // entry wins a collision — both sides computed it from the same
-  // fingerprinted inputs, so the payloads match (asserted in debug).
-  // A corrupt or version-mismatched file fails the strict parse and is
-  // simply overwritten; that is the PR-4 rejection backstop.
+  // fingerprinted inputs, so the payloads match (asserted in debug for
+  // cells). A corrupt or version-mismatched file fails the strict parse
+  // and is simply overwritten; that is the PR-4 rejection backstop.
+  ParsedFile disk;
   {
-    std::map<Fingerprint, CachedCell> disk_cells;
-    std::map<Fingerprint, std::int64_t> disk_all_fine;
+    ParsedFile parsed;
     std::string ignored;
-    if (parse_cache_file(path, disk_cells, disk_all_fine, &ignored)) {
-      union_cells(cells, std::move(disk_cells));
-      union_all_fine(all_fine, disk_all_fine);
+    if (parse_cache_file(path, parsed, &ignored)) disk = std::move(parsed);
+  }
+  const std::uint64_t new_gen = disk.generation + 1;
+
+  // Generation of one surviving entry: touched-in-memory entries get the
+  // fresh generation; loaded-but-untouched entries keep aging, unless a
+  // concurrent writer's save stamped the disk copy younger.
+  auto resolve_gen = [&](const std::map<Fingerprint, std::uint64_t>& untouched,
+                         const std::map<Fingerprint, std::uint64_t>& on_disk,
+                         const Fingerprint& key) {
+    const auto it = untouched.find(key);
+    std::uint64_t gen = it == untouched.end() ? new_gen : it->second;
+    const auto dit = on_disk.find(key);
+    if (dit != on_disk.end() && dit->second > gen) gen = dit->second;
+    return gen;
+  };
+
+  // Render every candidate line up front so the eviction policy can work
+  // in serialized bytes — the unit the size cap is expressed in.
+  // kind: 0 = all_fine, 1 = cell, 2 = mapper (the file order).
+  struct Line {
+    std::uint64_t gen;
+    int kind;
+    Fingerprint key;
+    std::string text;
+  };
+  std::vector<Line> lines;
+  lines.reserve(mem.cells.size() + disk.cells.size() + mem.all_fine.size() +
+                disk.all_fine.size() + mem.mappers.size() +
+                disk.mappers.size());
+
+  for (const auto& [key, cycles] : mem.all_fine) {
+    const std::uint64_t gen =
+        resolve_gen(mem.all_fine_gens, disk.all_fine_gens, key);
+    std::ostringstream os;
+    write_all_fine_line(os, key, gen, cycles);
+    lines.push_back(Line{gen, 0, key, os.str()});
+  }
+  for (const auto& [key, cycles] : disk.all_fine) {
+    if (mem.all_fine.count(key)) {
+      assert(mem.all_fine.at(key) == cycles);
+      continue;
+    }
+    const std::uint64_t gen = disk.all_fine_gens.at(key);
+    std::ostringstream os;
+    write_all_fine_line(os, key, gen, cycles);
+    lines.push_back(Line{gen, 0, key, os.str()});
+  }
+  for (const auto& [key, cell] : mem.cells) {
+    const std::uint64_t gen = resolve_gen(mem.cell_gens, disk.cell_gens, key);
+    std::ostringstream os;
+    write_cell_line(os, key, gen, cell);
+    lines.push_back(Line{gen, 1, key, os.str()});
+  }
+  for (const auto& [key, cell] : disk.cells) {
+    if (mem.cells.count(key)) {
+      assert(same_cell_payload(mem.cells.at(key), cell));
+      continue;
+    }
+    const std::uint64_t gen = disk.cell_gens.at(key);
+    std::ostringstream os;
+    write_cell_line(os, key, gen, cell);
+    lines.push_back(Line{gen, 1, key, os.str()});
+  }
+  for (const auto& [key, state] : mem.mappers) {
+    const std::uint64_t gen =
+        resolve_gen(mem.mapper_gens, disk.mapper_gens, key);
+    std::ostringstream os;
+    write_mapper_line(os, key, gen, *state);
+    lines.push_back(Line{gen, 2, key, os.str()});
+  }
+  for (const auto& [key, state] : disk.mappers) {
+    if (mem.mappers.count(key)) continue;  // snapshots may differ; ours wins
+    const std::uint64_t gen = disk.mapper_gens.at(key);
+    std::ostringstream os;
+    write_mapper_line(os, key, gen, state);
+    lines.push_back(Line{gen, 2, key, os.str()});
+  }
+
+  const std::string header =
+      cat("{\"kind\":\"header\",\"schema_version\":", kSweepCacheSchemaVersion,
+          ",\"fingerprint_algorithm\":", kFingerprintAlgorithmVersion,
+          ",\"generation\":", new_gen, ",\"generator\":\"amdrel\"}\n");
+
+  // Eviction, inside the same critical section and strictly AFTER the
+  // union: drop lines until the file fits the cap, oldest generation
+  // first; at equal age mapper snapshots (bulky, rebuildable) go before
+  // all-fine entries before cells, then by key — deterministic, so
+  // identical caches still serialize byte-identically.
+  const std::uint64_t cap = save_size_cap_.load(std::memory_order_relaxed);
+  if (cap > 0) {
+    std::uint64_t total = header.size();
+    for (const Line& line : lines) total += line.text.size();
+    if (total > cap) {
+      std::vector<std::size_t> order(lines.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      auto evict_rank = [](int kind) { return kind == 2 ? 0 : kind == 0 ? 1 : 2; };
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const Line& la = lines[a];
+                  const Line& lb = lines[b];
+                  if (la.gen != lb.gen) return la.gen < lb.gen;
+                  if (la.kind != lb.kind) {
+                    return evict_rank(la.kind) < evict_rank(lb.kind);
+                  }
+                  return la.key < lb.key;
+                });
+      std::vector<char> keep(lines.size(), 1);
+      std::uint64_t dropped = 0;
+      for (const std::size_t index : order) {
+        if (total <= cap) break;
+        keep[index] = 0;
+        total -= lines[index].text.size();
+        ++dropped;
+      }
+      std::vector<Line> kept;
+      kept.reserve(lines.size() - static_cast<std::size_t>(dropped));
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (keep[i]) kept.push_back(std::move(lines[i]));
+      }
+      lines = std::move(kept);
+      entries_evicted_.fetch_add(dropped, std::memory_order_relaxed);
     }
   }
 
-  std::ostringstream os;
-  serialize_cache(os, cells, all_fine);
+  // Canonical file order: header, then all_fine/cell/mapper groups each
+  // sorted by key.
+  std::sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.key < b.key;
+  });
+  std::string content = header;
+  for (const Line& line : lines) content += line.text;
+
+  // With the lock held no other writer can have an in-flight temp, so
+  // any "<path>.tmp.*" leftover is from a crashed writer and is swept.
+  // In degraded mode a matching temp may be live — leave it alone.
+  if (file_lock.held()) remove_stale_temps(path);
 
   // Write-to-temp + rename keeps the save atomic: a failed or
   // interrupted write can never destroy the previously valid cache, and
   // a concurrent reader sees either the old file or the new one, never
-  // a truncated half. Writers do not race on the shared temp name —
-  // the file lock above serializes them.
-  const std::string temp = path + ".tmp";
+  // a truncated half. The temp name is unique per (process, sequence),
+  // so even two DEGRADED-lock writers cannot stomp each other's temp —
+  // the last rename wins wholesale, losing the other's entries but
+  // never mixing bytes.
+  const std::string temp = unique_temp_path(path);
   {
     std::ofstream out(temp, std::ios::binary);
-    out << os.str();
+    out << content;
     out.flush();
     if (!out.good()) {
       if (error) *error = "cannot write " + temp;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,7 @@
 
 #include "core/fingerprint.h"
 #include "core/hybrid_mapper.h"
+#include "core/json_lines.h"
 #include "core/methodology.h"
 
 namespace amdrel::core {
@@ -24,7 +26,14 @@ namespace amdrel::core {
 /// doubles are stored as IEEE-754 bit patterns (signed 64-bit integers),
 /// not decimal text, so a cache hit returns bit-identical values and the
 /// warm-vs-cold byte-identity contract extends to the energy columns.
-inline constexpr int kSweepCacheSchemaVersion = 2;
+/// v3: HybridMapper snapshots persist as "mapper" lines (a disk-warm
+/// worker with NEW constraints restores the fine-grain mapping instead of
+/// rebuilding it); the header carries a monotonically increasing
+/// "generation" counter and every entry a "gen" stamp of the last save
+/// that touched it, which drive the size-capped eviction policy in
+/// save(). Both fields default to 0 when absent, so hand-rolled v3 test
+/// fixtures without them still parse.
+inline constexpr int kSweepCacheSchemaVersion = 3;
 
 /// One memoized sweep cell: everything sweep_design_space /
 /// explore_design_space derive per (app, platform, options, constraint)
@@ -34,6 +43,19 @@ struct CachedCell {
   PartitionReport report;
   std::vector<std::string> moved_names;
 };
+
+/// Canonical serialization of a cell result's payload fields (everything
+/// after the "kind"/"key" envelope of a cache "cell" line, in fixed field
+/// order, no surrounding braces). Shared verbatim by the cache file and
+/// the sweep service's wire "cell" lines (core/sweep_service.cc), so a
+/// cell that travelled coordinator<->worker is bit-identical to one that
+/// round-tripped through the cache.
+void write_cell_payload(std::ostream& os, const PartitionReport& report,
+                        const std::vector<std::string>& moved_names);
+
+/// Inverse of write_cell_payload over a parsed JSON object; false on any
+/// missing, mistyped or inconsistent field (never coerces).
+bool read_cell_payload(const jsonl::JsonValue& object, CachedCell& cell);
 
 /// Hit/miss counters. "builds" are cold HybridMapper constructions (the
 /// full per-block fine-grain mapping); "restores" are snapshot copies.
@@ -49,6 +71,8 @@ struct SweepCacheStats {
   std::uint64_t all_fine_misses = 0;
   std::uint64_t cells = 0;           ///< cell entries currently held
   std::uint64_t entries_loaded = 0;  ///< entries read by the last load()
+  std::uint64_t lock_degraded = 0;   ///< saves that ran without the file lock
+  std::uint64_t entries_evicted = 0; ///< entries dropped by save()'s size cap
 };
 
 /// Content-addressed memoization store for design-space sweeps. Three
@@ -58,9 +82,9 @@ struct SweepCacheStats {
 ///                               constraint),
 ///   - all-fine-grain cycles    (shard_key: app x platform; resolves
 ///                               default constraints without a mapper),
-///   - HybridMapper snapshots   (shard_key; in-memory only — they hold
-///                               full schedules and are cheap to rebuild
-///                               relative to their serialized size).
+///   - HybridMapper snapshots   (shard_key; persisted since schema v3 —
+///                               a disk-warm run with new constraints
+///                               restores instead of re-mapping).
 ///
 /// Thread-safe AND process-safe:
 ///   - In memory the index is sharded into N fingerprint-addressed
@@ -69,10 +93,11 @@ struct SweepCacheStats {
 ///     are uniformly-mixed digests, so bucket occupancy is balanced.
 ///   - On disk, save() is merge-on-save under an advisory file lock
 ///     (sidecar "<path>.lock"): it re-loads the target file, unions it
-///     with the in-memory maps and atomically renames a temp file over
-///     the target. Two processes persisting to the same path therefore
-///     lose no entries — content-addressed keys make the union safe
-///     (equal keys imply equal payloads, asserted in debug builds).
+///     with the in-memory maps, applies the eviction policy, and
+///     atomically renames a temp file over the target. Two processes
+///     persisting to the same path therefore lose no entries —
+///     content-addressed keys make the union safe (equal keys imply
+///     equal payloads, asserted in debug builds for cells).
 ///
 /// Cached values are byte-identical to recomputation by construction
 /// (they ARE prior results, addressed by everything that influences
@@ -82,6 +107,11 @@ class SweepCache {
   /// Default in-memory shard count: matches the thread counts the sweep
   /// pool realistically runs at; see ROADMAP direction 4.
   static constexpr int kDefaultShardCount = 16;
+
+  /// Default save() size cap: large enough that the builtin corpus never
+  /// evicts, small enough that a fleet-shared cache file stops growing
+  /// at "tens of MB" scale.
+  static constexpr std::uint64_t kDefaultSaveSizeCapBytes = 64ull << 20;
 
   /// shard_count is clamped to [1, 4096]. One shard degenerates to the
   /// old single-mutex index (useful in tests); results never depend on
@@ -102,6 +132,16 @@ class SweepCache {
   void store_mapper(const Fingerprint& key,
                     std::shared_ptr<const MapperState> state);
 
+  /// Byte budget for the file save() writes; serialized entries beyond
+  /// it are evicted least-recently-touched first (see save()). 0 turns
+  /// eviction off entirely.
+  void set_save_size_cap(std::uint64_t bytes) {
+    save_size_cap_.store(bytes, std::memory_order_relaxed);
+  }
+  std::uint64_t save_size_cap() const {
+    return save_size_cap_.load(std::memory_order_relaxed);
+  }
+
   /// Aggregated over every shard (each locked in turn, so the totals are
   /// consistent per shard but not a cross-shard atomic snapshot — fine
   /// for counters whose values already depend on thread interleaving).
@@ -112,8 +152,11 @@ class SweepCache {
   /// into this one (the coordinator folding per-worker caches; the CLI
   /// surface is `amdrelc cache-merge`). On a key collision the existing
   /// entry wins — entries are content-addressed, so colliding payloads
-  /// must be identical, which debug builds assert. Stats counters are
-  /// not merged; they describe each cache's own traffic.
+  /// must be identical, which debug builds assert for cells (mapper
+  /// snapshots may legitimately differ in their lazily-accumulated
+  /// coarse half; any snapshot is correct). Merged entries count as
+  /// freshly touched for the eviction policy. Stats counters are not
+  /// merged; they describe each cache's own traffic.
   void merge_from(const SweepCache& other);
 
   /// Loads a cache file written by save(). Strict: any parse error,
@@ -124,21 +167,43 @@ class SweepCache {
   /// it is the normal first-run case.
   bool load(const std::string& path, std::string* error);
 
-  /// Persists every cell and all-fine entry as versioned JSON lines
-  /// (header line first, then entries sorted by key, so identical caches
-  /// serialize byte-identically). Concurrent-writer safe:
+  /// Persists every cell, all-fine and mapper entry as versioned JSON
+  /// lines (header line first, then entries sorted by key per kind, so
+  /// identical caches serialize byte-identically). Concurrent-writer
+  /// safe:
   ///   1. takes an exclusive advisory lock on "<path>.lock" (flock;
-  ///      created if absent, never deleted — unlink would race the lock),
+  ///      created if absent, never deleted — unlink would race the
+  ///      lock). A failed acquisition degrades to an unlocked save with
+  ///      a one-shot stderr warning and a lock_degraded stats bump,
   ///   2. merge-on-save: re-loads `path` and unions it with the
   ///      in-memory entries, so another process's save between our load
   ///      and now is preserved, not clobbered (a corrupt or
   ///      version-mismatched on-disk file is discarded — the strict
   ///      rejection backstop — and simply overwritten),
-  ///   3. writes "<path>.tmp" and renames it over the target, so readers
-  ///      and a crash mid-write never observe a torn file.
+  ///   3. applies the eviction policy INSIDE the same locked critical
+  ///      section, strictly after the union: when the serialized file
+  ///      exceeds save_size_cap(), entries are dropped oldest
+  ///      generation first (mapper snapshots before all-fine entries
+  ///      before cells at equal age, then by key — fully
+  ///      deterministic). Union-then-evict under one lock means a
+  ///      concurrent merge can never resurrect an entry this save
+  ///      evicts: whatever the merge contributed was part of the union
+  ///      the eviction ran on. (A LATER save by a process still holding
+  ///      an evicted entry in memory legitimately re-adds it, stamped
+  ///      as fresh.)
+  ///   4. writes a uniquely named temp file ("<path>.tmp.<pid>.<seq>")
+  ///      and renames it over the target, so readers and a crash
+  ///      mid-write never observe a torn file AND two degraded-lock
+  ///      writers can never promote or delete each other's half-written
+  ///      temp (the historical "<path>.tmp" shared name could). Stale
+  ///      temps left by crashed writers are swept when the lock is held.
+  /// Entries loaded from disk and never touched since (no hit, no
+  /// store) keep their on-disk generation; everything else is stamped
+  /// with the file's next generation — that is what makes the eviction
+  /// order "least recently touched".
   /// The in-memory cache is NOT mutated (disk-only entries stay on
   /// disk); load() afterwards to absorb them. Returns false with a
-  /// diagnostic on I/O failure. Mapper snapshots are not persisted.
+  /// diagnostic on I/O failure.
   bool save(const std::string& path, std::string* error) const;
 
  private:
@@ -150,21 +215,35 @@ class SweepCache {
     std::map<Fingerprint, CachedCell> cells;
     std::map<Fingerprint, std::int64_t> all_fine;
     std::map<Fingerprint, std::shared_ptr<const MapperState>> mappers;
+    /// Generation stamps for entries loaded from disk and NOT touched
+    /// since — a find hit or store erases the key, so save() can stamp
+    /// touched entries with the new generation while untouched ones
+    /// keep aging (the substrate of least-recently-touched eviction).
+    std::map<Fingerprint, std::uint64_t> cell_gens;
+    std::map<Fingerprint, std::uint64_t> all_fine_gens;
+    std::map<Fingerprint, std::uint64_t> mapper_gens;
     SweepCacheStats stats;
   };
+
+  /// Everything save() snapshots out of the shards in one pass.
+  struct Entries;
 
   Shard& shard_for(const Fingerprint& key);
   const Shard& shard_for(const Fingerprint& key) const;
 
-  /// Copies every cell/all-fine entry into the given maps, locking one
-  /// shard at a time (the serialization and merge snapshot).
-  void snapshot(std::map<Fingerprint, CachedCell>& cells,
-                std::map<Fingerprint, std::int64_t>& all_fine) const;
+  /// Copies every entry (and untouched-generation stamp) into `out`,
+  /// locking one shard at a time (the serialization and merge snapshot).
+  void snapshot(Entries& out) const;
 
   // The shard array is sized once at construction and never reallocated
   // (std::mutex is immovable).
   std::vector<Shard> shards_;
   std::atomic<std::uint64_t> entries_loaded_{0};
+  std::atomic<std::uint64_t> save_size_cap_{kDefaultSaveSizeCapBytes};
+  // save() is const (it only reads the maps) but still reports traffic;
+  // mutable atomics keep that signature honest, like entries_loaded_.
+  mutable std::atomic<std::uint64_t> lock_degraded_{0};
+  mutable std::atomic<std::uint64_t> entries_evicted_{0};
 };
 
 }  // namespace amdrel::core

@@ -184,7 +184,9 @@ std::string cache_stats_to_json(const SweepCacheStats& stats) {
   os << "  \"all_fine_hits\": " << stats.all_fine_hits << ",\n";
   os << "  \"all_fine_misses\": " << stats.all_fine_misses << ",\n";
   os << "  \"cells\": " << stats.cells << ",\n";
-  os << "  \"entries_loaded\": " << stats.entries_loaded << "\n";
+  os << "  \"entries_loaded\": " << stats.entries_loaded << ",\n";
+  os << "  \"lock_degraded\": " << stats.lock_degraded << ",\n";
+  os << "  \"entries_evicted\": " << stats.entries_evicted << "\n";
   os << "}\n";
   return os.str();
 }

@@ -65,7 +65,8 @@ std::string sweep_to_csv(const SweepSummary& summary);
 ///     "cell_hits": N, "cell_misses": N, "cell_hit_rate": "0.50",
 ///     "mapper_restores": N, "mapper_builds": N,
 ///     "all_fine_hits": N, "all_fine_misses": N,
-///     "cells": N, "entries_loaded": N
+///     "cells": N, "entries_loaded": N,
+///     "lock_degraded": N, "entries_evicted": N
 ///   }
 ///
 /// cell_hit_rate is hits / (hits + misses) rendered "%.2f" ("0.00" when

@@ -1,0 +1,412 @@
+#include "core/sweep_service.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#ifndef _WIN32
+#include <cerrno>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "core/json_lines.h"
+#include "core/sweep_cache.h"
+#include "platform/platform.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace amdrel::core {
+
+using jsonl::JsonParser;
+using jsonl::JsonValue;
+using jsonl::get_int;
+using jsonl::get_string;
+
+std::vector<std::vector<std::size_t>> partition_shards(std::size_t shard_count,
+                                                       int workers) {
+  require(workers >= 1, "partition_shards: workers must be >= 1");
+  std::vector<std::vector<std::size_t>> out(static_cast<std::size_t>(workers));
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    out[s % out.size()].push_back(s);
+  }
+  return out;
+}
+
+namespace {
+
+void emit_shard(std::ostream& os, std::size_t shard,
+                const std::vector<SweepCell>& cells, std::size_t used) {
+  os << "{\"kind\":\"shard\",\"shard\":" << shard << ",\"used\":" << used
+     << "}\n";
+  for (std::size_t i = 0; i < used; ++i) {
+    os << "{\"kind\":\"cell\",\"shard\":" << shard << ",\"slot\":" << i
+       << ",";
+    write_cell_payload(os, cells[i].report, cells[i].moved_names);
+    os << "}\n";
+  }
+  // Per-shard flush keeps a pipe transport streaming instead of
+  // buffering the whole run.
+  os.flush();
+}
+
+}  // namespace
+
+std::size_t run_sweep_worker(const std::vector<CorpusApp>& corpus,
+                             const SweepSpec& spec,
+                             const std::vector<std::size_t>& assigned,
+                             std::ostream& os) {
+  validate_sweep_inputs(corpus, spec);
+  const std::size_t shards = sweep_shard_count(corpus, spec);
+  const std::size_t cells_per_shard = sweep_cells_per_shard(spec);
+  std::vector<char> claimed(shards, 0);
+  for (const std::size_t shard : assigned) {
+    require(shard < shards, cat("run_sweep_worker: shard ", shard,
+                                " out of range (", shards, " shards)"));
+    require(!claimed[shard], cat("run_sweep_worker: duplicate shard ", shard));
+    claimed[shard] = 1;
+  }
+  const std::vector<Fingerprint> app_fps =
+      spec.cache ? sweep_app_fingerprints(corpus) : std::vector<Fingerprint>{};
+
+  os << "{\"kind\":\"wire_header\",\"protocol\":" << kSweepWireProtocolVersion
+     << ",\"schema_version\":" << kSweepCacheSchemaVersion
+     << ",\"fingerprint_algorithm\":" << kFingerprintAlgorithmVersion
+     << ",\"shards\":" << shards << "}\n";
+
+  std::size_t total = 0;
+  const int threads = worker_count(assigned.size(), spec.threads);
+  if (threads <= 1) {
+    for (const std::size_t shard : assigned) {
+      std::vector<SweepCell> cells(cells_per_shard);
+      const std::size_t used =
+          compute_sweep_shard(corpus, spec, app_fps, shard, cells.data());
+      emit_shard(os, shard, cells, used);
+      total += used;
+    }
+  } else {
+    // A pool computes shards in claim order, but the stream is emitted
+    // strictly in `assigned` order — same deterministic-output recipe as
+    // the single-process sweep's precomputed slots.
+    struct Pending {
+      std::vector<SweepCell> cells;
+      std::size_t used = 0;
+      bool done = false;
+    };
+    std::vector<Pending> pending(assigned.size());
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::atomic<std::size_t> next{0};
+    auto pool_worker = [&]() {
+      for (;;) {
+        const std::size_t job = next.fetch_add(1);
+        if (job >= assigned.size()) return;
+        std::vector<SweepCell> cells(cells_per_shard);
+        const std::size_t used = compute_sweep_shard(corpus, spec, app_fps,
+                                                     assigned[job],
+                                                     cells.data());
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          pending[job].cells = std::move(cells);
+          pending[job].used = used;
+          pending[job].done = true;
+        }
+        ready.notify_all();
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(pool_worker);
+    for (std::size_t job = 0; job < assigned.size(); ++job) {
+      std::unique_lock<std::mutex> lock(mutex);
+      ready.wait(lock, [&] { return pending[job].done; });
+      const std::vector<SweepCell> cells = std::move(pending[job].cells);
+      const std::size_t used = pending[job].used;
+      lock.unlock();
+      emit_shard(os, assigned[job], cells, used);
+      total += used;
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  os << "{\"kind\":\"worker_done\",\"cells\":" << total << "}\n";
+  os.flush();
+  require(os.good(), "run_sweep_worker: stream write failed");
+  return total;
+}
+
+void consume_worker_stream(std::istream& in,
+                           const std::vector<CorpusApp>& corpus,
+                           const SweepSpec& spec,
+                           const std::vector<std::size_t>& assigned,
+                           SweepSummary& summary,
+                           std::vector<std::size_t>& shard_used) {
+  const std::size_t shards = sweep_shard_count(corpus, spec);
+  const std::size_t cells_per_shard = sweep_cells_per_shard(spec);
+  require(summary.cells.size() == shards * cells_per_shard,
+          "consume_worker_stream: summary slot layout mismatch");
+  require(shard_used.size() == shards,
+          "consume_worker_stream: shard_used size mismatch");
+
+  const std::vector<double> budgets =
+      spec.energy_budgets.empty()
+          ? std::vector<double>{spec.base.energy_budget_pj}
+          : spec.energy_budgets;
+  const std::size_t budget_count = budgets.size();
+  const std::size_t strategy_count = spec.strategies.size();
+  const std::size_t ordering_count = spec.orderings.size();
+  const std::size_t inner = budget_count * strategy_count * ordering_count;
+
+  const std::set<std::size_t> expected(assigned.begin(), assigned.end());
+  std::set<std::size_t> consumed;
+
+  std::string line;
+  std::size_t line_no = 0;
+  auto read_line = [&]() -> bool {
+    if (!std::getline(in, line)) return false;
+    ++line_no;
+    return true;
+  };
+  auto parse_object = [&](JsonValue& object) {
+    require(JsonParser(line).parse(object) &&
+                object.kind == JsonValue::Kind::kObject,
+            cat("worker stream:", line_no, ": not a JSON object"));
+  };
+  auto field = [&](const JsonValue& object, const char* name) {
+    std::int64_t value = 0;
+    require(get_int(object, name, value) && value >= 0,
+            cat("worker stream:", line_no, ": missing or invalid \"", name,
+                "\""));
+    return static_cast<std::size_t>(value);
+  };
+
+  // Header first: reject a worker speaking another protocol/schema
+  // before trusting a single cell.
+  require(read_line(), "worker stream: empty (no wire_header)");
+  {
+    JsonValue object;
+    parse_object(object);
+    std::string kind;
+    require(get_string(object, "kind", kind) && kind == "wire_header",
+            "worker stream: missing wire_header line");
+    require(field(object, "protocol") ==
+                static_cast<std::size_t>(kSweepWireProtocolVersion),
+            "worker stream: wire protocol version mismatch");
+    require(field(object, "schema_version") ==
+                static_cast<std::size_t>(kSweepCacheSchemaVersion),
+            "worker stream: schema version mismatch");
+    require(field(object, "fingerprint_algorithm") ==
+                static_cast<std::size_t>(kFingerprintAlgorithmVersion),
+            "worker stream: fingerprint algorithm mismatch");
+    require(field(object, "shards") == shards,
+            "worker stream: shard count mismatch");
+  }
+
+  std::size_t total_cells = 0;
+  bool done = false;
+  while (read_line()) {
+    require(!done, "worker stream: data after worker_done");
+    JsonValue object;
+    parse_object(object);
+    std::string kind;
+    require(get_string(object, "kind", kind),
+            cat("worker stream:", line_no, ": missing \"kind\""));
+    if (kind == "worker_done") {
+      require(field(object, "cells") == total_cells,
+              "worker stream: worker_done cell count mismatch");
+      done = true;
+      continue;
+    }
+    require(kind == "shard", cat("worker stream:", line_no,
+                                 ": unexpected kind \"", kind, "\""));
+
+    const std::size_t shard = field(object, "shard");
+    const std::size_t used = field(object, "used");
+    require(expected.count(shard) != 0,
+            cat("worker stream: shard ", shard, " was not assigned"));
+    require(consumed.insert(shard).second,
+            cat("worker stream: shard ", shard, " streamed twice"));
+    require(used <= cells_per_shard && used % inner == 0,
+            cat("worker stream: shard ", shard, " claims ", used,
+                " cells (capacity ", cells_per_shard, ")"));
+
+    // Coordinates derivable from the shard index are derived HERE, from
+    // the same inputs the single-process sweep uses — the wire cannot
+    // place a cell on a platform it was not computed for.
+    const std::size_t app_index = shard / spec.grid.size();
+    const std::size_t platform_index = shard % spec.grid.size();
+    const double area =
+        spec.grid.areas[platform_index / spec.grid.cgc_counts.size()];
+    const int cgcs =
+        spec.grid.cgc_counts[platform_index % spec.grid.cgc_counts.size()];
+    const double cost =
+        platform::platform_cost(platform::make_paper_platform(area, cgcs));
+
+    SweepCell* slots = summary.cells.data() + shard * cells_per_shard;
+    for (std::size_t slot = 0; slot < used; ++slot) {
+      require(read_line(), cat("worker stream: truncated inside shard ",
+                               shard, " (", slot, " of ", used, " cells)"));
+      JsonValue cell_object;
+      parse_object(cell_object);
+      std::string cell_kind;
+      require(get_string(cell_object, "kind", cell_kind) &&
+                  cell_kind == "cell" &&
+                  field(cell_object, "shard") == shard &&
+                  field(cell_object, "slot") == slot,
+              cat("worker stream:", line_no, ": expected cell ", slot,
+                  " of shard ", shard));
+      CachedCell payload;
+      require(read_cell_payload(cell_object, payload),
+              cat("worker stream:", line_no, ": malformed cell payload"));
+      const std::size_t oi = slot % ordering_count;
+      const std::size_t si = (slot / ordering_count) % strategy_count;
+      const std::size_t bi =
+          (slot / (ordering_count * strategy_count)) % budget_count;
+      SweepCell& cell = slots[slot];
+      cell.app = app_index;
+      cell.a_fpga = area;
+      cell.cgcs = cgcs;
+      cell.platform_cost = cost;
+      cell.constraint = payload.report.timing_constraint;
+      cell.energy_budget_pj = budgets[bi];
+      cell.strategy = spec.strategies[si];
+      cell.ordering = spec.orderings[oi];
+      cell.report = std::move(payload.report);
+      cell.moved_names = std::move(payload.moved_names);
+    }
+    shard_used[shard] = used;
+    total_cells += used;
+  }
+  require(done, "worker stream: truncated (no worker_done)");
+  require(consumed.size() == expected.size(),
+          cat("worker stream: streamed ", consumed.size(), " of ",
+              expected.size(), " assigned shards"));
+}
+
+SweepSummary serve_design_space(const std::vector<CorpusApp>& corpus,
+                                const SweepSpec& spec,
+                                const ServeOptions& options) {
+#ifdef _WIN32
+  (void)corpus;
+  (void)spec;
+  (void)options;
+  fail("serve_design_space: requires POSIX fork/pipe");
+#else
+  validate_sweep_inputs(corpus, spec);
+  require(static_cast<bool>(options.worker_command),
+          "serve_design_space: no worker_command configured");
+  const std::size_t shards = sweep_shard_count(corpus, spec);
+  const std::size_t cells_per_shard = sweep_cells_per_shard(spec);
+  int workers = options.workers < 1 ? 1 : options.workers;
+  if (static_cast<std::size_t>(workers) > shards) {
+    workers = static_cast<int>(shards);
+  }
+  const std::vector<std::vector<std::size_t>> partition =
+      partition_shards(shards, workers);
+
+  SweepSummary summary;
+  summary.apps.reserve(corpus.size());
+  for (const CorpusApp& app : corpus) summary.apps.push_back(app.name);
+  summary.cells.resize(shards * cells_per_shard);
+  std::vector<std::size_t> shard_used(shards, 0);
+
+  struct WorkerProc {
+    pid_t pid = -1;
+    int fd = -1;
+    std::string output;
+  };
+  std::vector<WorkerProc> procs(partition.size());
+
+  // Fork EVERY worker before spawning any reader thread: forking a
+  // multithreaded process clones only the calling thread, and a lock
+  // held by any other thread at that instant stays locked forever in
+  // the child.
+  for (std::size_t w = 0; w < partition.size(); ++w) {
+    const std::vector<std::string> command = options.worker_command(
+        partition[w]);
+    require(!command.empty(), "serve_design_space: empty worker argv");
+    int fds[2];
+    require(::pipe(fds) == 0, "serve_design_space: pipe failed");
+    const pid_t pid = ::fork();
+    require(pid >= 0, "serve_design_space: fork failed");
+    if (pid == 0) {
+      ::dup2(fds[1], 1);  // the wire protocol is the child's stdout
+      ::close(fds[0]);
+      ::close(fds[1]);
+      for (std::size_t v = 0; v < w; ++v) {
+        if (procs[v].fd >= 0) ::close(procs[v].fd);
+      }
+      std::vector<char*> argv;
+      argv.reserve(command.size() + 1);
+      for (const std::string& arg : command) {
+        argv.push_back(const_cast<char*>(arg.c_str()));
+      }
+      argv.push_back(nullptr);
+      ::execvp(argv[0], argv.data());
+      std::fprintf(stderr, "amdrelc serve: cannot exec %s\n", argv[0]);
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    procs[w].pid = pid;
+    procs[w].fd = fds[0];
+  }
+
+  // One reader per pipe, draining into memory: a worker must never
+  // block on a full pipe buffer because the coordinator is busy with a
+  // sibling's stream.
+  std::vector<std::thread> readers;
+  readers.reserve(procs.size());
+  for (WorkerProc& proc : procs) {
+    readers.emplace_back([&proc]() {
+      char buffer[65536];
+      for (;;) {
+        const ssize_t n = ::read(proc.fd, buffer, sizeof buffer);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;
+        proc.output.append(buffer, static_cast<std::size_t>(n));
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+
+  // Reap every child before judging any of them, so a throw below never
+  // leaks zombies.
+  std::string failure;
+  for (std::size_t w = 0; w < procs.size(); ++w) {
+    ::close(procs[w].fd);
+    int status = 0;
+    pid_t reaped = -1;
+    do {
+      reaped = ::waitpid(procs[w].pid, &status, 0);
+    } while (reaped < 0 && errno == EINTR);
+    const bool clean = reaped == procs[w].pid && WIFEXITED(status) &&
+                       WEXITSTATUS(status) == 0;
+    if (!clean && failure.empty()) {
+      failure = WIFEXITED(status)
+                    ? cat("serve_design_space: worker ", w, " exited with ",
+                          WEXITSTATUS(status))
+                    : cat("serve_design_space: worker ", w,
+                          " terminated abnormally");
+    }
+  }
+  require(failure.empty(), failure);
+
+  for (std::size_t w = 0; w < procs.size(); ++w) {
+    std::istringstream stream(procs[w].output);
+    consume_worker_stream(stream, corpus, spec, partition[w], summary,
+                          shard_used);
+  }
+  finalize_sweep_summary(summary, shard_used, cells_per_shard);
+  return summary;
+#endif
+}
+
+}  // namespace amdrel::core

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+
+namespace amdrel::core {
+
+// ---------------------------------------------------------------------------
+// Distributed sweep service: the coordinator/worker split of
+// sweep_design_space (ROADMAP direction 1, "serve a corpus on a fleet").
+//
+// Topology: `amdrelc serve` partitions the deterministic (app, platform)
+// shard index round-robin across N `amdrelc worker` OS processes, each
+// worker runs its assigned shards through compute_sweep_shard — the
+// EXACT code path a single-process sweep's threads run — and streams the
+// resulting cell groups back as newline-delimited JSON. The coordinator
+// writes each streamed cell into the slot the single-process layout
+// assigns it and derives the Pareto fronts itself
+// (finalize_sweep_summary), so the merged summary is byte-identical to a
+// single-process sweep at ANY worker count, by construction rather than
+// by comparison.
+//
+// Wire format (one JSON object per line; doubles travel as IEEE-754 bit
+// patterns inside the canonical cell payload of core/sweep_cache.h):
+//   {"kind":"wire_header","protocol":1,"schema_version":...,
+//    "fingerprint_algorithm":...,"shards":N}
+//   {"kind":"shard","shard":S,"used":U}     // one per assigned shard,
+//   {"kind":"cell","shard":S,"slot":I,...}  //   then its U cells,
+//                                           //   slots 0..U-1 in order
+//   {"kind":"worker_done","cells":M}        // exactly once, then EOF
+// The stream is self-describing and transport-agnostic: today it rides
+// a pipe from a locally forked worker, but nothing in it precludes a
+// socket from a remote host (the remaining ROADMAP work).
+//
+// Failure semantics: strict. A version-mismatched header, an unassigned
+// or repeated shard, an out-of-order slot, a malformed cell, a truncated
+// stream or a nonzero worker exit all throw Error and fail the whole
+// serve run — a distributed sweep either reproduces the single-process
+// artifact exactly or it fails loudly; there is no partial output.
+// ---------------------------------------------------------------------------
+
+/// Version of the coordinator<->worker wire protocol. Bumped on any
+/// change to the line kinds or field sets; the coordinator rejects a
+/// worker speaking a different version.
+inline constexpr int kSweepWireProtocolVersion = 1;
+
+/// Round-robin partition of shards 0..shard_count-1 across `workers`
+/// slots: shard s goes to slot s % workers. Deterministic and balanced
+/// to within one shard; slots can be empty only when workers >
+/// shard_count.
+std::vector<std::vector<std::size_t>> partition_shards(std::size_t shard_count,
+                                                       int workers);
+
+/// Worker half: computes `assigned` shards of the (corpus, spec) sweep
+/// and streams them to `os` in the wire format above, in assigned order.
+/// Honors spec.threads (shards are computed by a pool but emitted in
+/// order) and spec.cache exactly like sweep_design_space — a disk-warm
+/// cache short-circuits compute, and freshly computed cells/mapper
+/// snapshots are published to it for the eventual save. Returns the
+/// number of cells emitted. Throws Error on invalid inputs (out-of-range
+/// or duplicate shard indices) or an unwritable stream.
+std::size_t run_sweep_worker(const std::vector<CorpusApp>& corpus,
+                             const SweepSpec& spec,
+                             const std::vector<std::size_t>& assigned,
+                             std::ostream& os);
+
+/// Coordinator half of one worker connection: validates and parses a
+/// worker stream and writes its cells into `summary.cells` (which must
+/// hold the full shards x cells_per_shard slot layout) and its per-shard
+/// fill counts into `shard_used`. Cell coordinates that are derivable
+/// from the shard/slot index alone (app, platform axes, platform cost,
+/// strategy, ordering, energy budget) are re-derived locally — the wire
+/// carries only the computed payload — so a byte on the wire can never
+/// move a cell to the wrong coordinate. Throws Error on any protocol
+/// violation (see failure semantics above).
+void consume_worker_stream(std::istream& in,
+                           const std::vector<CorpusApp>& corpus,
+                           const SweepSpec& spec,
+                           const std::vector<std::size_t>& assigned,
+                           SweepSummary& summary,
+                           std::vector<std::size_t>& shard_used);
+
+/// How serve_design_space launches workers.
+struct ServeOptions {
+  /// Worker process count; clamped to [1, shard count].
+  int workers = 1;
+  /// Maps a worker's assigned shard list to the argv of the process to
+  /// spawn (argv[0] = executable, resolved via PATH). The process must
+  /// speak the wire protocol on stdout. The CLI builds
+  /// "amdrelc worker ... --shards i,j,..." here.
+  std::function<std::vector<std::string>(const std::vector<std::size_t>&)>
+      worker_command;
+};
+
+/// Coordinator: partitions the sweep across locally forked worker
+/// processes, merges their streams and finalizes the summary. The result
+/// is byte-identical to sweep_design_space(corpus, spec) at any worker
+/// count. Throws Error if a worker exits nonzero, breaks protocol, or
+/// the platform lacks fork/pipe (non-POSIX builds).
+SweepSummary serve_design_space(const std::vector<CorpusApp>& corpus,
+                                const SweepSpec& spec,
+                                const ServeOptions& options);
+
+}  // namespace amdrel::core

@@ -15,6 +15,7 @@
 #include <thread>
 
 #ifndef _WIN32
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 #endif
@@ -563,14 +564,286 @@ TEST(SweepCacheTest, CacheStatsJsonShape) {
   stats.cell_hits = 3;
   stats.cell_misses = 1;
   stats.cells = 4;
+  stats.lock_degraded = 2;
+  stats.entries_evicted = 5;
   const std::string json = cache_stats_to_json(stats);
   EXPECT_NE(json.find("\"cell_hits\": 3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"cell_hit_rate\": \"0.75\""), std::string::npos)
       << json;
+  EXPECT_NE(json.find("\"lock_degraded\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"entries_evicted\": 5"), std::string::npos) << json;
   const std::string empty = cache_stats_to_json(SweepCacheStats{});
   EXPECT_NE(empty.find("\"cell_hit_rate\": \"0.00\""), std::string::npos)
       << empty;
 }
+
+// Mapper snapshots persist since schema v3: a FRESH process sweeping the
+// same apps under DIFFERENT constraints misses every cell (the
+// constraint is part of the cell fingerprint) yet restores every mapper
+// from disk instead of rebuilding — the cross-constraint payoff that
+// pure in-memory memoization could never deliver.
+TEST(SweepCacheTest, PersistedMappersWarmAcrossConstraintChanges) {
+  const auto corpus = workloads::paper_corpus();
+  const std::string path = temp_path("sweep_cache_mapper_warm.jsonl");
+  std::remove(path.c_str());
+  {
+    SweepCache cache;
+    SweepSpec spec = small_spec(2, &cache);
+    spec.constraints = {60000};
+    sweep_design_space(corpus, spec);
+    std::string error;
+    ASSERT_TRUE(cache.save(path, &error)) << error;
+  }
+  SweepCache fresh;
+  std::string error;
+  ASSERT_TRUE(fresh.load(path, &error)) << error;
+  fresh.reset_stats();
+  SweepSpec spec = small_spec(2, &fresh);
+  spec.constraints = {70000};  // new constraint: all cells miss
+  sweep_design_space(corpus, spec);
+  const SweepCacheStats stats = fresh.stats();
+  EXPECT_GT(stats.cell_misses, 0u);
+  EXPECT_EQ(stats.cell_hits, 0u);
+  EXPECT_GT(stats.mapper_restores, 0u);
+  EXPECT_EQ(stats.mapper_builds, 0u);
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// Eviction drops whole entries under the save lock when the rendered
+// file exceeds the cap: oldest generation first, and within a
+// generation mappers before all-fine memos before cells (cells are the
+// most expensive to recompute). The survivor file must stay strictly
+// loadable.
+TEST(SweepCacheTest, SaveSizeCapEvictsOldestAndCheapestFirst) {
+  const std::string path = temp_path("sweep_cache_evict.jsonl");
+  std::remove(path.c_str());
+  SweepCache cache;
+  cache.store_cell(key_of(1, 1), cell_named("keep", 1));
+  cache.store_all_fine(key_of(2, 1), 1000);
+  cache.store_mapper(key_of(3, 1), std::make_shared<const MapperState>());
+  std::string error;
+  ASSERT_TRUE(cache.save(path, &error)) << error;  // default cap: everything fits
+  EXPECT_EQ(cache.stats().entries_evicted, 0u);
+  const std::uint64_t full_size = slurp(path).size();
+  std::remove(path.c_str());
+
+  // One byte under the full size: the mapper (same generation, lowest
+  // retention rank) is the first and only victim.
+  cache.set_save_size_cap(full_size - 1);
+  ASSERT_TRUE(cache.save(path, &error)) << error;
+  EXPECT_EQ(cache.stats().entries_evicted, 1u);
+  SweepCache loaded;
+  ASSERT_TRUE(loaded.load(path, &error)) << error;
+  EXPECT_TRUE(loaded.find_cell(key_of(1, 1)).has_value());
+  EXPECT_TRUE(loaded.find_all_fine(key_of(2, 1)).has_value());
+  EXPECT_EQ(loaded.find_mapper(key_of(3, 1)), nullptr);
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+// Generation beats kind: entries loaded from disk and never touched in
+// this run are older than entries stored this run, so under pressure
+// the stale disk inventory goes first even when it holds cells and the
+// new entries are mappers.
+TEST(SweepCacheTest, SaveSizeCapEvictsStaleGenerationsBeforeFreshOnes) {
+  const std::string path = temp_path("sweep_cache_evict_gen.jsonl");
+  std::remove(path.c_str());
+  std::string error;
+  {
+    SweepCache old_writer;
+    old_writer.store_cell(key_of(1, 1), cell_named("stale", 1));
+    ASSERT_TRUE(old_writer.save(path, &error)) << error;
+  }
+  SweepCache cache;
+  ASSERT_TRUE(cache.load(path, &error)) << error;
+  cache.store_cell(key_of(1, 2), cell_named("fresh", 2));
+  // Room for roughly one cell: the untouched gen-1 disk entry loses to
+  // the gen-2 entry stored this run.
+  const std::uint64_t one_cell = slurp(path).size();
+  cache.set_save_size_cap(one_cell + 8);
+  ASSERT_TRUE(cache.save(path, &error)) << error;
+  EXPECT_GT(cache.stats().entries_evicted, 0u);
+  SweepCache loaded;
+  ASSERT_TRUE(loaded.load(path, &error)) << error;
+  EXPECT_TRUE(loaded.find_cell(key_of(1, 2)).has_value());
+  EXPECT_FALSE(loaded.find_cell(key_of(1, 1)).has_value());
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+// The merge/eviction interaction pin (see save()'s contract): union
+// and eviction run inside ONE locked critical section, union first, so
+// an entry the cap evicts cannot be resurrected by the merge that read
+// it off disk moments earlier — reloading the file proves it stayed
+// gone.
+TEST(SweepCacheTest, MergeOnSaveNeverResurrectsEvictedEntries) {
+  const std::string path = temp_path("sweep_cache_evict_merge.jsonl");
+  std::remove(path.c_str());
+  std::string error;
+  {
+    SweepCache first;
+    first.store_cell(key_of(1, 1), cell_named("disk_a", 1));
+    first.store_cell(key_of(1, 2), cell_named("disk_b", 2));
+    ASSERT_TRUE(first.save(path, &error)) << error;
+  }
+  SweepCache second;  // cold process: merge-on-save unions with disk
+  second.store_cell(key_of(1, 3), cell_named("mine", 3));
+  {
+    SweepCache probe;
+    probe.store_cell(key_of(1, 3), cell_named("mine", 3));
+    const std::string probe_path = temp_path("sweep_cache_evict_probe.jsonl");
+    std::remove(probe_path.c_str());
+    ASSERT_TRUE(probe.save(probe_path, &error)) << error;
+    second.set_save_size_cap(slurp(probe_path).size() + 8);
+    std::remove(probe_path.c_str());
+    std::remove((probe_path + ".lock").c_str());
+  }
+  ASSERT_TRUE(second.save(path, &error)) << error;
+  EXPECT_EQ(second.stats().entries_evicted, 2u);
+  SweepCache loaded;
+  ASSERT_TRUE(loaded.load(path, &error)) << error;
+  EXPECT_TRUE(loaded.find_cell(key_of(1, 3)).has_value());
+  EXPECT_FALSE(loaded.find_cell(key_of(1, 1)).has_value());
+  EXPECT_FALSE(loaded.find_cell(key_of(1, 2)).has_value());
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+#ifndef _WIN32
+// Forcing lock degradation deterministically: a DIRECTORY at the lock
+// path makes open(O_RDWR|O_CREAT) fail with EISDIR for every process —
+// including root, which CAP_DAC_OVERRIDE lets sail past chmod-based
+// tricks.
+void force_degraded_lock(const std::string& cache_path) {
+  const std::string lock = cache_path + ".lock";
+  std::remove(lock.c_str());  // stale regular lock file from a prior run
+  rmdir(lock.c_str());
+  ASSERT_EQ(mkdir(lock.c_str(), 0755), 0)
+      << "cannot pre-create lock directory";
+}
+
+TEST(SweepCacheTest, DegradedLockIsCountedAndSaveStillSucceeds) {
+  const std::string path = temp_path("sweep_cache_degraded.jsonl");
+  std::remove(path.c_str());
+  rmdir((path + ".lock").c_str());
+  force_degraded_lock(path);
+  SweepCache cache;
+  cache.store_cell(key_of(1, 1), cell_named("unlocked", 1));
+  std::string error;
+  ASSERT_TRUE(cache.save(path, &error)) << error;
+  EXPECT_EQ(cache.stats().lock_degraded, 1u);
+  SweepCache loaded;
+  ASSERT_TRUE(loaded.load(path, &error)) << error;
+  EXPECT_TRUE(loaded.find_cell(key_of(1, 1)).has_value());
+  std::remove(path.c_str());
+  rmdir((path + ".lock").c_str());
+}
+
+// The headline regression of this change: with the lock DEGRADED, two
+// processes save the same path concurrently. The old fixed temp name
+// (`path + ".tmp"`) let both write one temp file and rename interleaved
+// garbage into place; unique per-process temp names make every rename
+// atomic-whole-file. Contract under degradation: entries may be lost
+// (documented), the file must NEVER be unloadable. 100 iterations per
+// writer, every parse strict.
+TEST(SweepCacheTest, DegradedLockConcurrentSaversNeverCorruptTheFile) {
+  const std::string path = temp_path("sweep_cache_degraded_race.jsonl");
+  std::remove(path.c_str());
+  rmdir((path + ".lock").c_str());
+  force_degraded_lock(path);
+  constexpr int kWriters = 2;
+  constexpr int kIterations = 100;
+
+  std::vector<pid_t> children;
+  for (int w = 0; w < kWriters; ++w) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      for (int i = 0; i < kIterations; ++i) {
+        SweepCache mine;
+        mine.store_cell(
+            key_of(static_cast<std::uint64_t>(w) + 1,
+                   static_cast<std::uint64_t>(i)),
+            cell_named("w" + std::to_string(w), i));
+        std::string error;
+        if (!mine.save(path, &error)) _exit(1);
+      }
+      _exit(0);
+    }
+    children.push_back(pid);
+  }
+
+  // Hammer loads while the writers race; rename atomicity means every
+  // observed file state must parse. A not-yet-created file is the only
+  // tolerated failure.
+  int corrupt_loads = 0;
+  int successful_loads = 0;
+  while (true) {
+    SweepCache reader;
+    std::string error;
+    if (reader.load(path, &error)) {
+      ++successful_loads;
+    } else if (error.find("cannot open") == std::string::npos) {
+      ++corrupt_loads;
+      ADD_FAILURE() << "corrupt intermediate cache: " << error;
+    }
+    int live = 0;
+    for (pid_t& pid : children) {
+      if (pid == -1) continue;
+      int status = 0;
+      const pid_t done = waitpid(pid, &status, WNOHANG);
+      if (done == pid) {
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+            << "writer exited with status " << status;
+        pid = -1;
+      } else {
+        ++live;
+      }
+    }
+    if (live == 0) break;
+  }
+  EXPECT_EQ(corrupt_loads, 0);
+  EXPECT_GT(successful_loads, 0);
+
+  // The final file parses too, and holds at least each writer's last
+  // iteration (its own save is the last thing each process did).
+  SweepCache loaded;
+  std::string error;
+  ASSERT_TRUE(loaded.load(path, &error)) << error;
+  EXPECT_GT(loaded.stats().entries_loaded, 0u);
+  std::remove(path.c_str());
+  rmdir((path + ".lock").c_str());
+}
+
+// With the lock HELD, save sweeps leftover temp files of crashed
+// writers (same directory, `<base>.tmp.` prefix) so they cannot pile
+// up forever.
+TEST(SweepCacheTest, SaveSweepsStaleTempFilesUnderTheLock) {
+  const std::string path = temp_path("sweep_cache_stale_tmp.jsonl");
+  std::remove(path.c_str());
+  rmdir((path + ".lock").c_str());
+  const std::string stale = path + ".tmp.99999.7";
+  {
+    std::ofstream out(stale, std::ios::binary);
+    out << "crashed writer leftovers\n";
+  }
+  ASSERT_TRUE(std::ifstream(stale).good());
+  SweepCache cache;
+  cache.store_cell(key_of(1, 1), cell_named("x", 1));
+  std::string error;
+  ASSERT_TRUE(cache.save(path, &error)) << error;
+  EXPECT_FALSE(std::ifstream(stale).good()) << "stale temp survived save";
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+#endif  // !_WIN32
 
 }  // namespace
 }  // namespace amdrel::core

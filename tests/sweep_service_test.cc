@@ -1,0 +1,254 @@
+// Sweep service (core/sweep_service.h): the coordinator/worker split of
+// sweep_design_space. The load-bearing property is byte-identity — a
+// worker stream consumed back through the coordinator must rebuild
+// EXACTLY the summary a single-process sweep produces, at any worker
+// split, cold or cache-warm — plus the strict protocol validation that
+// turns any malformed stream into a loud Error instead of a wrong
+// artifact.
+
+#include "core/sweep_service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.h"
+#include "core/sweep_cache.h"
+#include "core/sweep_io.h"
+#include "support/error.h"
+#include "workloads/paper_models.h"
+
+namespace amdrel::core {
+namespace {
+
+SweepSpec small_spec(int threads, SweepCache* cache) {
+  SweepSpec spec;
+  spec.grid.areas = {1500, 5000};
+  spec.grid.cgc_counts = {2};
+  spec.strategies = {StrategyKind::kGreedyPaper, StrategyKind::kAnnealing};
+  spec.orderings = {KernelOrdering::kWeightDescending};
+  spec.threads = threads;
+  spec.cache = cache;
+  return spec;
+}
+
+TEST(SweepServiceTest, PartitionShardsIsRoundRobinAndComplete) {
+  const auto split = partition_shards(7, 3);
+  ASSERT_EQ(split.size(), 3u);
+  EXPECT_EQ(split[0], (std::vector<std::size_t>{0, 3, 6}));
+  EXPECT_EQ(split[1], (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(split[2], (std::vector<std::size_t>{2, 5}));
+
+  // Every shard appears exactly once, for any (count, workers) shape;
+  // slot sizes are balanced to within one.
+  for (const std::size_t count : {0u, 1u, 5u, 16u}) {
+    for (const int workers : {1, 2, 3, 8}) {
+      const auto parts = partition_shards(count, workers);
+      ASSERT_EQ(parts.size(), static_cast<std::size_t>(workers));
+      std::vector<std::size_t> seen;
+      std::size_t smallest = count, largest = 0;
+      for (const auto& part : parts) {
+        smallest = std::min(smallest, part.size());
+        largest = std::max(largest, part.size());
+        seen.insert(seen.end(), part.begin(), part.end());
+      }
+      std::sort(seen.begin(), seen.end());
+      std::vector<std::size_t> expected(count);
+      std::iota(expected.begin(), expected.end(), 0u);
+      EXPECT_EQ(seen, expected) << count << " shards, " << workers;
+      EXPECT_LE(largest - smallest, 1u) << count << " shards, " << workers;
+    }
+  }
+  EXPECT_THROW(partition_shards(4, 0), Error);
+  EXPECT_THROW(partition_shards(4, -1), Error);
+}
+
+// Runs the full worker->wire->coordinator loop in-process for a given
+// worker split and returns the finalized summary, exercising exactly
+// what serve_design_space does minus fork/pipe plumbing.
+SweepSummary roundtrip(const std::vector<CorpusApp>& corpus,
+                       const SweepSpec& spec, int workers) {
+  const std::size_t shards = sweep_shard_count(corpus, spec);
+  const std::size_t cells_per_shard = sweep_cells_per_shard(spec);
+  SweepSummary summary;
+  for (const CorpusApp& app : corpus) summary.apps.push_back(app.name);
+  summary.cells.resize(shards * cells_per_shard);
+  std::vector<std::size_t> shard_used(shards, 0);
+  for (const auto& assigned : partition_shards(shards, workers)) {
+    if (assigned.empty()) continue;
+    std::stringstream wire;
+    run_sweep_worker(corpus, spec, assigned, wire);
+    consume_worker_stream(wire, corpus, spec, assigned, summary, shard_used);
+  }
+  finalize_sweep_summary(summary, shard_used, cells_per_shard);
+  return summary;
+}
+
+TEST(SweepServiceTest, WorkerStreamRoundTripIsByteIdenticalToSweep) {
+  const auto corpus = workloads::paper_corpus();
+  const SweepSpec spec = small_spec(2, nullptr);
+  const auto reference = sweep_design_space(corpus, spec);
+  const std::string json = sweep_to_json(reference);
+  const std::string csv = sweep_to_csv(reference);
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  for (const int workers : {1, 2, hw}) {
+    const auto merged = roundtrip(corpus, spec, workers);
+    EXPECT_EQ(sweep_to_json(merged), json) << workers << " workers";
+    EXPECT_EQ(sweep_to_csv(merged), csv) << workers << " workers";
+  }
+}
+
+TEST(SweepServiceTest, WarmCacheRoundTripStaysByteIdentical) {
+  const auto corpus = workloads::paper_corpus();
+  const std::string json =
+      sweep_to_json(sweep_design_space(corpus, small_spec(2, nullptr)));
+  SweepCache cache;
+  // Cold distributed run populates the cache; warm rerun must hit every
+  // cell and still reproduce the same bytes.
+  EXPECT_EQ(sweep_to_json(roundtrip(corpus, small_spec(2, &cache), 2)), json);
+  cache.reset_stats();
+  EXPECT_EQ(sweep_to_json(roundtrip(corpus, small_spec(2, &cache), 3)), json);
+  EXPECT_EQ(cache.stats().cell_misses, 0u);
+  EXPECT_GT(cache.stats().cell_hits, 0u);
+}
+
+TEST(SweepServiceTest, WorkerRejectsBadShardAssignments) {
+  const auto corpus = workloads::paper_corpus();
+  const SweepSpec spec = small_spec(1, nullptr);
+  const std::size_t shards = sweep_shard_count(corpus, spec);
+  std::ostringstream sink;
+  EXPECT_THROW(run_sweep_worker(corpus, spec, {shards}, sink), Error);
+  EXPECT_THROW(run_sweep_worker(corpus, spec, {0, 0}, sink), Error);
+}
+
+// Shared fixture for the protocol-violation cases: one worker's valid
+// stream, then a mutation, then the consumer must throw.
+class StreamRejectionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = workloads::paper_corpus();
+    spec_ = small_spec(1, nullptr);
+    assigned_ = {0, 1};
+    std::ostringstream os;
+    run_sweep_worker(corpus_, spec_, assigned_, os);
+    wire_ = os.str();
+  }
+
+  void expect_rejected(const std::string& wire, const char* tag) {
+    const std::size_t shards = sweep_shard_count(corpus_, spec_);
+    SweepSummary summary;
+    for (const CorpusApp& app : corpus_) summary.apps.push_back(app.name);
+    summary.cells.resize(shards * sweep_cells_per_shard(spec_));
+    std::vector<std::size_t> shard_used(shards, 0);
+    std::istringstream in(wire);
+    EXPECT_THROW(consume_worker_stream(in, corpus_, spec_, assigned_, summary,
+                                       shard_used),
+                 Error)
+        << tag;
+  }
+
+  std::vector<CorpusApp> corpus_;
+  SweepSpec spec_;
+  std::vector<std::size_t> assigned_;
+  std::string wire_;
+};
+
+TEST_F(StreamRejectionTest, RejectsProtocolVersionMismatch) {
+  std::string wire = wire_;
+  const auto pos = wire.find("\"protocol\":1");
+  ASSERT_NE(pos, std::string::npos);
+  wire.replace(pos, 12, "\"protocol\":9");
+  expect_rejected(wire, "protocol_version");
+}
+
+TEST_F(StreamRejectionTest, RejectsTruncatedStream) {
+  // Cut mid-way: the worker_done trailer never arrives.
+  expect_rejected(wire_.substr(0, wire_.size() / 2), "truncated");
+  // Losing only the trailer line must also be fatal.
+  const auto done = wire_.rfind("{\"kind\":\"worker_done\"");
+  ASSERT_NE(done, std::string::npos);
+  expect_rejected(wire_.substr(0, done), "missing_done");
+}
+
+TEST_F(StreamRejectionTest, RejectsUnassignedShard) {
+  // A stream claiming shard 2 when only {0, 1} were assigned.
+  std::string wire = wire_;
+  const std::string from = "{\"kind\":\"shard\",\"shard\":1";
+  const auto pos = wire.find(from);
+  ASSERT_NE(pos, std::string::npos);
+  wire.replace(pos, from.size(), "{\"kind\":\"shard\",\"shard\":2");
+  expect_rejected(wire, "unassigned_shard");
+}
+
+TEST_F(StreamRejectionTest, RejectsGarbageLine) {
+  const auto first_line_end = wire_.find('\n');
+  ASSERT_NE(first_line_end, std::string::npos);
+  std::string wire = wire_;
+  wire.insert(first_line_end + 1, "not json\n");
+  expect_rejected(wire, "garbage");
+}
+
+TEST_F(StreamRejectionTest, RejectsEmptyStream) {
+  expect_rejected("", "empty");
+}
+
+// End-to-end through real fork/exec: serve_design_space with /bin/sh
+// workers that replay a pre-rendered valid stream must reproduce the
+// sweep, and a worker that exits nonzero must fail the run.
+#ifndef _WIN32
+TEST(SweepServiceTest, ServeMergesCommandWorkers) {
+  const auto corpus = workloads::paper_corpus();
+  const SweepSpec spec = small_spec(1, nullptr);
+  const std::string json = sweep_to_json(sweep_design_space(corpus, spec));
+
+  // Render each possible single-worker assignment up front; the spawned
+  // command is a shell that cats the right pre-rendered stream.
+  const std::size_t shards = sweep_shard_count(corpus, spec);
+  std::vector<std::string> streams;
+  for (std::size_t s = 0; s < shards; ++s) {
+    std::ostringstream os;
+    run_sweep_worker(corpus, spec, {s}, os);
+    streams.push_back(os.str());
+  }
+  const std::string dir = testing::TempDir();
+  std::vector<std::string> paths;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::string path =
+        dir + "sweep_service_stream_" + std::to_string(s) + ".ndjson";
+    std::ofstream(path, std::ios::binary) << streams[s];
+    paths.push_back(path);
+  }
+
+  ServeOptions options;
+  options.workers = static_cast<int>(shards);  // one shard per worker
+  options.worker_command = [&](const std::vector<std::size_t>& assigned) {
+    EXPECT_EQ(assigned.size(), 1u);
+    return std::vector<std::string>{"/bin/cat", paths[assigned[0]]};
+  };
+  const auto summary = serve_design_space(corpus, spec, options);
+  EXPECT_EQ(sweep_to_json(summary), json);
+  for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+TEST(SweepServiceTest, ServeFailsWhenAWorkerExitsNonzero) {
+  const auto corpus = workloads::paper_corpus();
+  const SweepSpec spec = small_spec(1, nullptr);
+  ServeOptions options;
+  options.workers = 2;
+  options.worker_command = [](const std::vector<std::size_t>&) {
+    return std::vector<std::string>{"/bin/sh", "-c", "exit 3"};
+  };
+  EXPECT_THROW(serve_design_space(corpus, spec, options), Error);
+}
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace amdrel::core

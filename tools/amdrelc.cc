@@ -5,6 +5,13 @@
 //   amdrelc explore   [file.mc] [options]   platform-grid x corpus x
 //                                           constraint x strategy x
 //                                           ordering design-space sweep
+//   amdrelc serve     [file.mc] [options]   the same sweep, distributed
+//                                           across --workers N forked
+//                                           `amdrelc worker` processes;
+//                                           output byte-identical to explore
+//   amdrelc worker    [file.mc] [options]   one serve worker: computes its
+//                                           --shards list and streams the
+//                                           wire protocol on stdout
 //   amdrelc dump-tac  <file.mc> [options]   lowered three-address code
 //   amdrelc dump-dot  <file.mc> [options]   CDFG in Graphviz DOT
 //   amdrelc cache-merge <out> <in...>       fold sweep cache files into one
@@ -52,12 +59,22 @@
 //                    saved after it, so repeated invocations start warm
 //   --no-cache       run uncached (overrides --cache)
 //   --cache-stats PATH  write the cache hit/miss counters as JSON
-//                    (requires an effective --cache)
+//                    (requires an effective --cache; explore/worker only)
+//   --cache-cap-bytes N  size cap for the saved cache file; entries
+//                    beyond it are evicted least-recently-touched first
+//                    (0 = never evict; default 64 MiB)
+// serve only:
+//   --workers N      worker processes to fork            (default 2)
+// worker only (normally spawned by serve, not typed by hand):
+//   --shards i,j,...  the (app, platform) shard indices this worker
+//                    computes and streams
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -71,6 +88,7 @@
 #include "core/strategy.h"
 #include "core/sweep_cache.h"
 #include "core/sweep_io.h"
+#include "core/sweep_service.h"
 #include "interp/interpreter.h"
 #include "ir/build_cdfg.h"
 #include "ir/dot.h"
@@ -114,7 +132,12 @@ struct Options {
   std::string cache_path;
   std::string cache_stats_path;
   bool no_cache = false;
+  std::optional<std::uint64_t> cache_cap;
   int threads = 2;
+
+  // serve / worker (the distributed split of explore)
+  std::optional<int> workers;
+  std::optional<std::vector<std::size_t>> shards;
 
   // cache-merge input files (the positional file is the output)
   std::vector<std::string> merge_inputs;
@@ -122,7 +145,8 @@ struct Options {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: amdrelc <analyze|partition|explore|dump-tac|dump-dot> "
+               "usage: amdrelc "
+               "<analyze|partition|explore|serve|worker|dump-tac|dump-dot> "
                "<file.mc> [--area N] [--cgcs N] [--constraint N] "
                "[--strategy greedy|exhaustive|annealing] "
                "[--ordering weight|benefit|code|random] "
@@ -135,9 +159,13 @@ struct Options {
                "[--orderings o1,o2,...] [--grid a1,a2,...xc1,c2,...] "
                "[--corpus ofdm|jpeg|fir|sobel|file.mc,...] "
                "[--json PATH] [--csv PATH] [--threads N] "
-               "[--cache PATH] [--no-cache] [--cache-stats PATH]\n"
+               "[--cache PATH] [--no-cache] [--cache-stats PATH] "
+               "[--cache-cap-bytes N] [--workers N] [--shards i,j,...]\n"
                "   or: amdrelc cache-merge <out> <in...>\n"
-               "(explore accepts --corpus in place of the positional file)\n");
+               "(explore/serve/worker accept --corpus in place of the "
+               "positional file; serve forks `amdrelc worker` processes "
+               "and its sweep output is byte-identical to explore; "
+               "--workers is serve-only, --shards is worker-only)\n");
   std::exit(2);
 }
 
@@ -324,6 +352,39 @@ Options parse_args(int argc, char** argv) {
       }
     } else if (arg == "--no-cache") {
       options.no_cache = true;
+    } else if (arg == "--cache-cap-bytes") {
+      const std::string text = next();
+      // A leading '-' would parse as a huge unsigned value; reject it as
+      // the usage error it is.
+      if (text.empty() || text[0] == '-') {
+        usage_error(arg, "cap must be >= 0");
+      }
+      options.cache_cap = parse_u64(text, arg);
+    } else if (arg == "--workers") {
+      const int workers = parse_int(next(), arg);
+      if (workers < 1 || workers > 512) {
+        usage_error(arg, "worker count must be in [1, 512]");
+      }
+      options.workers = workers;
+    } else if (arg == "--shards") {
+      const std::string spec = next();
+      // split() drops a trailing empty field; "0,1," must not silently
+      // parse as "0,1".
+      if (spec.empty() || spec.back() == ',') {
+        usage_error(arg, "malformed shard list '" + spec + "'");
+      }
+      std::vector<std::size_t> shards;
+      for (const std::string& item : split_list(spec)) {
+        const std::int64_t shard = parse_i64(item, arg);
+        if (shard < 0) usage_error(arg, "shard indices must be >= 0");
+        const auto value = static_cast<std::size_t>(shard);
+        if (std::find(shards.begin(), shards.end(), value) != shards.end()) {
+          usage_error(arg, "duplicate shard " + item);
+        }
+        shards.push_back(value);
+      }
+      if (shards.empty()) usage_error(arg, "empty shard list");
+      options.shards = std::move(shards);
     } else if (arg == "--optimize") {
       options.optimize = true;
     } else if (arg == "--top") {
@@ -350,10 +411,23 @@ Options parse_args(int argc, char** argv) {
       usage();
     }
   }
-  // Every command needs a source file except explore, which may draw its
-  // whole corpus from --corpus.
-  if (options.file.empty() &&
-      !(options.command == "explore" && !options.corpus.empty())) {
+  const bool sweep_command = options.command == "explore" ||
+                             options.command == "serve" ||
+                             options.command == "worker";
+  // Every command needs a source file except the sweep family, which may
+  // draw its whole corpus from --corpus.
+  if (options.file.empty() && !(sweep_command && !options.corpus.empty())) {
+    usage();
+  }
+  // The distributed-split flags are command-specific: --workers shapes
+  // the serve fork fan-out, --shards is the assignment serve hands each
+  // worker (and a worker without one has nothing to compute).
+  if (options.workers && options.command != "serve") usage();
+  if (options.shards && options.command != "worker") usage();
+  if (options.command == "worker" && !options.shards) usage();
+  // serve's own stdout is the merged sweep; its workers each have their
+  // own cache traffic, so a single stats file would be ambiguous.
+  if (options.command == "serve" && !options.cache_stats_path.empty()) {
     usage();
   }
   // cache-merge with nothing to merge is a spec mistake, not a no-op.
@@ -525,7 +599,12 @@ void write_output_file(const std::string& path, const std::string& content,
   std::fprintf(stderr, "wrote sweep %s to %s\n", what, path.c_str());
 }
 
-int cmd_explore(const Options& options) {
+// The corpus of a sweep-family command (explore/serve/worker): the
+// positional file plus every --corpus entry. Duplicate app names are a
+// spec mistake, caught here as a usage error (exit 2) like every other
+// malformed sweep flag; the library's own require() guard stays as the
+// API-level backstop.
+std::vector<core::CorpusApp> build_corpus(const Options& options) {
   std::vector<core::CorpusApp> corpus;
   if (!options.file.empty()) {
     CompiledApp app = compile_and_profile(options);
@@ -538,18 +617,22 @@ int cmd_explore(const Options& options) {
   for (const std::string& name : options.corpus) {
     corpus.push_back(corpus_app(name, options));
   }
-  // Duplicate app names are a spec mistake, caught here as a usage error
-  // (exit 2) like every other malformed sweep flag; the library's own
-  // require() guard stays as the API-level backstop.
   for (std::size_t i = 0; i < corpus.size(); ++i) {
     for (std::size_t j = i + 1; j < corpus.size(); ++j) {
       if (corpus[i].name == corpus[j].name) usage();
     }
   }
+  return corpus;
+}
 
-  // Plural flags win; a singular --constraint/--strategy/--ordering
-  // narrows the sweep to that one value rather than being ignored, and
-  // --area/--cgcs define the single-platform grid when --grid is absent.
+// The sweep grid from the flags, identically for explore, serve and
+// every worker — the distributed split only partitions WORK; a
+// divergence in flag interpretation here would break serve's
+// byte-identity with explore.
+// Plural flags win; a singular --constraint/--strategy/--ordering
+// narrows the sweep to that one value rather than being ignored, and
+// --area/--cgcs define the single-platform grid when --grid is absent.
+core::SweepSpec build_sweep_spec(const Options& options) {
   core::SweepSpec spec;
   spec.grid = options.grid.value_or(
       core::PlatformGrid{{options.area}, {options.cgcs}});
@@ -575,33 +658,80 @@ int cmd_explore(const Options& options) {
     spec.orderings = {core::KernelOrdering::kWeightDescending,
                       core::KernelOrdering::kBenefitDescending};
   }
+  return spec;
+}
 
-  // The persistent cache warms repeated invocations. Every load-side
-  // failure (missing file, corrupt line, schema/fingerprint version
-  // mismatch) degrades to a cold run with a warning — the cache can cost
-  // a recompute, never a wrong result. A missing file is the normal
-  // first-run case and warns with a gentler message.
-  core::SweepCache cache;
+// The persistent cache warms repeated invocations. Every load-side
+// failure (missing file, corrupt line, schema/fingerprint version
+// mismatch) degrades to a cold run with a warning — the cache can cost
+// a recompute, never a wrong result. A missing file is the normal
+// first-run case and warns with a gentler message. Returns whether the
+// cache is in use (the caller wires it into the spec and saves after).
+bool setup_cache(const Options& options, core::SweepCache& cache) {
   const bool use_cache = !options.cache_path.empty() && !options.no_cache;
-  if (use_cache) {
-    if (!std::ifstream(options.cache_path).good()) {
-      std::fprintf(stderr, "cache: %s not found, starting cold\n",
+  if (!use_cache) return false;
+  if (options.cache_cap) cache.set_save_size_cap(*options.cache_cap);
+  if (!std::ifstream(options.cache_path).good()) {
+    std::fprintf(stderr, "cache: %s not found, starting cold\n",
+                 options.cache_path.c_str());
+  } else {
+    std::string error;
+    if (cache.load(options.cache_path, &error)) {
+      std::fprintf(stderr, "cache: loaded %llu entr%s from %s\n",
+                   static_cast<unsigned long long>(
+                       cache.stats().entries_loaded),
+                   cache.stats().entries_loaded == 1 ? "y" : "ies",
                    options.cache_path.c_str());
     } else {
-      std::string error;
-      if (cache.load(options.cache_path, &error)) {
-        std::fprintf(stderr, "cache: loaded %llu entr%s from %s\n",
-                     static_cast<unsigned long long>(
-                         cache.stats().entries_loaded),
-                     cache.stats().entries_loaded == 1 ? "y" : "ies",
-                     options.cache_path.c_str());
-      } else {
-        std::fprintf(stderr, "amdrelc: warning: ignoring cache (%s); "
-                     "recomputing from scratch\n", error.c_str());
-      }
+      std::fprintf(stderr, "amdrelc: warning: ignoring cache (%s); "
+                   "recomputing from scratch\n", error.c_str());
     }
-    spec.cache = &cache;
   }
+  return true;
+}
+
+// Reports the cache traffic and persists the cache (merge-on-save), for
+// explore and worker alike. The stats line goes to stderr so worker
+// stdout stays pure wire protocol.
+void report_and_save_cache(const Options& options, core::SweepCache& cache) {
+  const core::SweepCacheStats stats = cache.stats();
+  std::fprintf(stderr,
+               "cache: %llu cell hits, %llu misses, %llu mapper restores, "
+               "%llu cold builds\n",
+               static_cast<unsigned long long>(stats.cell_hits),
+               static_cast<unsigned long long>(stats.cell_misses),
+               static_cast<unsigned long long>(stats.mapper_restores),
+               static_cast<unsigned long long>(stats.mapper_builds));
+  std::string error;
+  if (cache.save(options.cache_path, &error)) {
+    std::fprintf(stderr, "cache: saved %llu cell(s) to %s\n",
+                 static_cast<unsigned long long>(stats.cells),
+                 options.cache_path.c_str());
+  } else {
+    // Results are already computed and emitted; a write failure only
+    // costs the next run its warm start.
+    std::fprintf(stderr, "amdrelc: warning: cannot write cache: %s\n",
+                 error.c_str());
+  }
+}
+
+void write_sweep_outputs(const Options& options,
+                         const core::SweepSummary& summary) {
+  if (!options.json_path.empty()) {
+    write_output_file(options.json_path, core::sweep_to_json(summary),
+                      "JSON");
+  }
+  if (!options.csv_path.empty()) {
+    write_output_file(options.csv_path, core::sweep_to_csv(summary), "CSV");
+  }
+}
+
+int cmd_explore(const Options& options) {
+  const std::vector<core::CorpusApp> corpus = build_corpus(options);
+  core::SweepSpec spec = build_sweep_spec(options);
+  core::SweepCache cache;
+  const bool use_cache = setup_cache(options, cache);
+  if (use_cache) spec.cache = &cache;
 
   const auto summary = core::sweep_design_space(corpus, spec);
   std::printf("design-space sweep: %zu app(s) x %zu platform(s), "
@@ -610,34 +740,82 @@ int cmd_explore(const Options& options) {
               core::worker_count(corpus.size() * spec.grid.size(),
                                  spec.threads));
   std::printf("%s", core::describe(summary).c_str());
-  if (!options.json_path.empty()) {
-    write_output_file(options.json_path, core::sweep_to_json(summary),
-                      "JSON");
+  write_sweep_outputs(options, summary);
+  if (use_cache) report_and_save_cache(options, cache);
+  if (use_cache && !options.cache_stats_path.empty()) {
+    write_output_file(options.cache_stats_path,
+                      core::cache_stats_to_json(cache.stats()),
+                      "cache stats");
   }
-  if (!options.csv_path.empty()) {
-    write_output_file(options.csv_path, core::sweep_to_csv(summary), "CSV");
-  }
-  if (use_cache) {
-    const core::SweepCacheStats stats = cache.stats();
-    std::fprintf(stderr,
-                 "cache: %llu cell hits, %llu misses, %llu mapper restores, "
-                 "%llu cold builds\n",
-                 static_cast<unsigned long long>(stats.cell_hits),
-                 static_cast<unsigned long long>(stats.cell_misses),
-                 static_cast<unsigned long long>(stats.mapper_restores),
-                 static_cast<unsigned long long>(stats.mapper_builds));
-    std::string error;
-    if (cache.save(options.cache_path, &error)) {
-      std::fprintf(stderr, "cache: saved %llu cell(s) to %s\n",
-                   static_cast<unsigned long long>(stats.cells),
-                   options.cache_path.c_str());
-    } else {
-      // Results are already computed and emitted; a write failure only
-      // costs the next run its warm start.
-      std::fprintf(stderr, "amdrelc: warning: cannot write cache: %s\n",
-                   error.c_str());
+  return 0;
+}
+
+// Coordinator: forks `amdrelc worker` processes, each re-running this
+// binary with the original sweep flags plus its --shards assignment, and
+// merges their streams into the summary explore would have produced.
+// The original argv is forwarded verbatim EXCEPT the serve-only flags:
+// --workers (meaningless in a worker) and the artifact outputs
+// --json/--csv (workers emit wire protocol on stdout, not artifacts;
+// --cache-stats is already rejected for serve in parse_args). --cache IS
+// forwarded: each worker loads the shared file and persists with
+// merge-on-save, which is exactly the concurrent-writer regime the
+// cache's file lock exists for.
+int cmd_serve(const Options& options, int argc, char** argv) {
+  const std::vector<core::CorpusApp> corpus = build_corpus(options);
+  const core::SweepSpec spec = build_sweep_spec(options);
+
+  std::vector<std::string> base_command;
+  base_command.push_back(argv[0]);
+  base_command.push_back("worker");
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--workers" || arg == "--json" || arg == "--csv") {
+      ++i;  // skip the flag's value too
+      continue;
     }
+    base_command.push_back(arg);
   }
+
+  core::ServeOptions serve;
+  serve.workers = options.workers.value_or(2);
+  serve.worker_command =
+      [&base_command](const std::vector<std::size_t>& assigned) {
+        std::vector<std::string> command = base_command;
+        std::string joined;
+        for (std::size_t i = 0; i < assigned.size(); ++i) {
+          if (i) joined += ',';
+          joined += std::to_string(assigned[i]);
+        }
+        command.push_back("--shards");
+        command.push_back(joined);
+        return command;
+      };
+
+  const auto summary = core::serve_design_space(corpus, spec, serve);
+  const std::size_t shards = core::sweep_shard_count(corpus, spec);
+  std::printf("distributed sweep: %zu app(s) x %zu platform(s), "
+              "%zu cells, %d worker(s)\n",
+              summary.apps.size(), spec.grid.size(), summary.cells.size(),
+              std::min(serve.workers, static_cast<int>(shards)));
+  std::printf("%s", core::describe(summary).c_str());
+  write_sweep_outputs(options, summary);
+  return 0;
+}
+
+// One serve worker. Stdout carries ONLY the wire protocol (profiling and
+// cache diagnostics already go to stderr); serve consumes it through the
+// strict stream validator in core/sweep_service.h.
+int cmd_worker(const Options& options) {
+  const std::vector<core::CorpusApp> corpus = build_corpus(options);
+  core::SweepSpec spec = build_sweep_spec(options);
+  core::SweepCache cache;
+  const bool use_cache = setup_cache(options, cache);
+  if (use_cache) spec.cache = &cache;
+
+  core::run_sweep_worker(corpus, spec, *options.shards, std::cout);
+  std::cout.flush();
+  require(std::cout.good(), "worker: cannot write result stream to stdout");
+  if (use_cache) report_and_save_cache(options, cache);
   if (use_cache && !options.cache_stats_path.empty()) {
     write_output_file(options.cache_stats_path,
                       core::cache_stats_to_json(cache.stats()),
@@ -664,6 +842,7 @@ int cmd_cache_merge(const Options& options) {
                  stats.entries_loaded == 1 ? "y" : "ies", input.c_str());
     merged.merge_from(cache);
   }
+  if (options.cache_cap) merged.set_save_size_cap(*options.cache_cap);
   std::string error;
   require(merged.save(options.file, &error), error);
   std::printf("cache-merge: wrote %llu cell(s) from %zu input(s) to %s\n",
@@ -695,6 +874,8 @@ int main(int argc, char** argv) {
     if (options.command == "analyze") return cmd_analyze(options);
     if (options.command == "partition") return cmd_partition(options);
     if (options.command == "explore") return cmd_explore(options);
+    if (options.command == "serve") return cmd_serve(options, argc, argv);
+    if (options.command == "worker") return cmd_worker(options);
     if (options.command == "dump-tac") return cmd_dump_tac(options);
     if (options.command == "dump-dot") return cmd_dump_dot(options);
     if (options.command == "cache-merge") return cmd_cache_merge(options);
