@@ -90,7 +90,7 @@ void BM_EnergySweep(benchmark::State& state) {
   spec.strategies = {core::StrategyKind::kGreedyPaper,
                      core::StrategyKind::kExhaustive};
   spec.orderings = {core::KernelOrdering::kWeightDescending};
-  spec.base.objective.kind = core::ObjectiveKind::kEnergy;
+  spec.base.cost.objective.kind = core::ObjectiveKind::kEnergy;
   spec.base.exhaustive_max_kernels = 10;
   spec.energy_budgets = {1.0e6, 1.18e8, 5.0e9};
   spec.threads = static_cast<int>(state.range(0));

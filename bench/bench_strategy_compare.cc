@@ -186,6 +186,41 @@ void BM_PackedVsLegacy_PerCellAxis(benchmark::State& state) {
 }
 BENCHMARK(BM_PackedVsLegacy_PerCellAxis);
 
+// ---- reconfiguration-aware pricing overhead ------------------------
+// The CostModel seam is free when pricing is off (the additive fast
+// path skips the repricing machinery entirely) and O(|moved| log
+// |moved|) per move when on. This pair pins both sides: a greedy
+// methodology run under the additive model vs the identical run with a
+// nonzero reconfiguration model (residency top-R repricing active on
+// every move).
+
+void BM_ReconfigCost_Additive(benchmark::State& state) {
+  const auto app = make_scaling_app(16);
+  const auto p = platform::make_paper_platform(1500, 2);
+  core::HybridMapper mapper(app.cdfg, p);
+  const auto options = full_sweep_options();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_methodology(mapper, app.profile, /*constraint=*/1, options));
+  }
+}
+BENCHMARK(BM_ReconfigCost_Additive);
+
+void BM_ReconfigCost_Reconfig(benchmark::State& state) {
+  const auto app = make_scaling_app(16);
+  const auto p = platform::make_paper_platform(1500, 2);
+  core::HybridMapper mapper(app.cdfg, p);
+  auto options = full_sweep_options();
+  options.cost.reconfig.bitstream_cycles_per_unit = 2.5;
+  options.cost.reconfig.prefetch_overlap = 0.25;
+  options.cost.reconfig.floorplan_cost_per_unit = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_methodology(mapper, app.profile, /*constraint=*/1, options));
+  }
+}
+BENCHMARK(BM_ReconfigCost_Reconfig);
+
 }  // namespace
 
 int main(int argc, char** argv) {

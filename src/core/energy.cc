@@ -93,9 +93,9 @@ EnergyPartitionReport run_energy_methodology(
     const platform::Platform& platform, double budget_pj,
     const EnergyModel& model, const MethodologyOptions& options) {
   MethodologyOptions engine = options;
-  engine.objective.kind = ObjectiveKind::kEnergy;
-  engine.objective.energy = model;
-  engine.energy_budget_pj = budget_pj;
+  engine.cost.objective.kind = ObjectiveKind::kEnergy;
+  engine.cost.objective.energy = model;
+  engine.cost.energy_budget_pj = budget_pj;
   // The timing constraint is irrelevant under kEnergy (met() ignores
   // it); 0 keeps the step-2 early exit purely energy-driven.
   const PartitionReport report =

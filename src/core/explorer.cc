@@ -114,7 +114,7 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
   }
   const std::vector<double> budgets =
       spec.energy_budgets.empty()
-          ? std::vector<double>{spec.base.energy_budget_pj}
+          ? std::vector<double>{spec.base.cost.energy_budget_pj}
           : spec.energy_budgets;
 
   ExploreSummary summary;
@@ -171,7 +171,7 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
               job % ordering_count;
           ExplorePoint& point = summary.points[index];
           if (cache) {
-            options.energy_budget_pj = point.energy_budget_pj;
+            options.cost.energy_budget_pj = point.energy_budget_pj;
             const Fingerprint key =
                 cell_key(app_fp, platform_fp, options, point.constraint);
             if (const std::optional<CachedCell> hit = cache->find_cell(key)) {
@@ -190,7 +190,7 @@ ExploreSummary explore_design_space(const ir::Cdfg& cdfg,
         ExplorePoint& point = summary.points[missed[m]];
         point.report = reports[m];
         if (cache) {
-          options.energy_budget_pj = point.energy_budget_pj;
+          options.cost.energy_budget_pj = point.energy_budget_pj;
           CachedCell cell;
           cell.report = point.report;
           cell.moved_names = moved_block_names(cdfg, point.report);
@@ -346,7 +346,7 @@ std::size_t compute_sweep_shard(const std::vector<CorpusApp>& corpus,
   SweepCache* cache = spec.cache;
   const std::vector<double> budgets =
       spec.energy_budgets.empty()
-          ? std::vector<double>{spec.base.energy_budget_pj}
+          ? std::vector<double>{spec.base.cost.energy_budget_pj}
           : spec.energy_budgets;
 
   const std::size_t app_index = shard / spec.grid.size();
@@ -420,7 +420,7 @@ std::size_t compute_sweep_shard(const std::vector<CorpusApp>& corpus,
           cell.strategy = spec.strategies[si];
           cell.ordering = spec.orderings[oi];
           if (cache) {
-            options.energy_budget_pj = budgets[bi];
+            options.cost.energy_budget_pj = budgets[bi];
             const Fingerprint key = cell_key(app_fps[app_index], platform_fp,
                                              options, constraints[ci]);
             if (std::optional<CachedCell> hit = cache->find_cell(key)) {
@@ -441,7 +441,7 @@ std::size_t compute_sweep_shard(const std::vector<CorpusApp>& corpus,
         cell.report = reports[m];
         cell.moved_names = moved_block_names(app.cdfg, cell.report);
         if (cache) {
-          options.energy_budget_pj = cell.energy_budget_pj;
+          options.cost.energy_budget_pj = cell.energy_budget_pj;
           CachedCell fresh;
           fresh.report = cell.report;
           fresh.moved_names = cell.moved_names;
@@ -486,16 +486,21 @@ void finalize_sweep_summary(SweepSummary& summary,
 
   // Pareto fronts over (final cycles, kernels moved, platform cost,
   // energy pJ), all minimized: one per app and one merged over every
-  // cell.
+  // cell. The platform-cost axis folds in the per-cell floorplan charge
+  // (zero under the additive cost model, so pre-v3 fronts are
+  // unchanged): a cheaper chip that forces expensive module placement
+  // should not dominate a costlier one that does not.
   auto dominates = [](const SweepCell& b, const SweepCell& a) {
+    const double b_cost = b.platform_cost + b.report.floorplan_cost;
+    const double a_cost = a.platform_cost + a.report.floorplan_cost;
     const bool no_worse = b.report.final_cycles <= a.report.final_cycles &&
                           b.report.moved.size() <= a.report.moved.size() &&
-                          b.platform_cost <= a.platform_cost &&
+                          b_cost <= a_cost &&
                           b.report.energy.total_pj() <=
                               a.report.energy.total_pj();
     const bool better = b.report.final_cycles < a.report.final_cycles ||
                         b.report.moved.size() < a.report.moved.size() ||
-                        b.platform_cost < a.platform_cost ||
+                        b_cost < a_cost ||
                         b.report.energy.total_pj() <
                             a.report.energy.total_pj();
     return no_worse && better;

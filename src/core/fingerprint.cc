@@ -199,7 +199,7 @@ Fingerprint fingerprint(const MethodologyOptions& options) {
   h.mix(options.analysis.min_exec_freq);
   h.mix(static_cast<std::uint64_t>(options.strategy));
   h.mix(static_cast<std::uint64_t>(options.ordering));
-  const CostObjective& objective = options.objective;
+  const CostObjective& objective = options.cost.objective;
   h.mix(static_cast<std::uint64_t>(objective.kind));
   h.mix_double(objective.energy.fpga_alu_pj);
   h.mix_double(objective.energy.fpga_mul_pj);
@@ -213,7 +213,14 @@ Fingerprint fingerprint(const MethodologyOptions& options) {
   h.mix_double(objective.energy.spill_pj_per_word);
   h.mix_double(objective.cycle_weight);
   h.mix_double(objective.energy_weight);
-  h.mix_double(options.energy_budget_pj);
+  h.mix_double(options.cost.energy_budget_pj);
+  // v3: the reconfiguration model prices moved sets, so two runs that
+  // differ only here must never alias a cache cell.
+  const platform::ReconfigModel& reconfig = options.cost.reconfig;
+  h.mix_double(reconfig.bitstream_cycles_per_unit);
+  h.mix_double(reconfig.prefetch_overlap);
+  h.mix_double(reconfig.floorplan_cost_per_unit);
+  h.mix(static_cast<std::uint64_t>(reconfig.regions));
   h.mix(options.random_seed);
   h.mix(static_cast<std::uint64_t>(options.stop_when_met));
   h.mix(static_cast<std::uint64_t>(options.skip_unprofitable));

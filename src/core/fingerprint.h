@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "core/methodology.h"
+#include "core/schema.h"
 #include "ir/cdfg.h"
 #include "ir/dfg.h"
 #include "ir/profile.h"
@@ -13,15 +14,12 @@
 
 namespace amdrel::core {
 
-/// Version of the fingerprint algorithm and of the field sets it covers.
-/// Bump on ANY change to what is hashed or how (mixing constants, field
-/// order, new fields) — persisted caches key results by these
-/// fingerprints, so an algorithm change must invalidate them, and the
-/// golden test pins the builtin workloads' digests byte-for-byte.
-/// v2: MethodologyOptions digests cover the cost objective (kind,
-/// weights, energy budget) and every EnergyModel price — cells keyed
-/// under v1 could alias runs that differ only in energy configuration.
-inline constexpr int kFingerprintAlgorithmVersion = 2;
+// The fingerprint algorithm version (kFingerprintAlgorithmVersion) lives
+// with every other persisted-format constant in core/schema.h. Bump on
+// ANY change to what is hashed or how (mixing constants, field order,
+// new fields) — persisted caches key results by these fingerprints, so
+// an algorithm change must invalidate them, and the golden test pins the
+// builtin workloads' digests byte-for-byte.
 
 /// A 128-bit content digest. Two independently-mixed 64-bit lanes keep
 /// the collision probability negligible for cache-sized key sets while

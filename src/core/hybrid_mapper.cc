@@ -1,5 +1,9 @@
 #include "core/hybrid_mapper.h"
 
+#include <algorithm>
+#include <functional>
+
+#include "core/cost_model.h"
 #include "core/energy.h"
 #include "support/error.h"
 #include "support/strings.h"
@@ -31,6 +35,7 @@ void HybridMapper::build_block_tables() {
 HybridMapper::HybridMapper(const ir::Cdfg& cdfg,
                            const platform::Platform& platform)
     : cdfg_(&cdfg), platform_(&platform), packed_(cdfg) {
+  platform::validate_platform(platform);
   fine_ = finegrain::map_cdfg_to_fpga(cdfg, platform.fpga, platform.memory);
   coarse_.resize(static_cast<std::size_t>(cdfg.size()));
   build_block_tables();
@@ -44,6 +49,7 @@ HybridMapper::HybridMapper(const ir::Cdfg& cdfg,
       packed_(cdfg),
       fine_(state.fine),
       coarse_(state.coarse) {
+  platform::validate_platform(platform);
   require(static_cast<ir::BlockId>(fine_.size()) == cdfg.size(),
           cat("HybridMapper: snapshot covers ", fine_.size(),
               " blocks but the CDFG has ", cdfg.size()));
@@ -174,6 +180,26 @@ IncrementalSplit::IncrementalSplit(HybridMapper& mapper,
 
 IncrementalSplit::IncrementalSplit(HybridMapper& mapper,
                                    const ir::ProfileData& profile,
+                                   const CostObjective& objective,
+                                   const CostModel* cost_model)
+    : IncrementalSplit(mapper, profile, objective) {
+  if (cost_model == nullptr || !cost_model->prices_reconfiguration()) return;
+  cost_model_ = cost_model;
+  const ir::PackedCdfg& packed = mapper.packed();
+  const auto blocks = static_cast<std::size_t>(mapper.cdfg().size());
+  reconfig_load_.resize(blocks);
+  reconfig_saving_.resize(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const auto id = static_cast<ir::BlockId>(b);
+    const std::int64_t load = cost_model->load_cycles(packed.node_count(id));
+    const std::int64_t w = std::max<std::int64_t>(1, iters_[b]);
+    reconfig_load_[b] = load;
+    reconfig_saving_[b] = load * (w - 1);
+  }
+}
+
+IncrementalSplit::IncrementalSplit(HybridMapper& mapper,
+                                   const ir::ProfileData& profile,
                                    const CostObjective& objective)
     : mapper_(&mapper),
       profile_(&profile),
@@ -255,6 +281,11 @@ void IncrementalSplit::move(ir::BlockId block) {
   moved_.set(b);
   pos_[b] = static_cast<std::int32_t>(order_.size());
   order_.push_back(block);
+  if (cost_model_ != nullptr) {
+    reconfig_sum_ +=
+        reconfig_load_[b] * std::max<std::int64_t>(1, iters_[b]);
+    reprice_reconfig();
+  }
 }
 
 void IncrementalSplit::unmove(ir::BlockId block) {
@@ -281,6 +312,37 @@ void IncrementalSplit::unmove(ir::BlockId block) {
   order_.pop_back();
   pos_[b] = -1;
   moved_.clear(b);
+  if (cost_model_ != nullptr) {
+    reconfig_sum_ -=
+        reconfig_load_[b] * std::max<std::int64_t>(1, iters_[b]);
+    reprice_reconfig();
+  }
+}
+
+void IncrementalSplit::reprice_reconfig() {
+  // The per-block load*iterations sum is maintained incrementally; only
+  // the residency discount couples blocks, so this exact-window
+  // repricing re-selects the top-R savings over the moved set. The
+  // discount SUM is order-independent (ties contribute the same value
+  // whichever block wins the region), so the result matches
+  // CostModel::reconfig_cycles whatever the move history.
+  reconfig_scratch_.clear();
+  for (const ir::BlockId block : order_) {
+    reconfig_scratch_.push_back(
+        reconfig_saving_[static_cast<std::size_t>(block)]);
+  }
+  const std::size_t resident = std::min<std::size_t>(
+      reconfig_scratch_.size(),
+      static_cast<std::size_t>(cost_model_->resident_regions()));
+  std::partial_sort(
+      reconfig_scratch_.begin(),
+      reconfig_scratch_.begin() + static_cast<std::ptrdiff_t>(resident),
+      reconfig_scratch_.end(), std::greater<std::int64_t>());
+  std::int64_t discount = 0;
+  for (std::size_t i = 0; i < resident; ++i) {
+    discount += reconfig_scratch_[i];
+  }
+  cost_.t_reconfig = reconfig_sum_ - discount;
 }
 
 }  // namespace amdrel::core

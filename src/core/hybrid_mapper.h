@@ -15,13 +15,22 @@
 
 namespace amdrel::core {
 
+class CostModel;
+
 /// Cost of one fine/coarse split of the application: the three terms of
-/// the paper's equation (2), all in FPGA clock cycles.
+/// the paper's equation (2), all in FPGA clock cycles, plus the
+/// configuration-load charge the reconfiguration-aware CostModel adds on
+/// top of the paper's additive pricing. t_reconfig is 0 under the
+/// additive model, so total() — and every golden derived from it — is
+/// unchanged when reconfiguration pricing is off.
 struct SplitCost {
   std::int64_t t_fpga = 0;
   std::int64_t t_coarse = 0;
   std::int64_t t_comm = 0;
-  std::int64_t total() const { return t_fpga + t_coarse + t_comm; }
+  std::int64_t t_reconfig = 0;
+  std::int64_t total() const {
+    return t_fpga + t_coarse + t_comm + t_reconfig;
+  }
 };
 
 /// Snapshot of a HybridMapper's computed mappings, detached from the
@@ -157,6 +166,20 @@ class IncrementalSplit {
   IncrementalSplit(HybridMapper& mapper, const ir::ProfileData& profile,
                    const CostObjective& objective);
 
+  /// Cost-model-aware split: additionally maintains cost().t_reconfig
+  /// under the given pricing model (nullptr or a non-reconfiguring model
+  /// is the additive fast path — no repricing work at all). The model
+  /// must outlive the split. The reconfiguration charge is NOT per-block
+  /// additive (region residency couples moved blocks), so each
+  /// move/unmove exactly reprices the charge over the moved-set window:
+  /// the per-block load*iterations sum stays incremental and only the
+  /// top-R residency discount is recomputed, O(|moved| log |moved|). A
+  /// property test pins the result against CostModel::reconfig_cycles'
+  /// from-scratch evaluation under random move/unmove churn.
+  IncrementalSplit(HybridMapper& mapper, const ir::ProfileData& profile,
+                   const CostObjective& objective,
+                   const CostModel* cost_model);
+
   const SplitCost& cost() const { return cost_; }
 
   /// Running energy of the split; all-zero unless energy tracking was
@@ -194,9 +217,14 @@ class IncrementalSplit {
  private:
   std::int64_t coarse_total_cycles(ir::BlockId block);
 
+  /// Recomputes the residency discount over the moved set and refreshes
+  /// cost_.t_reconfig. Only called when the model prices reconfiguration.
+  void reprice_reconfig();
+
   HybridMapper* mapper_;
   const ir::ProfileData* profile_;
   const CostObjective* objective_;  ///< never null (default: timing)
+  const CostModel* cost_model_ = nullptr;  ///< null = additive pricing
   SplitCost cost_;
   EnergyBreakdown energy_;
   std::vector<BlockEnergy> block_energy_;  ///< per block; empty when untracked
@@ -206,6 +234,13 @@ class IncrementalSplit {
   std::vector<std::int64_t> fine_contrib_;  ///< equation (4) contribution
   std::vector<std::int64_t> comm_total_;    ///< comm cycles * iterations
   std::vector<std::int64_t> coarse_total_;  ///< memo; -1 = not yet priced
+
+  // Reconfiguration pricing tables, built only when cost_model_ prices
+  // reconfiguration (all empty on the additive fast path).
+  std::vector<std::int64_t> reconfig_load_;    ///< load cycles per block
+  std::vector<std::int64_t> reconfig_saving_;  ///< load * (iterations - 1)
+  std::int64_t reconfig_sum_ = 0;  ///< sum of load * iterations over moved
+  std::vector<std::int64_t> reconfig_scratch_;  ///< top-R selection buffer
 
   SmallBitset moved_;                 ///< membership, block-id indexed
   std::vector<std::int32_t> pos_;     ///< position in order_; -1 = fine

@@ -4,6 +4,7 @@
 #include <map>
 #include <random>
 
+#include "core/cost_model.h"
 #include "core/energy.h"
 #include "core/strategy.h"
 #include "support/error.h"
@@ -58,8 +59,8 @@ std::vector<PartitionReport> run_methodology_axis(
   // tracking) assume the combined scalarization is monotone in both
   // axes; a negative weight would make the suffix-gain bound
   // inadmissible and silently return non-optimal "optima".
-  require(options.objective.cycle_weight >= 0 &&
-              options.objective.energy_weight >= 0,
+  require(options.cost.objective.cycle_weight >= 0 &&
+              options.cost.objective.energy_weight >= 0,
           "run_methodology: combined-objective weights must be >= 0");
 
   std::vector<PartitionReport> reports(cells.size());
@@ -71,7 +72,7 @@ std::vector<PartitionReport> run_methodology_axis(
   // runs. Cells the all-fine solution already satisfies exit here.
   const std::int64_t initial_cycles = mapper.all_fine_cycles(profile);
   const EnergyBreakdown initial_energy =
-      estimate_energy(mapper, profile, {}, options.objective.energy);
+      estimate_energy(mapper, profile, {}, options.cost.objective.energy);
   const double initial_pj = initial_energy.total_pj();
 
   std::vector<std::size_t> open;
@@ -79,14 +80,14 @@ std::vector<PartitionReport> run_methodology_axis(
     PartitionReport& report = reports[c];
     report.app = mapper.cdfg().name();
     report.timing_constraint = cells[c].timing_constraint;
-    report.objective = options.objective.kind;
+    report.objective = options.cost.objective.kind;
     report.energy_budget_pj = cells[c].energy_budget_pj;
     report.initial_cycles = initial_cycles;
     report.energy = initial_energy;
     report.initial_energy_pj = initial_pj;
     report.final_cycles = initial_cycles;
     report.cost.t_fpga = initial_cycles;
-    if (options.objective.met(initial_cycles, initial_pj,
+    if (options.cost.objective.met(initial_cycles, initial_pj,
                               cells[c].timing_constraint,
                               cells[c].energy_budget_pj)) {
       report.initial_meets = true;
@@ -119,12 +120,16 @@ std::vector<PartitionReport> run_methodology_axis(
   // split, so the (deterministic) repricing is memoized on the moved
   // set.
   std::map<std::vector<ir::BlockId>, EnergyBreakdown> energy_memo;
+  const std::unique_ptr<CostModel> cost_model =
+      make_cost_model(options.cost, mapper.platform());
   for (std::size_t j = 0; j < open.size(); ++j) {
     PartitionReport& report = reports[open[j]];
     const StrategyResult& result = results[j];
     report.kernels = kernels;
     report.moved = result.moved;
     report.cost = result.cost;
+    report.floorplan_cost =
+        cost_model->floorplan_cost(CostModel::moved_units(mapper, report.moved));
     report.final_cycles = result.cost.total();
     report.cycles_in_cgc = result.cost.t_coarse;
     auto memo = energy_memo.find(report.moved);
@@ -132,11 +137,11 @@ std::vector<PartitionReport> run_methodology_axis(
       memo = energy_memo
                  .emplace(report.moved,
                           estimate_energy(mapper, profile, report.moved,
-                                          options.objective.energy))
+                                          options.cost.objective.energy))
                  .first;
     }
     report.energy = memo->second;
-    report.met = options.objective.met(report.final_cycles,
+    report.met = options.cost.objective.met(report.final_cycles,
                                        report.energy.total_pj(),
                                        report.timing_constraint,
                                        report.energy_budget_pj);
@@ -150,7 +155,7 @@ PartitionReport run_methodology(HybridMapper& mapper,
                                 std::int64_t timing_constraint_cycles,
                                 const MethodologyOptions& options) {
   const std::vector<AxisCell> cells = {
-      {timing_constraint_cycles, options.energy_budget_pj}};
+      {timing_constraint_cycles, options.cost.energy_budget_pj}};
   return std::move(run_methodology_axis(mapper, profile, cells, options)[0]);
 }
 

@@ -10,6 +10,7 @@
 #include "ir/cdfg.h"
 #include "ir/profile.h"
 #include "platform/platform.h"
+#include "platform/reconfig_model.h"
 
 namespace amdrel::core {
 
@@ -31,10 +32,12 @@ enum class StrategyKind {
   kAnnealing,    ///< seeded simulated annealing for large kernel sets
 };
 
-struct MethodologyOptions {
-  analysis::AnalysisOptions analysis;
-  StrategyKind strategy = StrategyKind::kGreedyPaper;
-  KernelOrdering ordering = KernelOrdering::kWeightDescending;
+/// Everything that defines WHAT a run optimizes and how movements are
+/// priced, grouped so run_methodology, explore, the sweep specs and the
+/// fingerprints all consume one struct instead of re-plumbing each knob
+/// (the flag sprawl this replaces). A fourth pricing surface — the
+/// reconfiguration model — lands here rather than as loose fields.
+struct ObjectiveSpec {
   /// What the selected strategy minimizes and which constraint(s) `met`
   /// checks: the paper's timing flow, the energy variant, or a weighted
   /// combination (see core/objective.h). Also carries the EnergyModel
@@ -43,6 +46,20 @@ struct MethodologyOptions {
   /// Energy budget in pJ, the energy-side analogue of the
   /// timing_constraint parameter; consulted by kEnergy/kCombined.
   double energy_budget_pj = 0;
+  /// Partial-reconfiguration pricing for moved modules (load latency,
+  /// prefetch overlap, region residency, floorplan cost). All-zero
+  /// defaults reproduce the additive v2 flow byte-for-byte; see
+  /// core/cost_model.h for the pricing interface it selects.
+  platform::ReconfigModel reconfig;
+};
+
+struct MethodologyOptions {
+  analysis::AnalysisOptions analysis;
+  StrategyKind strategy = StrategyKind::kGreedyPaper;
+  KernelOrdering ordering = KernelOrdering::kWeightDescending;
+  /// Objective, budget and pricing model, consumed uniformly by every
+  /// entry point (run_methodology, explore, sweeps, fingerprints).
+  ObjectiveSpec cost;
   std::uint64_t random_seed = 1;
   /// Stop as soon as the constraint is met (the paper's behaviour).
   /// When false, greedy keeps moving every candidate and annealing runs
@@ -79,12 +96,17 @@ struct PartitionReport {
   SplitCost cost;              ///< final t_FPGA / t_coarse / t_comm
   std::int64_t final_cycles = 0;
   std::int64_t cycles_in_cgc = 0;  ///< t_coarse (the tables' "Cycles in CGC")
-  /// Energy of the final split under options.objective.energy, priced by
+  /// Energy of the final split under options.cost.objective.energy, priced by
   /// a deterministic full repricing (estimate_energy) whatever the
   /// objective — every report carries energy columns, so sweeps can
   /// Pareto-front on energy even for timing-driven runs.
   EnergyBreakdown energy;
-  bool met = false;            ///< options.objective.met(...) on the final split
+  /// Area-equivalent floorplan charge for the PR regions the moved
+  /// modules occupy (options.cost.reconfig.floorplan_cost_per_unit ×
+  /// moved units). Reported next to platform_cost — the sweep's Pareto
+  /// platform-cost axis adds it — never folded into the cycle objective.
+  double floorplan_cost = 0;
+  bool met = false;       ///< options.cost.objective.met(...) on the final split
   int engine_iterations = 0;
 
   double reduction_percent() const {
@@ -102,7 +124,7 @@ struct PartitionReport {
 
 /// One (timing constraint, energy budget) cell of a batched constraint
 /// axis (see run_methodology_axis / PartitionStrategy::run_axis).
-/// options.energy_budget_pj is ignored on the axis path — each cell
+/// options.cost.energy_budget_pj is ignored on the axis path — each cell
 /// carries its own budget.
 struct AxisCell {
   std::int64_t timing_constraint = 0;

@@ -84,10 +84,23 @@ std::string describe(const PartitionReport& report, const ir::Cdfg& cdfg) {
       os << " " << cdfg.block(block).name;
     }
     os << "\n";
+    // The reconfiguration term appears only when a cost model priced it:
+    // the additive model's reports — and every pre-v3 golden — keep the
+    // exact three-term breakdown byte-for-byte.
     os << "final: " << with_thousands(report.final_cycles)
        << " cycles  (t_FPGA " << with_thousands(report.cost.t_fpga)
        << " + t_coarse " << with_thousands(report.cost.t_coarse)
-       << " + t_comm " << with_thousands(report.cost.t_comm) << ")\n";
+       << " + t_comm " << with_thousands(report.cost.t_comm);
+    if (report.cost.t_reconfig != 0) {
+      os << " + t_reconfig " << with_thousands(report.cost.t_reconfig);
+    }
+    os << ")\n";
+    if (report.floorplan_cost != 0) {
+      char floorplan[64];
+      std::snprintf(floorplan, sizeof floorplan, "%.4f",
+                    report.floorplan_cost);
+      os << "floorplan cost: " << floorplan << "\n";
+    }
     os << "cycle reduction: ";
     os.precision(3);
     os << report.reduction_percent() << "%\n";

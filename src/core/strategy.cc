@@ -4,6 +4,7 @@
 #include <cmath>
 #include <random>
 
+#include "core/cost_model.h"
 #include "support/bitset.h"
 #include "support/error.h"
 
@@ -15,7 +16,7 @@ std::vector<StrategyResult> PartitionStrategy::run_axis(
   results.reserve(ctx.cells.size());
   for (const AxisCell& cell : ctx.cells) {
     MethodologyOptions options = ctx.options;
-    options.energy_budget_pj = cell.energy_budget_pj;
+    options.cost.energy_budget_pj = cell.energy_budget_pj;
     results.push_back(run({ctx.mapper, ctx.profile, cell.timing_constraint,
                            options, ctx.kernels}));
   }
@@ -28,7 +29,7 @@ namespace {
 /// walks consume; the greedy and annealing run() entry points delegate
 /// through this so the single-cell and batched paths are one code path.
 std::vector<AxisCell> single_cell(const StrategyContext& ctx) {
-  return {{ctx.timing_constraint, ctx.options.energy_budget_pj}};
+  return {{ctx.timing_constraint, ctx.options.cost.energy_budget_pj}};
 }
 
 }  // namespace
@@ -43,7 +44,10 @@ std::vector<StrategyResult> GreedyPaperStrategy::run_axis(
     const AxisContext& ctx) {
   const std::size_t cells = ctx.cells.size();
   std::vector<StrategyResult> results(cells);
-  IncrementalSplit split(ctx.mapper, ctx.profile, ctx.options.objective);
+  const std::unique_ptr<CostModel> cost_model =
+      make_cost_model(ctx.options.cost, ctx.mapper.platform());
+  IncrementalSplit split(ctx.mapper, ctx.profile, ctx.options.cost.objective,
+                         cost_model.get());
   // Objective values of pure-timing splits are integer cycle counts held
   // exactly in a double, so these comparisons replicate the original
   // int64 ones bit-for-bit.
@@ -83,7 +87,7 @@ std::vector<StrategyResult> GreedyPaperStrategy::run_axis(
       const double energy_pj = split.energy().total_pj();
       for (std::size_t c = 0; c < cells; ++c) {
         if (resolved[c]) continue;
-        if (!ctx.options.objective.met(cycles, energy_pj,
+        if (!ctx.options.cost.objective.met(cycles, energy_pj,
                                        ctx.cells[c].timing_constraint,
                                        ctx.cells[c].energy_budget_pj)) {
           continue;
@@ -112,11 +116,14 @@ std::vector<StrategyResult> GreedyPaperStrategy::run_axis(
 
 StrategyResult ExhaustiveStrategy::run(const StrategyContext& ctx) {
   StrategyResult result;
-  const CostObjective& objective = ctx.options.objective;
-  IncrementalSplit split(ctx.mapper, ctx.profile, objective);
+  const CostObjective& objective = ctx.options.cost.objective;
+  const std::unique_ptr<CostModel> cost_model =
+      make_cost_model(ctx.options.cost, ctx.mapper.platform());
+  IncrementalSplit split(ctx.mapper, ctx.profile, objective,
+                         cost_model.get());
   const double root_value = split.objective_value();
   const auto split_met = [&](const IncrementalSplit& s) {
-    return s.meets(ctx.timing_constraint, ctx.options.energy_budget_pj);
+    return s.meets(ctx.timing_constraint, ctx.options.cost.energy_budget_pj);
   };
 
   // Candidates: the first eligible kernels in the analysis order (capped),
@@ -154,9 +161,30 @@ StrategyResult ExhaustiveStrategy::run(const StrategyContext& ctx) {
   const std::size_t n = candidates.size();
   // suffix_*[i]: the best possible further reduction from position i on
   // (sum of the remaining negative deltas, per axis) — the admissible
-  // bound. Per-block additivity of every cost term is what makes these
-  // sums a true lower bound; see the combined-objective caveat on
-  // run_methodology.
+  // bound.
+  //
+  // Admissibility under the reconfiguration-aware CostModel (which is
+  // deliberately NOT per-block additive): write the cycle cost of a
+  // moved set M as C(M) = A(M) + E(M), where A(M) = base + sum over M of
+  // (additive cycle delta + load(b)) and the residency excess
+  // E(M) = sum_{b in M} saving(b) - topR_savings(M) >= 0 with
+  // saving(b) = load(b) * (iterations(b) - 1). The root-measured deltas
+  // above are exactly A's per-block terms: a single moved block is
+  // always resident (R >= 1), so its measured t_reconfig is load(b)
+  // alone, i.e. E({b}) = 0. E is monotone nondecreasing under set
+  // inclusion — adding block x raises total savings by saving(x) while
+  // the top-R sum rises by AT MOST saving(x) (any R-subset of M+{x}
+  // either avoids x, so it was available in M, or swaps x in for one
+  // block) — hence for any extension T of the current subset S:
+  //   C(S+T) = A(S) + sum_{j in T} a_j + E(S+T)
+  //         >= A(S) + E(S) + sum_{j in T} a_j
+  //          = C(S) + sum_{j in T} a_j
+  //         >= C(S) + (sum of the NEGATIVE remaining deltas).
+  // The same argument scales through non-negative objective weights
+  // (run_methodology requires them) for the value axis, and the energy
+  // axis carries no reconfiguration charge at all, so all three suffix
+  // sums below stay true lower bounds. The small-N brute-force property
+  // test pins this optimality under nonzero reconfiguration latency.
   std::vector<double> suffix_value(n + 1, 0.0);
   std::vector<std::int64_t> suffix_cycles(n + 1, 0);
   std::vector<double> suffix_energy(n + 1, 0.0);
@@ -213,7 +241,7 @@ StrategyResult ExhaustiveStrategy::run(const StrategyContext& ctx) {
     const bool can_improve_met =
         objective.met(split.cost().total() + suffix_cycles[i],
                       split.energy().total_pj() + suffix_energy[i],
-                      ctx.timing_constraint, ctx.options.energy_budget_pj) &&
+                      ctx.timing_constraint, ctx.options.cost.energy_budget_pj) &&
         (!met_found || split.moved_count() + 1 <= met_moves);
     if (!can_improve_any && !can_improve_met) return;
 
@@ -252,7 +280,10 @@ std::vector<StrategyResult> AnnealingStrategy::run_axis(
     const AxisContext& ctx) {
   const std::size_t cells = ctx.cells.size();
   std::vector<StrategyResult> results(cells);
-  IncrementalSplit split(ctx.mapper, ctx.profile, ctx.options.objective);
+  const std::unique_ptr<CostModel> cost_model =
+      make_cost_model(ctx.options.cost, ctx.mapper.platform());
+  IncrementalSplit split(ctx.mapper, ctx.profile, ctx.options.cost.objective,
+                         cost_model.get());
 
   std::vector<ir::BlockId> candidates;
   for (const analysis::KernelInfo& kernel : ctx.kernels) {
@@ -290,7 +321,7 @@ std::vector<StrategyResult> AnnealingStrategy::run_axis(
   // AcceptanceRateIsObjectiveScaleFree test pins the resulting rates
   // to one band.
   const bool normalized =
-      ctx.options.objective.kind != ObjectiveKind::kTiming;
+      ctx.options.cost.objective.kind != ObjectiveKind::kTiming;
   const double scale = normalized ? std::max(1.0, best_value) : 1.0;
   const double floor_temp = normalized ? 1e-8 : 1.0;
   double temperature =
@@ -353,7 +384,7 @@ std::vector<StrategyResult> AnnealingStrategy::run_axis(
           // takes the current split instead. The shared best itself is
           // never touched: later cells see the same walk state a
           // standalone run would.
-          const bool best_meets = ctx.options.objective.met(
+          const bool best_meets = ctx.options.cost.objective.met(
               best_cost.total(), best_energy, cell.timing_constraint,
               cell.energy_budget_pj);
           StrategyResult& result = results[c];

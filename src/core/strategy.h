@@ -13,8 +13,8 @@ namespace amdrel::core {
 /// the (cdfg, platform) mapper, the profile, the constraint, the run
 /// options and the ordered kernel candidates from the analysis step.
 /// The cost objective (timing cycles, energy pJ, or a weighted
-/// combination) and the energy budget ride in options.objective /
-/// options.energy_budget_pj — strategies minimize
+/// combination) and the energy budget ride in options.cost.objective /
+/// options.cost.energy_budget_pj — strategies minimize
 /// IncrementalSplit::objective_value() and stop on the objective's met()
 /// test, so all three searches serve all three objectives.
 struct StrategyContext {
@@ -30,7 +30,7 @@ struct StrategyContext {
 
 /// A whole constraint axis sharing one (mapper, profile, options,
 /// kernels) walk: the cells differ only in their stop/acceptance limits.
-/// options.energy_budget_pj is ignored — each cell carries its own
+/// options.cost.energy_budget_pj is ignored — each cell carries its own
 /// budget.
 struct AxisContext {
   HybridMapper& mapper;

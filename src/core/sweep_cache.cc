@@ -66,6 +66,8 @@ void write_cell_payload(std::ostream& os, const PartitionReport& r,
   os << "],\"t_fpga\":" << r.cost.t_fpga << ","
      << "\"t_coarse\":" << r.cost.t_coarse << ","
      << "\"t_comm\":" << r.cost.t_comm << ","
+     << "\"t_reconfig\":" << r.cost.t_reconfig << ","
+     << "\"floorplan_bits\":" << double_to_bits(r.floorplan_cost) << ","
      << "\"final_cycles\":" << r.final_cycles << ","
      << "\"cycles_in_cgc\":" << r.cycles_in_cgc << ","
      << "\"energy_bits\":[" << double_to_bits(r.energy.fine_pj) << ","
@@ -82,6 +84,7 @@ bool read_cell_payload(const JsonValue& object, CachedCell& cell) {
   std::int64_t objective = 0;
   std::int64_t budget_bits = 0;
   std::int64_t initial_energy_bits = 0;
+  std::int64_t floorplan_bits = 0;
   if (!get_string(object, "app", r.app) ||
       !get_int(object, "constraint", r.timing_constraint) ||
       !get_int(object, "objective", objective) ||
@@ -92,6 +95,8 @@ bool read_cell_payload(const JsonValue& object, CachedCell& cell) {
       !get_int(object, "t_fpga", r.cost.t_fpga) ||
       !get_int(object, "t_coarse", r.cost.t_coarse) ||
       !get_int(object, "t_comm", r.cost.t_comm) ||
+      !get_int(object, "t_reconfig", r.cost.t_reconfig) ||
+      !get_int(object, "floorplan_bits", floorplan_bits) ||
       !get_int(object, "final_cycles", r.final_cycles) ||
       !get_int(object, "cycles_in_cgc", r.cycles_in_cgc) ||
       !get_bool(object, "met", r.met) ||
@@ -99,6 +104,7 @@ bool read_cell_payload(const JsonValue& object, CachedCell& cell) {
     return false;
   }
   r.engine_iterations = static_cast<int>(iterations);
+  r.floorplan_cost = bits_to_double(floorplan_bits);
   if (objective < 0 ||
       objective > static_cast<int>(ObjectiveKind::kCombined)) {
     return false;

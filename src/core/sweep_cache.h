@@ -14,26 +14,30 @@
 #include "core/hybrid_mapper.h"
 #include "core/json_lines.h"
 #include "core/methodology.h"
+#include "core/schema.h"
 
 namespace amdrel::core {
 
-/// Version of the on-disk cache schema (the JSON-lines layout written by
-/// SweepCache::save). Bump on any change to the field set or meaning;
-/// load() rejects files written with a different version (or a different
-/// kFingerprintAlgorithmVersion) and the caller starts cold — a stale
-/// cache must never produce results a fresh run would not.
-/// v2: cell lines carry the cost objective and energy results. Energy
-/// doubles are stored as IEEE-754 bit patterns (signed 64-bit integers),
-/// not decimal text, so a cache hit returns bit-identical values and the
-/// warm-vs-cold byte-identity contract extends to the energy columns.
-/// v3: HybridMapper snapshots persist as "mapper" lines (a disk-warm
-/// worker with NEW constraints restores the fine-grain mapping instead of
-/// rebuilding it); the header carries a monotonically increasing
-/// "generation" counter and every entry a "gen" stamp of the last save
-/// that touched it, which drive the size-capped eviction policy in
-/// save(). Both fields default to 0 when absent, so hand-rolled v3 test
-/// fixtures without them still parse.
-inline constexpr int kSweepCacheSchemaVersion = 3;
+// The on-disk cache schema version (kSweepCacheSchemaVersion) lives with
+// every other persisted-format constant in core/schema.h. Bump on any
+// change to the field set or meaning of the JSON-lines layout written by
+// SweepCache::save; load() rejects files written with a different
+// version (or a different kFingerprintAlgorithmVersion) and the caller
+// starts cold — a stale cache must never produce results a fresh run
+// would not.
+// v2: cell lines carry the cost objective and energy results. Energy
+// doubles are stored as IEEE-754 bit patterns (signed 64-bit integers),
+// not decimal text, so a cache hit returns bit-identical values and the
+// warm-vs-cold byte-identity contract extends to the energy columns.
+// v3: HybridMapper snapshots persist as "mapper" lines (a disk-warm
+// worker with NEW constraints restores the fine-grain mapping instead of
+// rebuilding it); the header carries a monotonically increasing
+// "generation" counter and every entry a "gen" stamp of the last save
+// that touched it, which drive the size-capped eviction policy in
+// save(). Both fields default to 0 when absent, so hand-rolled v3 test
+// fixtures without them still parse.
+// v4: cell lines carry the reconfiguration columns (t_reconfig cycles
+// and the floorplan cost's IEEE-754 bit pattern).
 
 /// One memoized sweep cell: everything sweep_design_space /
 /// explore_design_space derive per (app, platform, options, constraint)

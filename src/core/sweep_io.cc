@@ -90,6 +90,9 @@ std::string sweep_to_json(const SweepSummary& summary) {
        << "\"t_fpga\": " << cell.report.cost.t_fpga << ", "
        << "\"t_coarse\": " << cell.report.cost.t_coarse << ", "
        << "\"t_comm\": " << cell.report.cost.t_comm << ", "
+       << "\"reconfig_cycles\": " << cell.report.cost.t_reconfig << ", "
+       << "\"floorplan_cost\": " << format_energy(cell.report.floorplan_cost)
+       << ", "
        << "\"initial_energy_pj\": "
        << format_energy(cell.report.initial_energy_pj) << ", "
        << "\"energy_pj\": " << format_energy(cell.report.energy.total_pj())
@@ -131,6 +134,7 @@ std::string sweep_to_csv(const SweepSummary& summary) {
   os << "app,a_fpga,cgcs,platform_cost,constraint,strategy,ordering,"
         "objective,energy_budget_pj,"
         "initial_cycles,final_cycles,cycles_in_cgc,t_fpga,t_coarse,t_comm,"
+        "reconfig_cycles,floorplan_cost,"
         "initial_energy_pj,energy_pj,"
         "moved,moved_blocks,met,reduction_percent,energy_reduction_percent,"
         "engine_iterations,app_pareto,global_pareto\n";
@@ -151,6 +155,8 @@ std::string sweep_to_csv(const SweepSummary& summary) {
        << cell.report.initial_cycles << ',' << cell.report.final_cycles << ','
        << cell.report.cycles_in_cgc << ',' << cell.report.cost.t_fpga << ','
        << cell.report.cost.t_coarse << ',' << cell.report.cost.t_comm << ','
+       << cell.report.cost.t_reconfig << ','
+       << format_energy(cell.report.floorplan_cost) << ','
        << format_energy(cell.report.initial_energy_pj) << ','
        << format_energy(cell.report.energy.total_pj()) << ','
        << cell.report.moved.size() << ',' << blocks << ','

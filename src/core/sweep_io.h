@@ -3,23 +3,21 @@
 #include <string>
 
 #include "core/explorer.h"
+#include "core/schema.h"
 #include "core/sweep_cache.h"
 
 namespace amdrel::core {
 
-/// Version of the machine-readable sweep schema. Bump on any change to
-/// the field set, field meaning, or formatting of sweep_to_json /
-/// sweep_to_csv — the golden tests pin the emissions byte-for-byte, so a
-/// format change must be an explicit, reviewed event.
-/// v2: cells carry the cost objective and energy columns (objective,
-/// energy_budget_pj, initial_energy_pj, energy_pj,
-/// energy_reduction_percent) and Pareto fronts include the energy axis.
-inline constexpr int kSweepSchemaVersion = 2;
+// The artifact schema version (kSweepSchemaVersion) lives with every
+// other persisted-format constant in core/schema.h. Bump on any change
+// to the field set, field meaning, or formatting of sweep_to_json /
+// sweep_to_csv — the golden tests pin the emissions byte-for-byte, so a
+// format change must be an explicit, reviewed event.
 
 /// Serializes a sweep as a stable-schema JSON document:
 ///
 ///   {
-///     "schema_version": 2,
+///     "schema_version": 3,
 ///     "generator": "amdrel",
 ///     "apps": ["ofdm", ...],
 ///     "cells": [ { "app": "ofdm", "a_fpga": 1500, "cgcs": 2,
@@ -28,7 +26,9 @@ inline constexpr int kSweepSchemaVersion = 2;
 ///                  "objective": "timing", "energy_budget_pj": 0.0000,
 ///                  "initial_cycles": N, "final_cycles": N,
 ///                  "cycles_in_cgc": N, "t_fpga": N, "t_coarse": N,
-///                  "t_comm": N, "initial_energy_pj": 202988452.0000,
+///                  "t_comm": N, "reconfig_cycles": N,
+///                  "floorplan_cost": 0.0000,
+///                  "initial_energy_pj": 202988452.0000,
 ///                  "energy_pj": 942580.0000, "moved": N,
 ///                  "moved_blocks": ["BB22", ...],
 ///                  "met": true, "reduction_percent": "46.10",

@@ -158,7 +158,7 @@ void consume_worker_stream(std::istream& in,
 
   const std::vector<double> budgets =
       spec.energy_budgets.empty()
-          ? std::vector<double>{spec.base.energy_budget_pj}
+          ? std::vector<double>{spec.base.cost.energy_budget_pj}
           : spec.energy_budgets;
   const std::size_t budget_count = budgets.size();
   const std::size_t strategy_count = spec.strategies.size();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/explorer.h"
+#include "core/schema.h"
 
 namespace amdrel::core {
 
@@ -27,7 +28,7 @@ namespace amdrel::core {
 //
 // Wire format (one JSON object per line; doubles travel as IEEE-754 bit
 // patterns inside the canonical cell payload of core/sweep_cache.h):
-//   {"kind":"wire_header","protocol":1,"schema_version":...,
+//   {"kind":"wire_header","protocol":<wire version>,"schema_version":...,
 //    "fingerprint_algorithm":...,"shards":N}
 //   {"kind":"shard","shard":S,"used":U}     // one per assigned shard,
 //   {"kind":"cell","shard":S,"slot":I,...}  //   then its U cells,
@@ -44,10 +45,11 @@ namespace amdrel::core {
 // artifact exactly or it fails loudly; there is no partial output.
 // ---------------------------------------------------------------------------
 
-/// Version of the coordinator<->worker wire protocol. Bumped on any
-/// change to the line kinds or field sets; the coordinator rejects a
-/// worker speaking a different version.
-inline constexpr int kSweepWireProtocolVersion = 1;
+// The coordinator<->worker wire protocol version
+// (kSweepWireProtocolVersion) lives with every other persisted-format
+// constant in core/schema.h. Bumped on any change to the line kinds or
+// field sets; the coordinator rejects a worker speaking a different
+// version.
 
 /// Round-robin partition of shards 0..shard_count-1 across `workers`
 /// slots: shard s goes to slot s % workers. Deterministic and balanced

@@ -1,6 +1,27 @@
 #include "platform/platform.h"
 
+#include <cmath>
+
+#include "support/error.h"
+
 namespace amdrel::platform {
+
+void validate_platform(const Platform& platform) {
+  require(platform.cgc.fpga_clock_ratio >= 1,
+          "platform: cgc.fpga_clock_ratio must be >= 1 (division hazard in "
+          "cgc_to_fpga_cycles)");
+  require(platform.cgc.count >= 1, "platform: cgc.count must be >= 1");
+  require(platform.cgc.rows >= 1 && platform.cgc.cols >= 1,
+          "platform: CGC geometry (rows, cols) must be >= 1");
+  require(platform.cgc.mem_ports >= 0,
+          "platform: cgc.mem_ports must be >= 0");
+  require(std::isfinite(platform.fpga.usable_area) &&
+              platform.fpga.usable_area > 0,
+          "platform: fpga.usable_area must be positive and finite");
+  require(platform.memory.transfer_cycles_per_word >= 0 &&
+              platform.memory.partition_boundary_cycles_per_word >= 0,
+          "platform: memory latencies must be >= 0");
+}
 
 Platform make_paper_platform(double a_fpga, int cgc_count) {
   Platform p;
@@ -9,10 +30,12 @@ Platform make_paper_platform(double a_fpga, int cgc_count) {
   p.cgc.rows = 2;
   p.cgc.cols = 2;
   p.cgc.fpga_clock_ratio = 3;
+  validate_platform(p);
   return p;
 }
 
 double platform_cost(const Platform& platform) {
+  validate_platform(platform);
   const double per_node = platform.fpga.area_mul + platform.fpga.area_alu;
   const double nodes =
       static_cast<double>(platform.cgc.count) * platform.cgc.rows *

@@ -26,6 +26,15 @@ struct Platform {
   }
 };
 
+/// Rejects a Platform whose fields would silently corrupt every number
+/// priced against it: cgc.fpga_clock_ratio == 0 divides by zero in
+/// cgc_to_fpga_cycles above, a non-positive CGC geometry schedules on an
+/// empty grid, and a non-finite or non-positive usable area breaks the
+/// fine-grain area model. Called by make_paper_platform, platform_cost
+/// and the HybridMapper constructor, so a hand-built Platform cannot
+/// reach a pricing path unvalidated. Throws Error on violation.
+void validate_platform(const Platform& platform);
+
 /// The platform configuration used throughout the paper's experiments:
 /// A_FPGA units of usable fine-grain area and `cgc_count` 2x2 CGCs, with
 /// T_FPGA = 3 T_CGC. Remaining knobs take the calibrated defaults

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace amdrel::platform {
+
+/// Partial-reconfiguration pricing for moved modules, ICAP-style: a
+/// coarse-grain configuration is loaded through a single configuration
+/// port at a fixed throughput, so the load latency of a module scales
+/// with its bitstream size, which in turn scales with the region (op
+/// count) it occupies. The paper's flow prices configuration loading at
+/// zero; this model adds
+///
+///   - per-module load latency: ceil(units * bitstream_cycles_per_unit
+///     * (1 - prefetch_overlap)) FPGA cycles, where `units` is the
+///     module's node count (the area proxy the engine already tracks);
+///   - configuration prefetch: the fraction of each load hidden behind
+///     useful work (0 = blocking ICAP load, 0.9 = a prefetcher that
+///     overlaps 90% of the transfer);
+///   - region residency: the platform holds `regions` reconfigurable
+///     regions (0 = one per CGC). A module resident in a region is
+///     loaded once; every other moved module pays its load on each of
+///     its `iterations` invocations (the configuration is evicted and
+///     re-streamed between runs);
+///   - floorplan cost: a per-unit area charge for the PR regions the
+///     moved modules occupy, reported next to platform_cost rather than
+///     added to the cycle objective.
+///
+/// All-zero defaults price exactly like the additive v2 model — that
+/// identity is the migration gate for the CostModel redesign.
+struct ReconfigModel {
+  /// ICAP throughput reciprocal: FPGA cycles to stream one unit (one op
+  /// node) of configuration. 0 disables reconfiguration pricing.
+  double bitstream_cycles_per_unit = 0;
+
+  /// Fraction of each load hidden by configuration prefetching, in
+  /// [0, 1). Applied multiplicatively to the load latency.
+  double prefetch_overlap = 0;
+
+  /// Area-equivalent floorplan charge per unit of moved module, added to
+  /// the platform-cost Pareto axis (never to the cycle objective).
+  double floorplan_cost_per_unit = 0;
+
+  /// Number of reconfigurable regions that can keep a configuration
+  /// resident across invocations. 0 means "one per CGC" (resolved
+  /// against the platform's cgc.count at pricing time).
+  int regions = 0;
+
+  /// Whether this model prices anything beyond the additive v2 flow.
+  bool enabled() const {
+    return bitstream_cycles_per_unit > 0 || floorplan_cost_per_unit > 0;
+  }
+
+  /// Load latency in FPGA cycles for a module of `units` op nodes.
+  std::int64_t load_cycles(std::int64_t units) const {
+    if (bitstream_cycles_per_unit <= 0) return 0;
+    const double raw = static_cast<double>(units) *
+                       bitstream_cycles_per_unit *
+                       (1.0 - prefetch_overlap);
+    return static_cast<std::int64_t>(std::ceil(raw));
+  }
+};
+
+}  // namespace amdrel::platform

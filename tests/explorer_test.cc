@@ -136,7 +136,7 @@ TEST(ExplorerTest, EnergyBudgetAxisExpandsGrid) {
   spec.energy_budgets = {1.0e6, 7.0e5};
   spec.strategies = {StrategyKind::kGreedyPaper};
   spec.orderings = {KernelOrdering::kWeightDescending};
-  spec.base.objective.kind = ObjectiveKind::kEnergy;
+  spec.base.cost.objective.kind = ObjectiveKind::kEnergy;
   const auto summary = explore_design_space(app.cdfg, app.profile, p, spec);
   ASSERT_EQ(summary.points.size(), 2u);
   EXPECT_EQ(summary.points[0].energy_budget_pj, 1.0e6);

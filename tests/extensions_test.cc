@@ -217,13 +217,13 @@ TEST(CombinedObjectiveTest, MetRequiresBothConstraints) {
       estimate_energy(mapper, app.profile, {}).total_pj();
 
   MethodologyOptions options;
-  options.objective.kind = ObjectiveKind::kCombined;
-  options.energy_budget_pj = all_fine_pj * 0.006;
+  options.cost.objective.kind = ObjectiveKind::kCombined;
+  options.cost.energy_budget_pj = all_fine_pj * 0.006;
   const PartitionReport ok = run_methodology(
       mapper, app.profile, workloads::kOfdmTimingConstraint, options);
   EXPECT_TRUE(ok.met);
   EXPECT_LE(ok.final_cycles, workloads::kOfdmTimingConstraint);
-  EXPECT_LE(ok.energy.total_pj(), options.energy_budget_pj);
+  EXPECT_LE(ok.energy.total_pj(), options.cost.energy_budget_pj);
 
   // An unreachable timing constraint must fail the combined objective
   // even when the energy budget alone would be satisfied.
@@ -246,10 +246,10 @@ TEST(CombinedObjectiveTest, AnnealingEarlyStopReturnsAMeetingSplit) {
   for (std::uint64_t seed = 1; seed <= 12; ++seed) {
     MethodologyOptions options;
     options.strategy = StrategyKind::kAnnealing;
-    options.objective.kind = ObjectiveKind::kCombined;
-    options.objective.cycle_weight = 1.0;
-    options.objective.energy_weight = 0.0;
-    options.energy_budget_pj = 117.0e6;
+    options.cost.objective.kind = ObjectiveKind::kCombined;
+    options.cost.objective.cycle_weight = 1.0;
+    options.cost.objective.energy_weight = 0.0;
+    options.cost.energy_budget_pj = 117.0e6;
     options.random_seed = seed;
     const PartitionReport report = run_methodology(
         app.cdfg, app.profile, p,
@@ -258,7 +258,7 @@ TEST(CombinedObjectiveTest, AnnealingEarlyStopReturnsAMeetingSplit) {
       // The walk broke early, which only happens on a met() split.
       ++early_stops;
       EXPECT_TRUE(report.met) << "seed " << seed;
-      EXPECT_LE(report.energy.total_pj(), options.energy_budget_pj)
+      EXPECT_LE(report.energy.total_pj(), options.cost.energy_budget_pj)
           << "seed " << seed;
     }
   }
@@ -269,8 +269,8 @@ TEST(CombinedObjectiveTest, NegativeWeightsAreRejected) {
   const PaperApp app = build_ofdm_model();
   const auto p = platform::make_paper_platform(1500, 2);
   MethodologyOptions options;
-  options.objective.kind = ObjectiveKind::kCombined;
-  options.objective.energy_weight = -1.0;
+  options.cost.objective.kind = ObjectiveKind::kCombined;
+  options.cost.objective.energy_weight = -1.0;
   EXPECT_THROW(run_methodology(app.cdfg, app.profile, p,
                                workloads::kOfdmTimingConstraint, options),
                Error);

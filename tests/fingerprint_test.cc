@@ -239,31 +239,31 @@ TEST(FingerprintTest, OptionFieldsChangeDigest) {
   // objective kind, an energy price, a combined weight or the energy
   // budget must never alias the same cached cell.
   o = MethodologyOptions{};
-  o.objective.kind = ObjectiveKind::kEnergy;
+  o.cost.objective.kind = ObjectiveKind::kEnergy;
   EXPECT_TRUE(seen.insert(fingerprint(o)).second) << "objective kind";
 
   o = MethodologyOptions{};
-  o.objective.kind = ObjectiveKind::kCombined;
+  o.cost.objective.kind = ObjectiveKind::kCombined;
   EXPECT_TRUE(seen.insert(fingerprint(o)).second) << "combined kind";
 
   o = MethodologyOptions{};
-  o.objective.energy.cgc_mul_pj += 0.5;
+  o.cost.objective.energy.cgc_mul_pj += 0.5;
   EXPECT_TRUE(seen.insert(fingerprint(o)).second) << "energy model price";
 
   o = MethodologyOptions{};
-  o.objective.energy.reconfiguration_pj += 1.0;
+  o.cost.objective.energy.reconfiguration_pj += 1.0;
   EXPECT_TRUE(seen.insert(fingerprint(o)).second) << "reconfig price";
 
   o = MethodologyOptions{};
-  o.objective.energy_weight = 2.0;
+  o.cost.objective.energy_weight = 2.0;
   EXPECT_TRUE(seen.insert(fingerprint(o)).second) << "energy weight";
 
   o = MethodologyOptions{};
-  o.objective.cycle_weight = 0.5;
+  o.cost.objective.cycle_weight = 0.5;
   EXPECT_TRUE(seen.insert(fingerprint(o)).second) << "cycle weight";
 
   o = MethodologyOptions{};
-  o.energy_budget_pj = 1.0e6;
+  o.cost.energy_budget_pj = 1.0e6;
   EXPECT_TRUE(seen.insert(fingerprint(o)).second) << "energy budget";
 }
 

@@ -197,7 +197,7 @@ TEST_P(AxisProperty, BatchedAxisMatchesStandaloneRuns) {
       run_methodology_axis(mapper, app.profile, cells, options);
   ASSERT_EQ(axis.size(), cells.size());
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    options.energy_budget_pj = cells[c].energy_budget_pj;
+    options.cost.energy_budget_pj = cells[c].energy_budget_pj;
     const PartitionReport solo = run_methodology(
         mapper, app.profile, cells[c].timing_constraint, options);
     expect_report_eq(axis[c], solo,
@@ -214,12 +214,12 @@ TEST_P(AxisProperty, BatchedEnergyBudgetAxisMatchesStandaloneRuns) {
   MethodologyOptions options;
   options.strategy = all_strategies()[static_cast<std::size_t>(
       strategy_index)];
-  options.objective.kind = ObjectiveKind::kEnergy;
+  options.cost.objective.kind = ObjectiveKind::kEnergy;
   options.exhaustive_max_kernels = 10;
   options.anneal_iterations = 600;
 
   const double all_fine_pj =
-      estimate_energy(mapper, app.profile, {}, options.objective.energy)
+      estimate_energy(mapper, app.profile, {}, options.cost.objective.energy)
           .total_pj();
   std::vector<AxisCell> cells;
   for (const double fraction : {0.1, 0.4, 0.7, 0.9, 1.5}) {
@@ -230,7 +230,7 @@ TEST_P(AxisProperty, BatchedEnergyBudgetAxisMatchesStandaloneRuns) {
       run_methodology_axis(mapper, app.profile, cells, options);
   ASSERT_EQ(axis.size(), cells.size());
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    options.energy_budget_pj = cells[c].energy_budget_pj;
+    options.cost.energy_budget_pj = cells[c].energy_budget_pj;
     const PartitionReport solo = run_methodology(
         mapper, app.profile, cells[c].timing_constraint, options);
     expect_report_eq(axis[c], solo,

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "coarsegrain/cgc_scheduler.h"
+#include "core/hybrid_mapper.h"
+#include "support/error.h"
+#include "workloads/paper_models.h"
 
 namespace amdrel::platform {
 namespace {
@@ -61,6 +64,54 @@ TEST(PlatformTest, PaperPresetMatchesPaperGrid) {
   EXPECT_EQ(p.cgc.rows, 2);
   EXPECT_EQ(p.cgc.cols, 2);
   EXPECT_EQ(p.cgc.fpga_clock_ratio, 3);
+}
+
+// validate_platform guards every consumer entry point: a Platform with
+// cgc.fpga_clock_ratio == 0 used to flow silently into
+// cgc_to_fpga_cycles' division. All malformed shapes must fail loudly at
+// construction/pricing, never inside the arithmetic.
+TEST(PlatformValidationTest, RejectsZeroClockRatio) {
+  Platform p = make_paper_platform(1500, 2);
+  p.cgc.fpga_clock_ratio = 0;
+  EXPECT_THROW(validate_platform(p), Error);
+  EXPECT_THROW(platform_cost(p), Error);
+}
+
+TEST(PlatformValidationTest, RejectsMalformedShapes) {
+  {
+    Platform p = make_paper_platform(1500, 2);
+    p.cgc.count = 0;
+    EXPECT_THROW(platform_cost(p), Error);
+  }
+  {
+    Platform p = make_paper_platform(1500, 2);
+    p.cgc.rows = 0;
+    EXPECT_THROW(platform_cost(p), Error);
+  }
+  {
+    Platform p = make_paper_platform(1500, 2);
+    p.cgc.mem_ports = -1;
+    EXPECT_THROW(platform_cost(p), Error);
+  }
+  {
+    Platform p = make_paper_platform(1500, 2);
+    p.fpga.usable_area = 0;
+    EXPECT_THROW(platform_cost(p), Error);
+  }
+  {
+    Platform p = make_paper_platform(1500, 2);
+    p.memory.transfer_cycles_per_word = -1;
+    EXPECT_THROW(platform_cost(p), Error);
+  }
+  EXPECT_THROW(make_paper_platform(-100, 2), Error);
+  EXPECT_THROW(make_paper_platform(1500, 0), Error);
+}
+
+TEST(PlatformValidationTest, HybridMapperRejectsMalformedPlatforms) {
+  const auto app = workloads::build_ofdm_model();
+  Platform p = make_paper_platform(1500, 2);
+  p.cgc.fpga_clock_ratio = 0;
+  EXPECT_THROW(core::HybridMapper(app.cdfg, p), Error);
 }
 
 TEST(ChainingAblationTest, DisablingChainingSlowsDependentOps) {

@@ -1,0 +1,35 @@
+// Golden pin of every persisted-format version constant (core/schema.h).
+// These values key on-disk artifacts, cache files and the sweep-service
+// wire: a bump must be an explicit, reviewed event, so changing one
+// requires touching this file in the same commit (and regenerating the
+// corresponding goldens / invalidating caches).
+
+#include "core/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace amdrel {
+namespace {
+
+TEST(SchemaVersionTest, FingerprintAlgorithmVersionIsPinned) {
+  // v3: MethodologyOptions fingerprints cover the reconfiguration model.
+  EXPECT_EQ(core::kFingerprintAlgorithmVersion, 3);
+}
+
+TEST(SchemaVersionTest, SweepArtifactSchemaVersionIsPinned) {
+  // v3: cells carry reconfig_cycles and floorplan_cost columns.
+  EXPECT_EQ(core::kSweepSchemaVersion, 3);
+}
+
+TEST(SchemaVersionTest, SweepCacheSchemaVersionIsPinned) {
+  // v4: cell payloads carry t_reconfig and floorplan_bits fields.
+  EXPECT_EQ(core::kSweepCacheSchemaVersion, 4);
+}
+
+TEST(SchemaVersionTest, SweepWireProtocolVersionIsPinned) {
+  // v2: wire cells carry the v4 cell payload.
+  EXPECT_EQ(core::kSweepWireProtocolVersion, 2);
+}
+
+}  // namespace
+}  // namespace amdrel

@@ -157,7 +157,7 @@ StrategyResult anneal_probe(const PaperApp& app,
   HybridMapper mapper(app.cdfg, p);
   MethodologyOptions options;
   options.strategy = StrategyKind::kAnnealing;
-  options.objective.kind = objective;
+  options.cost.objective.kind = objective;
   options.stop_when_met = false;
   const auto kernels =
       analysis::extract_kernels(app.cdfg, app.profile, options.analysis);

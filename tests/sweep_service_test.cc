@@ -163,9 +163,11 @@ class StreamRejectionTest : public testing::Test {
 
 TEST_F(StreamRejectionTest, RejectsProtocolVersionMismatch) {
   std::string wire = wire_;
-  const auto pos = wire.find("\"protocol\":1");
+  const std::string current =
+      "\"protocol\":" + std::to_string(core::kSweepWireProtocolVersion);
+  const auto pos = wire.find(current);
   ASSERT_NE(pos, std::string::npos);
-  wire.replace(pos, 12, "\"protocol\":9");
+  wire.replace(pos, current.size(), "\"protocol\":9999");
   expect_rejected(wire, "protocol_version");
 }
 

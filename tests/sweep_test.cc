@@ -277,7 +277,7 @@ TEST(SweepTest, EnergyBudgetAxisMultipliesCells) {
   spec.constraints = {workloads::kOfdmTimingConstraint};
   spec.strategies = {StrategyKind::kGreedyPaper};
   spec.orderings = {KernelOrdering::kWeightDescending};
-  spec.base.objective.kind = ObjectiveKind::kEnergy;
+  spec.base.cost.objective.kind = ObjectiveKind::kEnergy;
   spec.energy_budgets = {1.0e6, 7.0e5};
   spec.threads = 1;
   const auto summary = sweep_design_space(corpus, spec);
@@ -346,7 +346,7 @@ TEST(SweepTest, EnergySweepCachedEqualsUncachedAnyThreads) {
     s.grid.cgc_counts = {2};
     s.strategies = {StrategyKind::kGreedyPaper, StrategyKind::kExhaustive};
     s.orderings = {KernelOrdering::kWeightDescending};
-    s.base.objective.kind = ObjectiveKind::kEnergy;
+    s.base.cost.objective.kind = ObjectiveKind::kEnergy;
     s.base.exhaustive_max_kernels = 10;
     s.energy_budgets = {1.0e6, 1.18e8};
     s.threads = threads;

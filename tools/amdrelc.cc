@@ -33,6 +33,14 @@
 //                    all-fine-grain energy; explore default: 0)
 //   --timing-weight W  combined-objective weight on cycles   (default 1)
 //   --energy-weight W  combined-objective weight on energy   (default 1)
+//   --reconfig-latency C  bitstream load latency in FPGA cycles per op
+//                    node of a moved module; 0 disables reconfiguration
+//                    pricing entirely                       (default 0)
+//   --prefetch-overlap F  fraction of each configuration load hidden by
+//                    prefetch, in [0, 1)                    (default 0)
+//   --floorplan-cost C  area-cost charge per moved op node, reported
+//                    beside platform cost (never added to cycles)
+//                                                           (default 0)
 //   --seed N         seed for random ordering / annealing (default 1)
 //   --input NAME=v0,v1,...   initialize array NAME before profiling
 //   --optimize       run the TAC optimizer before analysis
@@ -115,6 +123,9 @@ struct Options {
   std::optional<double> energy_budget;
   std::optional<double> timing_weight;
   std::optional<double> energy_weight;
+  std::optional<double> reconfig_latency;
+  std::optional<double> prefetch_overlap;
+  std::optional<double> floorplan_cost;
   std::uint64_t seed = 1;
   bool optimize = false;
   int top = 10;
@@ -152,6 +163,8 @@ struct Options {
                "[--ordering weight|benefit|code|random] "
                "[--objective timing|energy|combined] [--energy-budget N] "
                "[--timing-weight W] [--energy-weight W] "
+               "[--reconfig-latency C] [--prefetch-overlap F] "
+               "[--floorplan-cost C] "
                "[--seed N] "
                "[--input NAME=v0,v1,...] [--optimize] [--top N] "
                "[--constraints c1,c2,...] [--energy-budgets b1,b2,...] "
@@ -284,6 +297,24 @@ Options parse_args(int argc, char** argv) {
       if (!std::isfinite(*options.energy_weight) ||
           *options.energy_weight < 0) {
         usage_error(arg, "weight must be >= 0 and finite");
+      }
+    } else if (arg == "--reconfig-latency") {
+      options.reconfig_latency = parse_double(next(), arg);
+      if (!std::isfinite(*options.reconfig_latency) ||
+          *options.reconfig_latency < 0) {
+        usage_error(arg, "reconfiguration latency must be >= 0 and finite");
+      }
+    } else if (arg == "--prefetch-overlap") {
+      options.prefetch_overlap = parse_double(next(), arg);
+      if (!std::isfinite(*options.prefetch_overlap) ||
+          *options.prefetch_overlap < 0 || *options.prefetch_overlap >= 1) {
+        usage_error(arg, "prefetch overlap must be in [0, 1)");
+      }
+    } else if (arg == "--floorplan-cost") {
+      options.floorplan_cost = parse_double(next(), arg);
+      if (!std::isfinite(*options.floorplan_cost) ||
+          *options.floorplan_cost < 0) {
+        usage_error(arg, "floorplan cost must be >= 0 and finite");
       }
     } else if (arg == "--energy-budgets") {
       for (const std::string& item : split_list(next())) {
@@ -520,14 +551,19 @@ core::MethodologyOptions methodology_options(const Options& options) {
   mo.strategy = options.strategy.value_or(core::StrategyKind::kGreedyPaper);
   mo.ordering =
       options.ordering.value_or(core::KernelOrdering::kWeightDescending);
-  mo.objective.kind =
+  mo.cost.objective.kind =
       options.objective.value_or(core::ObjectiveKind::kTiming);
-  mo.energy_budget_pj = options.energy_budget.value_or(0.0);
+  mo.cost.energy_budget_pj = options.energy_budget.value_or(0.0);
+  mo.cost.reconfig.bitstream_cycles_per_unit =
+      options.reconfig_latency.value_or(0.0);
+  mo.cost.reconfig.prefetch_overlap = options.prefetch_overlap.value_or(0.0);
+  mo.cost.reconfig.floorplan_cost_per_unit =
+      options.floorplan_cost.value_or(0.0);
   if (options.timing_weight) {
-    mo.objective.cycle_weight = *options.timing_weight;
+    mo.cost.objective.cycle_weight = *options.timing_weight;
   }
   if (options.energy_weight) {
-    mo.objective.energy_weight = *options.energy_weight;
+    mo.cost.objective.energy_weight = *options.energy_weight;
   }
   mo.random_seed = options.seed;
   return mo;
@@ -540,11 +576,11 @@ int cmd_partition(const Options& options) {
   const std::int64_t all_fine = mapper.all_fine_cycles(app.profile);
   const std::int64_t constraint = options.constraint.value_or(all_fine / 2);
   core::MethodologyOptions mo = methodology_options(options);
-  if (mo.objective.needs_energy() && !options.energy_budget) {
+  if (mo.cost.objective.needs_energy() && !options.energy_budget) {
     // Mirror the timing default (half of all-fine cycles): without an
     // explicit budget, ask for half of the all-fine-grain energy.
-    mo.energy_budget_pj =
-        core::estimate_energy(mapper, app.profile, {}, mo.objective.energy)
+    mo.cost.energy_budget_pj =
+        core::estimate_energy(mapper, app.profile, {}, mo.cost.objective.energy)
             .total_pj() *
         0.5;
   }
@@ -552,7 +588,7 @@ int cmd_partition(const Options& options) {
   std::fprintf(stderr, "strategy: %s, ordering: %s, objective: %s\n",
                core::strategy_name(mo.strategy),
                core::kernel_ordering_name(mo.ordering),
-               core::objective_name(mo.objective.kind));
+               core::objective_name(mo.cost.objective.kind));
   std::printf("%s", core::describe(report, app.cdfg).c_str());
   return report.met ? 0 : 1;
 }
