@@ -1,0 +1,65 @@
+#!/bin/sh
+# Drives one loopback-TCP distributed sweep for the ctest/CI legs:
+#
+#   run_tcp_sweep.sh AMDRELC LOG "SERVE_EXTRA" "W0_EXTRA" "W1_EXTRA" \
+#     SHARED_FLAGS...
+#
+# Starts `amdrelc serve --listen 127.0.0.1:0 SHARED SERVE_EXTRA` (stderr
+# to LOG), scrapes the announced ephemeral port from LOG, dials in two
+# `amdrelc worker --connect` processes (stderr to LOG.w0/LOG.w1, each
+# with its own extra flags — fault injection rides W*_EXTRA), and exits
+# with the coordinator's status. Worker exit codes are deliberately
+# ignored: a SIGKILLed worker is the scenario under test.
+set -u
+
+if [ $# -lt 5 ]; then
+  echo "usage: run_tcp_sweep.sh AMDRELC LOG SERVE_EXTRA W0_EXTRA W1_EXTRA \
+FLAGS..." >&2
+  exit 2
+fi
+
+amdrelc=$1
+log=$2
+serve_extra=$3
+w0_extra=$4
+w1_extra=$5
+shift 5
+
+rm -f "$log" "$log.w0" "$log.w1"
+
+# shellcheck disable=SC2086  # the extras are intentionally word-split
+"$amdrelc" serve "$@" $serve_extra --listen 127.0.0.1:0 \
+  >/dev/null 2>"$log" &
+serve_pid=$!
+
+port=""
+i=0
+while [ "$i" -lt 100 ]; do
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+    "$log" 2>/dev/null)
+  [ -n "$port" ] && break
+  if ! kill -0 "$serve_pid" 2>/dev/null; then
+    echo "run_tcp_sweep: serve died before listening:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  sleep 0.1
+  i=$((i + 1))
+done
+if [ -z "$port" ]; then
+  echo "run_tcp_sweep: no listening port announced in $log" >&2
+  kill "$serve_pid" 2>/dev/null
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+"$amdrelc" worker "$@" $w0_extra --connect "127.0.0.1:$port" \
+  >/dev/null 2>"$log.w0" &
+# shellcheck disable=SC2086
+"$amdrelc" worker "$@" $w1_extra --connect "127.0.0.1:$port" \
+  >/dev/null 2>"$log.w1" &
+
+wait "$serve_pid"
+status=$?
+wait
+exit "$status"

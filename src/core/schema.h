@@ -30,10 +30,16 @@ inline constexpr int kSweepSchemaVersion = 3;
 ///  v4: cell payloads gained t_reconfig and floorplan_bits fields.
 inline constexpr int kSweepCacheSchemaVersion = 4;
 
-/// Version of the sweep-service wire protocol (core/sweep_service.h).
-/// Covers the framing lines; the cell payload itself is additionally
-/// guarded by kSweepCacheSchemaVersion in the wire header.
+/// Version of the sweep-service wire protocol (core/wire.h). Covers the
+/// framing lines; the cell payload itself is additionally guarded by
+/// kSweepCacheSchemaVersion in the wire header.
 ///  v2: cell payloads gained t_reconfig and floorplan_bits fields.
-inline constexpr int kSweepWireProtocolVersion = 2;
+///  v3: bidirectional control lines for socket transports — coordinator
+///      -> worker "assign" (shard batch + retry generation) and
+///      "shutdown", informational "shard_ack"; worker -> coordinator
+///      "round_done" after each assign batch. The one-directional
+///      static stream (wire_header / shard / cell / worker_done) is
+///      unchanged byte-for-byte.
+inline constexpr int kSweepWireProtocolVersion = 3;
 
 }  // namespace amdrel::core

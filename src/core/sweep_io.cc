@@ -1,6 +1,7 @@
 #include "core/sweep_io.h"
 
 #include <cstdio>
+#include <ostream>
 #include <sstream>
 
 #include "core/strategy.h"
@@ -57,6 +58,51 @@ void append_index_list(std::ostringstream& os, const std::vector<T>& indices) {
   os << ']';
 }
 
+// The cell fields shared byte-for-byte by the merged artifact
+// (sweep_to_json, which appends the pareto markers) and the partial
+// NDJSON stream (write_partial_stream_shard, which has none): "app"
+// through "engine_iterations", no braces, no trailing separator.
+void append_cell_fields(std::ostream& os, const std::vector<std::string>& apps,
+                        const SweepCell& cell) {
+  os << "\"app\": \"" << json_escape(apps[cell.app]) << "\", "
+     << "\"a_fpga\": " << format_double(cell.a_fpga) << ", "
+     << "\"cgcs\": " << cell.cgcs << ", "
+     << "\"platform_cost\": " << format_double(cell.platform_cost) << ", "
+     << "\"constraint\": " << cell.constraint << ", "
+     << "\"strategy\": \"" << strategy_name(cell.strategy) << "\", "
+     << "\"ordering\": \"" << kernel_ordering_name(cell.ordering) << "\", "
+     << "\"objective\": \"" << objective_name(cell.report.objective)
+     << "\", "
+     << "\"energy_budget_pj\": " << format_energy(cell.energy_budget_pj)
+     << ", "
+     << "\"initial_cycles\": " << cell.report.initial_cycles << ", "
+     << "\"final_cycles\": " << cell.report.final_cycles << ", "
+     << "\"cycles_in_cgc\": " << cell.report.cycles_in_cgc << ", "
+     << "\"t_fpga\": " << cell.report.cost.t_fpga << ", "
+     << "\"t_coarse\": " << cell.report.cost.t_coarse << ", "
+     << "\"t_comm\": " << cell.report.cost.t_comm << ", "
+     << "\"reconfig_cycles\": " << cell.report.cost.t_reconfig << ", "
+     << "\"floorplan_cost\": " << format_energy(cell.report.floorplan_cost)
+     << ", "
+     << "\"initial_energy_pj\": "
+     << format_energy(cell.report.initial_energy_pj) << ", "
+     << "\"energy_pj\": " << format_energy(cell.report.energy.total_pj())
+     << ", "
+     << "\"moved\": " << cell.report.moved.size() << ", "
+     << "\"moved_blocks\": [";
+  for (std::size_t m = 0; m < cell.moved_names.size(); ++m) {
+    if (m) os << ", ";
+    os << '"' << json_escape(cell.moved_names[m]) << '"';
+  }
+  os << "], "
+     << "\"met\": " << (cell.report.met ? "true" : "false") << ", "
+     << "\"reduction_percent\": \""
+     << format_percent(cell.report.reduction_percent()) << "\", "
+     << "\"energy_reduction_percent\": \""
+     << format_percent(cell.report.energy_reduction_percent()) << "\", "
+     << "\"engine_iterations\": " << cell.report.engine_iterations;
+}
+
 }  // namespace
 
 std::string sweep_to_json(const SweepSummary& summary) {
@@ -73,43 +119,9 @@ std::string sweep_to_json(const SweepSummary& summary) {
   os << "  \"cells\": [\n";
   for (std::size_t i = 0; i < summary.cells.size(); ++i) {
     const SweepCell& cell = summary.cells[i];
-    os << "    {\"app\": \"" << json_escape(summary.apps[cell.app]) << "\", "
-       << "\"a_fpga\": " << format_double(cell.a_fpga) << ", "
-       << "\"cgcs\": " << cell.cgcs << ", "
-       << "\"platform_cost\": " << format_double(cell.platform_cost) << ", "
-       << "\"constraint\": " << cell.constraint << ", "
-       << "\"strategy\": \"" << strategy_name(cell.strategy) << "\", "
-       << "\"ordering\": \"" << kernel_ordering_name(cell.ordering) << "\", "
-       << "\"objective\": \"" << objective_name(cell.report.objective)
-       << "\", "
-       << "\"energy_budget_pj\": " << format_energy(cell.energy_budget_pj)
-       << ", "
-       << "\"initial_cycles\": " << cell.report.initial_cycles << ", "
-       << "\"final_cycles\": " << cell.report.final_cycles << ", "
-       << "\"cycles_in_cgc\": " << cell.report.cycles_in_cgc << ", "
-       << "\"t_fpga\": " << cell.report.cost.t_fpga << ", "
-       << "\"t_coarse\": " << cell.report.cost.t_coarse << ", "
-       << "\"t_comm\": " << cell.report.cost.t_comm << ", "
-       << "\"reconfig_cycles\": " << cell.report.cost.t_reconfig << ", "
-       << "\"floorplan_cost\": " << format_energy(cell.report.floorplan_cost)
-       << ", "
-       << "\"initial_energy_pj\": "
-       << format_energy(cell.report.initial_energy_pj) << ", "
-       << "\"energy_pj\": " << format_energy(cell.report.energy.total_pj())
-       << ", "
-       << "\"moved\": " << cell.report.moved.size() << ", "
-       << "\"moved_blocks\": [";
-    for (std::size_t m = 0; m < cell.moved_names.size(); ++m) {
-      if (m) os << ", ";
-      os << '"' << json_escape(cell.moved_names[m]) << '"';
-    }
-    os << "], "
-       << "\"met\": " << (cell.report.met ? "true" : "false") << ", "
-       << "\"reduction_percent\": \""
-       << format_percent(cell.report.reduction_percent()) << "\", "
-       << "\"energy_reduction_percent\": \""
-       << format_percent(cell.report.energy_reduction_percent()) << "\", "
-       << "\"engine_iterations\": " << cell.report.engine_iterations << ", "
+    os << "    {";
+    append_cell_fields(os, summary.apps, cell);
+    os << ", "
        << "\"app_pareto\": " << (cell.on_app_pareto ? "true" : "false")
        << ", "
        << "\"global_pareto\": " << (cell.on_global_pareto ? "true" : "false")
@@ -195,6 +207,30 @@ std::string cache_stats_to_json(const SweepCacheStats& stats) {
   os << "  \"entries_evicted\": " << stats.entries_evicted << "\n";
   os << "}\n";
   return os.str();
+}
+
+void write_partial_stream_header(std::ostream& os, std::size_t shards) {
+  os << "{\"kind\":\"sweep_partial\",\"schema_version\":"
+     << kSweepSchemaVersion
+     << ",\"generator\":\"amdrel\",\"shards\":" << shards << "}\n";
+  os.flush();
+}
+
+void write_partial_stream_shard(std::ostream& os,
+                                const std::vector<std::string>& apps,
+                                std::size_t shard, const SweepCell* cells,
+                                std::size_t used) {
+  os << "{\"kind\":\"shard\",\"shard\":" << shard << ",\"used\":" << used
+     << "}\n";
+  for (std::size_t slot = 0; slot < used; ++slot) {
+    os << "{\"kind\":\"cell\",\"shard\":" << shard << ",\"slot\":" << slot
+       << ", ";
+    append_cell_fields(os, apps, cells[slot]);
+    os << "}\n";
+  }
+  // Per-shard flush: the whole point is that a reader sees finished
+  // shards while the sweep is still running.
+  os.flush();
 }
 
 }  // namespace amdrel::core

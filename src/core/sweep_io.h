@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <iosfwd>
 #include <string>
 
 #include "core/explorer.h"
@@ -73,5 +75,29 @@ std::string sweep_to_csv(const SweepSummary& summary);
 /// no lookups happened), a string for the same byte-stability reason as
 /// reduction_percent.
 std::string cache_stats_to_json(const SweepCacheStats& stats);
+
+/// Streaming partial results (`amdrelc serve --stream-partial`): a
+/// schema-v3 NDJSON surface written shard-by-shard as workers deliver,
+/// so a long fleet sweep is inspectable before the merged artifact
+/// exists. One header line:
+///
+///   {"kind":"sweep_partial","schema_version":3,"generator":"amdrel",
+///    "shards":N}
+///
+/// then, per finished shard — in COMPLETION order (nondeterministic
+/// across runs; the final merged artifact is the deterministic one) — a
+/// shard line and its cells in slot order:
+///
+///   {"kind":"shard","shard":S,"used":U}
+///   {"kind":"cell","shard":S,"slot":I, "app": ..., ...}
+///
+/// Cell fields are exactly the sweep_to_json cell fields minus the
+/// pareto markers (fronts exist only once every cell has landed),
+/// rendered byte-identically.
+void write_partial_stream_header(std::ostream& os, std::size_t shards);
+void write_partial_stream_shard(std::ostream& os,
+                                const std::vector<std::string>& apps,
+                                std::size_t shard, const SweepCell* cells,
+                                std::size_t used);
 
 }  // namespace amdrel::core

@@ -1,35 +1,31 @@
 #include "core/sweep_service.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
-#include <cstdio>
+#include <deque>
+#include <iostream>
 #include <istream>
+#include <memory>
 #include <mutex>
 #include <ostream>
-#include <set>
-#include <sstream>
 #include <thread>
 #include <utility>
 
 #ifndef _WIN32
 #include <cerrno>
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
+#include <poll.h>
 #endif
 
-#include "core/json_lines.h"
 #include "core/sweep_cache.h"
+#include "core/wire.h"
 #include "platform/platform.h"
 #include "support/error.h"
 #include "support/strings.h"
 
 namespace amdrel::core {
 
-using jsonl::JsonParser;
 using jsonl::JsonValue;
-using jsonl::get_int;
-using jsonl::get_string;
 
 std::vector<std::vector<std::size_t>> partition_shards(std::size_t shard_count,
                                                        int workers) {
@@ -43,19 +39,93 @@ std::vector<std::vector<std::size_t>> partition_shards(std::size_t shard_count,
 
 namespace {
 
-void emit_shard(std::ostream& os, std::size_t shard,
-                const std::vector<SweepCell>& cells, std::size_t used) {
-  os << "{\"kind\":\"shard\",\"shard\":" << shard << ",\"used\":" << used
-     << "}\n";
-  for (std::size_t i = 0; i < used; ++i) {
-    os << "{\"kind\":\"cell\",\"shard\":" << shard << ",\"slot\":" << i
-       << ",";
-    write_cell_payload(os, cells[i].report, cells[i].moved_names);
-    os << "}\n";
+/// Computes `assigned` shards and streams them in assigned order —
+/// shared by the static and the connected worker. Honors spec.threads
+/// (shards are computed by a pool but emitted in order) with per-shard
+/// flush so a pipe/socket transport streams instead of buffering the
+/// whole run. `emitted_shards` counts across calls (rounds) for the
+/// after_shard hook.
+std::size_t emit_assigned_shards(const std::vector<CorpusApp>& corpus,
+                                 const SweepSpec& spec,
+                                 const std::vector<Fingerprint>& app_fps,
+                                 const std::vector<std::size_t>& assigned,
+                                 std::size_t cells_per_shard, std::ostream& os,
+                                 const ShardEmitHook& after_shard,
+                                 std::size_t& emitted_shards) {
+  std::size_t total = 0;
+  auto emit = [&](std::size_t shard, const std::vector<SweepCell>& cells,
+                  std::size_t used) {
+    wire::encode_shard_begin(os, {shard, used});
+    for (std::size_t i = 0; i < used; ++i) {
+      wire::encode_cell(os, shard, i, cells[i].report, cells[i].moved_names);
+    }
+    os.flush();
+    total += used;
+    ++emitted_shards;
+    if (after_shard) after_shard(emitted_shards);
+  };
+
+  const int threads = worker_count(assigned.size(), spec.threads);
+  if (threads <= 1) {
+    for (const std::size_t shard : assigned) {
+      std::vector<SweepCell> cells(cells_per_shard);
+      const std::size_t used =
+          compute_sweep_shard(corpus, spec, app_fps, shard, cells.data());
+      emit(shard, cells, used);
+    }
+    return total;
   }
-  // Per-shard flush keeps a pipe transport streaming instead of
-  // buffering the whole run.
-  os.flush();
+  // A pool computes shards in claim order, but the stream is emitted
+  // strictly in `assigned` order — same deterministic-output recipe as
+  // the single-process sweep's precomputed slots.
+  struct Pending {
+    std::vector<SweepCell> cells;
+    std::size_t used = 0;
+    bool done = false;
+  };
+  std::vector<Pending> pending(assigned.size());
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::atomic<std::size_t> next{0};
+  auto pool_worker = [&]() {
+    for (;;) {
+      const std::size_t job = next.fetch_add(1);
+      if (job >= assigned.size()) return;
+      std::vector<SweepCell> cells(cells_per_shard);
+      const std::size_t used = compute_sweep_shard(corpus, spec, app_fps,
+                                                   assigned[job],
+                                                   cells.data());
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        pending[job].cells = std::move(cells);
+        pending[job].used = used;
+        pending[job].done = true;
+      }
+      ready.notify_all();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(pool_worker);
+  for (std::size_t job = 0; job < assigned.size(); ++job) {
+    std::unique_lock<std::mutex> lock(mutex);
+    ready.wait(lock, [&] { return pending[job].done; });
+    const std::vector<SweepCell> cells = std::move(pending[job].cells);
+    const std::size_t used = pending[job].used;
+    lock.unlock();
+    emit(assigned[job], cells, used);
+  }
+  for (std::thread& t : pool) t.join();
+  return total;
+}
+
+wire::Header local_header(std::size_t shards) {
+  wire::Header header;
+  header.protocol = kSweepWireProtocolVersion;
+  header.schema_version = kSweepCacheSchemaVersion;
+  header.fingerprint_algorithm = kFingerprintAlgorithmVersion;
+  header.shards = shards;
+  return header;
 }
 
 }  // namespace
@@ -63,7 +133,8 @@ void emit_shard(std::ostream& os, std::size_t shard,
 std::size_t run_sweep_worker(const std::vector<CorpusApp>& corpus,
                              const SweepSpec& spec,
                              const std::vector<std::size_t>& assigned,
-                             std::ostream& os) {
+                             std::ostream& os,
+                             const ShardEmitHook& after_shard) {
   validate_sweep_inputs(corpus, spec);
   const std::size_t shards = sweep_shard_count(corpus, spec);
   const std::size_t cells_per_shard = sweep_cells_per_shard(spec);
@@ -77,70 +148,296 @@ std::size_t run_sweep_worker(const std::vector<CorpusApp>& corpus,
   const std::vector<Fingerprint> app_fps =
       spec.cache ? sweep_app_fingerprints(corpus) : std::vector<Fingerprint>{};
 
-  os << "{\"kind\":\"wire_header\",\"protocol\":" << kSweepWireProtocolVersion
-     << ",\"schema_version\":" << kSweepCacheSchemaVersion
-     << ",\"fingerprint_algorithm\":" << kFingerprintAlgorithmVersion
-     << ",\"shards\":" << shards << "}\n";
-
-  std::size_t total = 0;
-  const int threads = worker_count(assigned.size(), spec.threads);
-  if (threads <= 1) {
-    for (const std::size_t shard : assigned) {
-      std::vector<SweepCell> cells(cells_per_shard);
-      const std::size_t used =
-          compute_sweep_shard(corpus, spec, app_fps, shard, cells.data());
-      emit_shard(os, shard, cells, used);
-      total += used;
-    }
-  } else {
-    // A pool computes shards in claim order, but the stream is emitted
-    // strictly in `assigned` order — same deterministic-output recipe as
-    // the single-process sweep's precomputed slots.
-    struct Pending {
-      std::vector<SweepCell> cells;
-      std::size_t used = 0;
-      bool done = false;
-    };
-    std::vector<Pending> pending(assigned.size());
-    std::mutex mutex;
-    std::condition_variable ready;
-    std::atomic<std::size_t> next{0};
-    auto pool_worker = [&]() {
-      for (;;) {
-        const std::size_t job = next.fetch_add(1);
-        if (job >= assigned.size()) return;
-        std::vector<SweepCell> cells(cells_per_shard);
-        const std::size_t used = compute_sweep_shard(corpus, spec, app_fps,
-                                                     assigned[job],
-                                                     cells.data());
-        {
-          const std::lock_guard<std::mutex> lock(mutex);
-          pending[job].cells = std::move(cells);
-          pending[job].used = used;
-          pending[job].done = true;
-        }
-        ready.notify_all();
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(pool_worker);
-    for (std::size_t job = 0; job < assigned.size(); ++job) {
-      std::unique_lock<std::mutex> lock(mutex);
-      ready.wait(lock, [&] { return pending[job].done; });
-      const std::vector<SweepCell> cells = std::move(pending[job].cells);
-      const std::size_t used = pending[job].used;
-      lock.unlock();
-      emit_shard(os, assigned[job], cells, used);
-      total += used;
-    }
-    for (std::thread& t : pool) t.join();
-  }
-
-  os << "{\"kind\":\"worker_done\",\"cells\":" << total << "}\n";
+  wire::encode_header(os, local_header(shards));
+  std::size_t emitted_shards = 0;
+  const std::size_t total =
+      emit_assigned_shards(corpus, spec, app_fps, assigned, cells_per_shard,
+                           os, after_shard, emitted_shards);
+  wire::encode_worker_done(os, {total});
   os.flush();
   require(os.good(), "run_sweep_worker: stream write failed");
   return total;
+}
+
+std::size_t run_sweep_worker_connected(const std::vector<CorpusApp>& corpus,
+                                       const SweepSpec& spec, std::istream& in,
+                                       std::ostream& out,
+                                       const ShardEmitHook& after_shard) {
+  validate_sweep_inputs(corpus, spec);
+  const std::size_t shards = sweep_shard_count(corpus, spec);
+  const std::size_t cells_per_shard = sweep_cells_per_shard(spec);
+  const std::vector<Fingerprint> app_fps =
+      spec.cache ? sweep_app_fingerprints(corpus) : std::vector<Fingerprint>{};
+
+  wire::encode_header(out, local_header(shards));
+  out.flush();
+  require(out.good(), "run_sweep_worker_connected: stream write failed");
+
+  std::size_t total = 0;
+  std::size_t emitted_shards = 0;
+  std::vector<char> computed(shards, 0);
+  std::string line;
+  while (std::getline(in, line)) {
+    JsonValue object;
+    require(wire::parse_line(line, object),
+            "connected worker: malformed coordinator line");
+    switch (wire::line_kind(object)) {
+      case wire::LineKind::kShardAck: {
+        wire::ShardAck ack;
+        require(wire::decode_shard_ack(object, ack) && ack.shard < shards &&
+                    computed[ack.shard],
+                "connected worker: ack for a shard this worker never "
+                "streamed");
+        break;
+      }
+      case wire::LineKind::kAssign: {
+        wire::Assign assign;
+        require(wire::decode_assign(object, assign),
+                "connected worker: malformed assign line");
+        for (const std::size_t s : assign.shards) {
+          require(s < shards, cat("connected worker: shard ", s,
+                                  " out of range (", shards, " shards)"));
+          require(!computed[s],
+                  cat("connected worker: shard ", s, " assigned twice"));
+          computed[s] = 1;
+        }
+        const std::size_t round =
+            emit_assigned_shards(corpus, spec, app_fps, assign.shards,
+                                 cells_per_shard, out, after_shard,
+                                 emitted_shards);
+        total += round;
+        out << wire::encode_round_done({round});
+        out.flush();
+        require(out.good(),
+                "run_sweep_worker_connected: stream write failed");
+        break;
+      }
+      case wire::LineKind::kShutdown: {
+        wire::encode_worker_done(out, {total});
+        out.flush();
+        require(out.good(),
+                "run_sweep_worker_connected: stream write failed");
+        return total;
+      }
+      default:
+        fail("connected worker: unexpected coordinator line");
+    }
+  }
+  fail("connected worker: coordinator closed the connection without "
+       "shutdown");
+}
+
+// ---------------------------------------------------------------------------
+// WorkerStreamConsumer
+// ---------------------------------------------------------------------------
+
+WorkerStreamConsumer::WorkerStreamConsumer(
+    const std::vector<CorpusApp>& corpus, const SweepSpec& spec,
+    SweepSummary& summary, std::vector<std::size_t>& shard_used, bool dynamic)
+    : spec_(spec), summary_(summary), shard_used_(shard_used),
+      dynamic_(dynamic) {
+  shards_ = sweep_shard_count(corpus, spec);
+  cells_per_shard_ = sweep_cells_per_shard(spec);
+  require(summary.cells.size() == shards_ * cells_per_shard_,
+          "consume_worker_stream: summary slot layout mismatch");
+  require(shard_used.size() == shards_,
+          "consume_worker_stream: shard_used size mismatch");
+  budgets_ = spec.energy_budgets.empty()
+                 ? std::vector<double>{spec.base.cost.energy_budget_pj}
+                 : spec.energy_budgets;
+  inner_ = budgets_.size() * spec.strategies.size() * spec.orderings.size();
+}
+
+void WorkerStreamConsumer::begin_round(
+    const std::vector<std::size_t>& assigned) {
+  require(!round_active_, "WorkerStreamConsumer: round already active");
+  require(!done_, "WorkerStreamConsumer: connection already closed");
+  expected_.clear();
+  expected_.insert(assigned.begin(), assigned.end());
+  require(expected_.size() == assigned.size(),
+          "WorkerStreamConsumer: duplicate shard in assignment");
+  round_completed_ = 0;
+  round_cells_ = 0;
+  in_shard_ = false;
+  round_active_ = true;
+}
+
+WorkerStreamConsumer::Event WorkerStreamConsumer::feed(
+    const std::string& line) {
+  ++line_no_;
+  require(!done_, "worker stream: data after worker_done");
+  JsonValue object;
+  require(wire::parse_line(line, object),
+          cat("worker stream:", line_no_, ": not a JSON object"));
+  const wire::LineKind kind = wire::line_kind(object);
+  if (!header_seen_) {
+    require(kind == wire::LineKind::kHeader,
+            "worker stream: missing wire_header line");
+    return feed_header(object);
+  }
+  switch (kind) {
+    case wire::LineKind::kHeader:
+      fail("worker stream: repeated wire_header");
+    case wire::LineKind::kShard:
+      return feed_shard(object);
+    case wire::LineKind::kCell:
+      return feed_cell(object);
+    case wire::LineKind::kWorkerDone: {
+      wire::WorkerDone done;
+      require(wire::decode_worker_done(object, done),
+              cat("worker stream:", line_no_, ": malformed worker_done"));
+      require(done.cells == total_cells_,
+              "worker stream: worker_done cell count mismatch");
+      if (dynamic_) {
+        // Only legal between rounds, as the response to shutdown.
+        require(!round_active_, "worker stream: worker_done inside a round");
+        done_ = true;
+        return Event::kNone;
+      }
+      require(round_active_, "worker stream: worker_done outside a round");
+      require(round_completed_ == expected_.size(),
+              cat("worker stream: streamed ", round_completed_, " of ",
+                  expected_.size(), " assigned shards"));
+      round_active_ = false;
+      done_ = true;
+      return Event::kRoundComplete;
+    }
+    case wire::LineKind::kRoundDone: {
+      require(dynamic_, cat("worker stream:", line_no_,
+                            ": unexpected kind \"round_done\""));
+      require(round_active_ && !in_shard_,
+              cat("worker stream:", line_no_, ": round_done out of place"));
+      wire::RoundDone done;
+      require(wire::decode_round_done(object, done),
+              cat("worker stream:", line_no_, ": malformed round_done"));
+      require(done.cells == round_cells_,
+              "worker stream: round_done cell count mismatch");
+      require(round_completed_ == expected_.size(),
+              cat("worker stream: round streamed ", round_completed_, " of ",
+                  expected_.size(), " assigned shards"));
+      round_active_ = false;
+      return Event::kRoundComplete;
+    }
+    default:
+      fail(cat("worker stream:", line_no_, ": unexpected line"));
+  }
+}
+
+WorkerStreamConsumer::Event WorkerStreamConsumer::feed_header(
+    const JsonValue& object) {
+  wire::Header header;
+  require(wire::decode_header(object, header),
+          "worker stream: missing wire_header line");
+  require(header.protocol == kSweepWireProtocolVersion,
+          "worker stream: wire protocol version mismatch");
+  require(header.schema_version == kSweepCacheSchemaVersion,
+          "worker stream: schema version mismatch");
+  require(header.fingerprint_algorithm == kFingerprintAlgorithmVersion,
+          "worker stream: fingerprint algorithm mismatch");
+  require(header.shards == shards_, "worker stream: shard count mismatch");
+  header_seen_ = true;
+  return Event::kNone;
+}
+
+WorkerStreamConsumer::Event WorkerStreamConsumer::feed_shard(
+    const JsonValue& object) {
+  require(round_active_,
+          cat("worker stream:", line_no_, ": shard outside a round"));
+  require(!in_shard_, cat("worker stream:", line_no_, ": expected cell ",
+                          cur_slot_, " of shard ", cur_shard_));
+  wire::ShardBegin shard;
+  require(wire::decode_shard_begin(object, shard),
+          cat("worker stream:", line_no_, ": malformed shard line"));
+  require(expected_.count(shard.shard) != 0,
+          cat("worker stream: shard ", shard.shard, " was not assigned"));
+  require(consumed_.insert(shard.shard).second,
+          cat("worker stream: shard ", shard.shard, " streamed twice"));
+  require(shard.used <= cells_per_shard_ && shard.used % inner_ == 0,
+          cat("worker stream: shard ", shard.shard, " claims ", shard.used,
+              " cells (capacity ", cells_per_shard_, ")"));
+  if (shard.used == 0) return complete_shard(shard.shard, 0);
+  in_shard_ = true;
+  cur_shard_ = shard.shard;
+  cur_used_ = shard.used;
+  cur_slot_ = 0;
+  return Event::kNone;
+}
+
+WorkerStreamConsumer::Event WorkerStreamConsumer::feed_cell(
+    const JsonValue& object) {
+  require(round_active_ && in_shard_,
+          cat("worker stream:", line_no_, ": unexpected cell line"));
+  wire::Cell cell;
+  require(wire::decode_cell(object, cell),
+          cat("worker stream:", line_no_, ": malformed cell payload"));
+  require(cell.shard == cur_shard_ && cell.slot == cur_slot_,
+          cat("worker stream:", line_no_, ": expected cell ", cur_slot_,
+              " of shard ", cur_shard_));
+
+  // Coordinates derivable from the shard index are derived HERE, from
+  // the same inputs the single-process sweep uses — the wire cannot
+  // place a cell on a platform it was not computed for.
+  const std::size_t app_index = cur_shard_ / spec_.grid.size();
+  const std::size_t platform_index = cur_shard_ % spec_.grid.size();
+  const double area =
+      spec_.grid.areas[platform_index / spec_.grid.cgc_counts.size()];
+  const int cgcs =
+      spec_.grid.cgc_counts[platform_index % spec_.grid.cgc_counts.size()];
+  const double cost =
+      platform::platform_cost(platform::make_paper_platform(area, cgcs));
+
+  const std::size_t ordering_count = spec_.orderings.size();
+  const std::size_t strategy_count = spec_.strategies.size();
+  const std::size_t oi = cur_slot_ % ordering_count;
+  const std::size_t si = (cur_slot_ / ordering_count) % strategy_count;
+  const std::size_t bi =
+      (cur_slot_ / (ordering_count * strategy_count)) % budgets_.size();
+  SweepCell& dest = summary_.cells[cur_shard_ * cells_per_shard_ + cur_slot_];
+  dest.app = app_index;
+  dest.a_fpga = area;
+  dest.cgcs = cgcs;
+  dest.platform_cost = cost;
+  dest.constraint = cell.payload.report.timing_constraint;
+  dest.energy_budget_pj = budgets_[bi];
+  dest.strategy = spec_.strategies[si];
+  dest.ordering = spec_.orderings[oi];
+  dest.report = std::move(cell.payload.report);
+  dest.moved_names = std::move(cell.payload.moved_names);
+
+  ++cur_slot_;
+  if (cur_slot_ == cur_used_) return complete_shard(cur_shard_, cur_used_);
+  return Event::kNone;
+}
+
+WorkerStreamConsumer::Event WorkerStreamConsumer::complete_shard(
+    std::size_t shard, std::size_t used) {
+  in_shard_ = false;
+  shard_used_[shard] = used;
+  total_cells_ += used;
+  round_cells_ += used;
+  ++round_completed_;
+  last_shard_ = shard;
+  last_used_ = used;
+  return Event::kShardComplete;
+}
+
+void WorkerStreamConsumer::finish_stream() const {
+  require(header_seen_, "worker stream: empty (no wire_header)");
+  if (in_shard_) {
+    fail(cat("worker stream: truncated inside shard ", cur_shard_, " (",
+             cur_slot_, " of ", cur_used_, " cells)"));
+  }
+  require(done_, "worker stream: truncated (no worker_done)");
+}
+
+std::vector<std::size_t> WorkerStreamConsumer::round_unfinished() const {
+  std::vector<std::size_t> out;
+  for (const std::size_t s : expected_) {
+    if (consumed_.count(s) == 0 || (in_shard_ && s == cur_shard_)) {
+      out.push_back(s);
+    }
+  }
+  return out;
 }
 
 void consume_worker_stream(std::istream& in,
@@ -149,147 +446,17 @@ void consume_worker_stream(std::istream& in,
                            const std::vector<std::size_t>& assigned,
                            SweepSummary& summary,
                            std::vector<std::size_t>& shard_used) {
-  const std::size_t shards = sweep_shard_count(corpus, spec);
-  const std::size_t cells_per_shard = sweep_cells_per_shard(spec);
-  require(summary.cells.size() == shards * cells_per_shard,
-          "consume_worker_stream: summary slot layout mismatch");
-  require(shard_used.size() == shards,
-          "consume_worker_stream: shard_used size mismatch");
-
-  const std::vector<double> budgets =
-      spec.energy_budgets.empty()
-          ? std::vector<double>{spec.base.cost.energy_budget_pj}
-          : spec.energy_budgets;
-  const std::size_t budget_count = budgets.size();
-  const std::size_t strategy_count = spec.strategies.size();
-  const std::size_t ordering_count = spec.orderings.size();
-  const std::size_t inner = budget_count * strategy_count * ordering_count;
-
-  const std::set<std::size_t> expected(assigned.begin(), assigned.end());
-  std::set<std::size_t> consumed;
-
+  WorkerStreamConsumer consumer(corpus, spec, summary, shard_used,
+                                /*dynamic=*/false);
+  consumer.begin_round(assigned);
   std::string line;
-  std::size_t line_no = 0;
-  auto read_line = [&]() -> bool {
-    if (!std::getline(in, line)) return false;
-    ++line_no;
-    return true;
-  };
-  auto parse_object = [&](JsonValue& object) {
-    require(JsonParser(line).parse(object) &&
-                object.kind == JsonValue::Kind::kObject,
-            cat("worker stream:", line_no, ": not a JSON object"));
-  };
-  auto field = [&](const JsonValue& object, const char* name) {
-    std::int64_t value = 0;
-    require(get_int(object, name, value) && value >= 0,
-            cat("worker stream:", line_no, ": missing or invalid \"", name,
-                "\""));
-    return static_cast<std::size_t>(value);
-  };
-
-  // Header first: reject a worker speaking another protocol/schema
-  // before trusting a single cell.
-  require(read_line(), "worker stream: empty (no wire_header)");
-  {
-    JsonValue object;
-    parse_object(object);
-    std::string kind;
-    require(get_string(object, "kind", kind) && kind == "wire_header",
-            "worker stream: missing wire_header line");
-    require(field(object, "protocol") ==
-                static_cast<std::size_t>(kSweepWireProtocolVersion),
-            "worker stream: wire protocol version mismatch");
-    require(field(object, "schema_version") ==
-                static_cast<std::size_t>(kSweepCacheSchemaVersion),
-            "worker stream: schema version mismatch");
-    require(field(object, "fingerprint_algorithm") ==
-                static_cast<std::size_t>(kFingerprintAlgorithmVersion),
-            "worker stream: fingerprint algorithm mismatch");
-    require(field(object, "shards") == shards,
-            "worker stream: shard count mismatch");
-  }
-
-  std::size_t total_cells = 0;
-  bool done = false;
-  while (read_line()) {
-    require(!done, "worker stream: data after worker_done");
-    JsonValue object;
-    parse_object(object);
-    std::string kind;
-    require(get_string(object, "kind", kind),
-            cat("worker stream:", line_no, ": missing \"kind\""));
-    if (kind == "worker_done") {
-      require(field(object, "cells") == total_cells,
-              "worker stream: worker_done cell count mismatch");
-      done = true;
-      continue;
-    }
-    require(kind == "shard", cat("worker stream:", line_no,
-                                 ": unexpected kind \"", kind, "\""));
-
-    const std::size_t shard = field(object, "shard");
-    const std::size_t used = field(object, "used");
-    require(expected.count(shard) != 0,
-            cat("worker stream: shard ", shard, " was not assigned"));
-    require(consumed.insert(shard).second,
-            cat("worker stream: shard ", shard, " streamed twice"));
-    require(used <= cells_per_shard && used % inner == 0,
-            cat("worker stream: shard ", shard, " claims ", used,
-                " cells (capacity ", cells_per_shard, ")"));
-
-    // Coordinates derivable from the shard index are derived HERE, from
-    // the same inputs the single-process sweep uses — the wire cannot
-    // place a cell on a platform it was not computed for.
-    const std::size_t app_index = shard / spec.grid.size();
-    const std::size_t platform_index = shard % spec.grid.size();
-    const double area =
-        spec.grid.areas[platform_index / spec.grid.cgc_counts.size()];
-    const int cgcs =
-        spec.grid.cgc_counts[platform_index % spec.grid.cgc_counts.size()];
-    const double cost =
-        platform::platform_cost(platform::make_paper_platform(area, cgcs));
-
-    SweepCell* slots = summary.cells.data() + shard * cells_per_shard;
-    for (std::size_t slot = 0; slot < used; ++slot) {
-      require(read_line(), cat("worker stream: truncated inside shard ",
-                               shard, " (", slot, " of ", used, " cells)"));
-      JsonValue cell_object;
-      parse_object(cell_object);
-      std::string cell_kind;
-      require(get_string(cell_object, "kind", cell_kind) &&
-                  cell_kind == "cell" &&
-                  field(cell_object, "shard") == shard &&
-                  field(cell_object, "slot") == slot,
-              cat("worker stream:", line_no, ": expected cell ", slot,
-                  " of shard ", shard));
-      CachedCell payload;
-      require(read_cell_payload(cell_object, payload),
-              cat("worker stream:", line_no, ": malformed cell payload"));
-      const std::size_t oi = slot % ordering_count;
-      const std::size_t si = (slot / ordering_count) % strategy_count;
-      const std::size_t bi =
-          (slot / (ordering_count * strategy_count)) % budget_count;
-      SweepCell& cell = slots[slot];
-      cell.app = app_index;
-      cell.a_fpga = area;
-      cell.cgcs = cgcs;
-      cell.platform_cost = cost;
-      cell.constraint = payload.report.timing_constraint;
-      cell.energy_budget_pj = budgets[bi];
-      cell.strategy = spec.strategies[si];
-      cell.ordering = spec.orderings[oi];
-      cell.report = std::move(payload.report);
-      cell.moved_names = std::move(payload.moved_names);
-    }
-    shard_used[shard] = used;
-    total_cells += used;
-  }
-  require(done, "worker stream: truncated (no worker_done)");
-  require(consumed.size() == expected.size(),
-          cat("worker stream: streamed ", consumed.size(), " of ",
-              expected.size(), " assigned shards"));
+  while (std::getline(in, line)) consumer.feed(line);
+  consumer.finish_stream();
 }
+
+// ---------------------------------------------------------------------------
+// serve_design_space: the fault-tolerant coordinator event loop
+// ---------------------------------------------------------------------------
 
 SweepSummary serve_design_space(const std::vector<CorpusApp>& corpus,
                                 const SweepSpec& spec,
@@ -298,11 +465,14 @@ SweepSummary serve_design_space(const std::vector<CorpusApp>& corpus,
   (void)corpus;
   (void)spec;
   (void)options;
-  fail("serve_design_space: requires POSIX fork/pipe");
+  fail("serve_design_space: requires POSIX poll/fork");
 #else
+  using Clock = std::chrono::steady_clock;
+  using Event = WorkerStreamConsumer::Event;
+
   validate_sweep_inputs(corpus, spec);
-  require(static_cast<bool>(options.worker_command),
-          "serve_design_space: no worker_command configured");
+  require(options.transport != nullptr,
+          "serve_design_space: no transport configured");
   const std::size_t shards = sweep_shard_count(corpus, spec);
   const std::size_t cells_per_shard = sweep_cells_per_shard(spec);
   int workers = options.workers < 1 ? 1 : options.workers;
@@ -318,92 +488,276 @@ SweepSummary serve_design_space(const std::vector<CorpusApp>& corpus,
   summary.cells.resize(shards * cells_per_shard);
   std::vector<std::size_t> shard_used(shards, 0);
 
-  struct WorkerProc {
-    pid_t pid = -1;
-    int fd = -1;
-    std::string output;
+  // One live worker connection: its channel, the incremental stream
+  // consumer carrying per-connection protocol state across rounds, and
+  // health bookkeeping.
+  struct Conn {
+    std::unique_ptr<WorkerChannel> channel;
+    WorkerStreamConsumer consumer;
+    Clock::time_point last_activity;
+    bool busy = false;
+
+    Conn(std::unique_ptr<WorkerChannel> ch,
+         const std::vector<CorpusApp>& corpus, const SweepSpec& spec,
+         SweepSummary& summary, std::vector<std::size_t>& shard_used,
+         bool dynamic)
+        : channel(std::move(ch)),
+          consumer(corpus, spec, summary, shard_used, dynamic),
+          last_activity(Clock::now()) {}
   };
-  std::vector<WorkerProc> procs(partition.size());
+  std::vector<std::unique_ptr<Conn>> conns;
 
-  // Fork EVERY worker before spawning any reader thread: forking a
-  // multithreaded process clones only the calling thread, and a lock
-  // held by any other thread at that instant stays locked forever in
-  // the child.
-  for (std::size_t w = 0; w < partition.size(); ++w) {
-    const std::vector<std::string> command = options.worker_command(
-        partition[w]);
-    require(!command.empty(), "serve_design_space: empty worker argv");
-    int fds[2];
-    require(::pipe(fds) == 0, "serve_design_space: pipe failed");
-    const pid_t pid = ::fork();
-    require(pid >= 0, "serve_design_space: fork failed");
-    if (pid == 0) {
-      ::dup2(fds[1], 1);  // the wire protocol is the child's stdout
-      ::close(fds[0]);
-      ::close(fds[1]);
-      for (std::size_t v = 0; v < w; ++v) {
-        if (procs[v].fd >= 0) ::close(procs[v].fd);
-      }
-      std::vector<char*> argv;
-      argv.reserve(command.size() + 1);
-      for (const std::string& arg : command) {
-        argv.push_back(const_cast<char*>(arg.c_str()));
-      }
-      argv.push_back(nullptr);
-      ::execvp(argv[0], argv.data());
-      std::fprintf(stderr, "amdrelc serve: cannot exec %s\n", argv[0]);
-      ::_exit(127);
+  std::vector<int> attempts(shards, 0);
+  std::vector<char> completed(shards, 0);
+  std::size_t completed_count = 0;
+  std::deque<std::size_t> pending;
+
+  auto note_complete = [&](Conn& conn) {
+    const std::size_t s = conn.consumer.last_shard();
+    require(!completed[s],
+            cat("serve_design_space: shard ", s, " completed twice"));
+    completed[s] = 1;
+    ++completed_count;
+    if (options.on_shard_complete) {
+      options.on_shard_complete(s, summary.cells.data() + s * cells_per_shard,
+                                conn.consumer.last_used());
     }
-    ::close(fds[1]);
-    procs[w].pid = pid;
-    procs[w].fd = fds[0];
-  }
+    if (conn.channel->supports_reassignment()) {
+      // Informational ack; best-effort by design (wire v3), so a slow
+      // worker can never stall the event loop.
+      conn.channel->write_line(wire::encode_shard_ack({s}));
+    }
+  };
 
-  // One reader per pipe, draining into memory: a worker must never
-  // block on a full pipe buffer because the coordinator is busy with a
-  // sibling's stream.
-  std::vector<std::thread> readers;
-  readers.reserve(procs.size());
-  for (WorkerProc& proc : procs) {
-    readers.emplace_back([&proc]() {
-      char buffer[65536];
-      for (;;) {
-        const ssize_t n = ::read(proc.fd, buffer, sizeof buffer);
-        if (n < 0 && errno == EINTR) continue;
-        if (n <= 0) break;
-        proc.output.append(buffer, static_cast<std::size_t>(n));
+  // Charges one failed attempt to every unfinished shard of a dead
+  // round and queues them for reassignment — or gives up loudly once a
+  // shard exhausts its budget.
+  auto charge_and_queue = [&](const std::vector<std::size_t>& unfinished,
+                              const std::string& who,
+                              const std::string& why) {
+    if (unfinished.empty()) return;
+    for (const std::size_t s : unfinished) {
+      require(attempts[s] <= options.max_shard_retries,
+              cat("serve_design_space: ", who, " ", why, "; shard ", s,
+                  " already failed ", attempts[s],
+                  " attempt(s); giving up"));
+    }
+    std::cerr << "amdrelc serve: " << who << " " << why << "; retrying "
+              << unfinished.size() << " shard(s)\n";
+    for (const std::size_t s : unfinished) pending.push_back(s);
+  };
+
+  // Hands `batch` to a worker: an idle reassignable survivor if one is
+  // live, else a fresh channel from the transport (waiting up to
+  // timeout_ms). False if no worker materialized.
+  auto start_round = [&](const std::vector<std::size_t>& batch,
+                         int timeout_ms) -> bool {
+    std::size_t retry = 0;
+    for (const std::size_t s : batch) {
+      retry = std::max(retry, static_cast<std::size_t>(attempts[s]));
+    }
+    auto begin = [&](Conn& conn) {
+      conn.consumer.begin_round(batch);
+      conn.busy = true;
+      conn.last_activity = Clock::now();
+      for (const std::size_t s : batch) ++attempts[s];
+    };
+    for (const std::unique_ptr<Conn>& conn : conns) {
+      if (conn->busy || !conn->channel->supports_reassignment()) continue;
+      if (!conn->channel->write_line(wire::encode_assign({batch, retry}))) {
+        continue;  // write-broken; it will be culled when its fd closes
       }
-    });
-  }
-  for (std::thread& t : readers) t.join();
+      begin(*conn);
+      return true;
+    }
+    std::unique_ptr<WorkerChannel> channel =
+        options.transport->open_worker(batch, timeout_ms);
+    if (!channel) return false;
+    const bool dynamic = channel->supports_reassignment();
+    if (dynamic &&
+        !channel->write_line(wire::encode_assign({batch, retry}))) {
+      return false;  // stillborn connection; caller decides what's next
+    }
+    auto conn = std::make_unique<Conn>(std::move(channel), corpus, spec,
+                                       summary, shard_used, dynamic);
+    begin(*conn);
+    conns.push_back(std::move(conn));
+    return true;
+  };
 
-  // Reap every child before judging any of them, so a throw below never
-  // leaks zombies.
-  std::string failure;
-  for (std::size_t w = 0; w < procs.size(); ++w) {
-    ::close(procs[w].fd);
-    int status = 0;
-    pid_t reaped = -1;
-    do {
-      reaped = ::waitpid(procs[w].pid, &status, 0);
-    } while (reaped < 0 && errno == EINTR);
-    const bool clean = reaped == procs[w].pid && WIFEXITED(status) &&
-                       WEXITSTATUS(status) == 0;
-    if (!clean && failure.empty()) {
-      failure = WIFEXITED(status)
-                    ? cat("serve_design_space: worker ", w, " exited with ",
-                          WEXITSTATUS(status))
-                    : cat("serve_design_space: worker ", w,
-                          " terminated abnormally");
+  // Initial launch: one round per non-empty partition slot. A slot whose
+  // worker never materializes (e.g. fewer dial-ins than --workers) is
+  // queued for reassignment rather than failed — survivors absorb it.
+  for (const std::vector<std::size_t>& slot : partition) {
+    if (slot.empty()) continue;
+    if (!start_round(slot, options.spawn_timeout_ms)) {
+      std::cerr << "amdrelc serve: no worker for a batch of " << slot.size()
+                << " shard(s); queued for reassignment\n";
+      for (const std::size_t s : slot) pending.push_back(s);
     }
   }
-  require(failure.empty(), failure);
 
-  for (std::size_t w = 0; w < procs.size(); ++w) {
-    std::istringstream stream(procs[w].output);
-    consume_worker_stream(stream, corpus, spec, partition[w], summary,
-                          shard_used);
+  auto fail_conn = [&](Conn& conn, const std::string& why) {
+    charge_and_queue(conn.consumer.round_unfinished(),
+                     conn.channel->describe(), why);
+  };
+
+  // Reads whatever `conn` has to say, feeding the consumer. Returns
+  // {round_completed, closed}.
+  struct DrainResult {
+    bool round_complete = false;
+    bool closed = false;
+  };
+  auto drain_conn = [&](Conn& conn) -> DrainResult {
+    DrainResult result;
+    std::vector<std::string> lines;
+    const ChannelStatus status = conn.channel->read_lines(lines);
+    if (!lines.empty()) conn.last_activity = Clock::now();
+    for (const std::string& line : lines) {
+      const Event event = conn.consumer.feed(line);
+      if (event == Event::kShardComplete) {
+        note_complete(conn);
+      } else if (event == Event::kRoundComplete) {
+        result.round_complete = true;
+      }
+    }
+    result.closed = status == ChannelStatus::kClosed;
+    return result;
+  };
+
+  while (completed_count < shards) {
+    // Dispatch queued retries: an idle survivor or an opportunistic
+    // (non-blocking) fresh channel; if nothing is in flight at all,
+    // block on the transport — and give up loudly if even that yields
+    // no worker.
+    if (!pending.empty()) {
+      const std::vector<std::size_t> batch(pending.begin(), pending.end());
+      if (start_round(batch, 0)) {
+        pending.clear();
+      } else {
+        bool any_busy = false;
+        for (const std::unique_ptr<Conn>& conn : conns) {
+          any_busy = any_busy || conn->busy;
+        }
+        if (!any_busy) {
+          if (start_round(batch, options.spawn_timeout_ms)) {
+            pending.clear();
+          } else {
+            fail(cat("serve_design_space: no worker available for ",
+                     batch.size(), " unfinished shard(s)"));
+          }
+        }
+      }
+    }
+    require(!conns.empty() || !pending.empty(),
+            "serve_design_space: no workers and no pending work");
+    if (conns.empty()) continue;
+
+    std::vector<pollfd> fds;
+    fds.reserve(conns.size());
+    for (const std::unique_ptr<Conn>& conn : conns) {
+      fds.push_back({conn->channel->poll_fd(), POLLIN, 0});
+    }
+    const int ready =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+    if (ready < 0 && errno == EINTR) continue;
+    require(ready >= 0, "serve_design_space: poll failed");
+
+    std::vector<std::unique_ptr<Conn>> kept;
+    kept.reserve(conns.size());
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Conn& conn = *conns[i];
+      const bool readable =
+          (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+      DrainResult drained;
+      if (readable) drained = drain_conn(conn);
+      if (drained.round_complete) {
+        conn.busy = false;
+        if (!conn.channel->supports_reassignment()) {
+          // Static worker: its one stream is complete — reap it.
+          require(conn.channel->finish(),
+                  cat("serve_design_space: ", conn.channel->describe(),
+                      " exited uncleanly after a complete stream"));
+          continue;  // drop
+        }
+        if (drained.closed) continue;  // finished round, then hung up
+        kept.push_back(std::move(conns[i]));
+        continue;
+      }
+      if (drained.closed) {
+        if (conn.busy) {
+          const bool clean = conn.channel->finish();
+          fail_conn(conn, clean ? "stream ended before round completion"
+                                : "died mid-round");
+        }
+        continue;  // drop (idle hangup needs no retry)
+      }
+      if (conn.busy && options.idle_timeout_ms > 0 &&
+          Clock::now() - conn.last_activity >
+              std::chrono::milliseconds(options.idle_timeout_ms)) {
+        fail_conn(conn, "idle timeout");
+        continue;  // drop: ~Conn SIGKILLs a forked worker / drops a socket
+      }
+      kept.push_back(std::move(conns[i]));
+    }
+    conns.swap(kept);
   }
+
+  // Every shard landed. Wind down: static channels still owe their
+  // worker_done trailer (strict — same contract as before the Transport
+  // seam); dynamic channels get a shutdown line and answer with
+  // worker_done, leniently (their data is already validated).
+  const Clock::time_point goodbye_deadline =
+      Clock::now() + std::chrono::seconds(10);
+  for (const std::unique_ptr<Conn>& conn : conns) {
+    const bool dynamic = conn->channel->supports_reassignment();
+    bool handshake_ok = !conn->busy;
+    while (conn->busy && Clock::now() < goodbye_deadline) {
+      pollfd pfd{conn->channel->poll_fd(), POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 100);
+      if (ready < 0 && errno == EINTR) continue;
+      require(ready >= 0, "serve_design_space: poll failed");
+      if (ready == 0) continue;
+      const DrainResult drained = drain_conn(*conn);
+      if (drained.round_complete) {
+        conn->busy = false;
+        handshake_ok = true;
+      } else if (drained.closed) {
+        break;
+      }
+    }
+    if (!dynamic) {
+      require(handshake_ok,
+              cat("serve_design_space: ", conn->channel->describe(),
+                  " never sent its stream trailer"));
+      require(conn->channel->finish(),
+              cat("serve_design_space: ", conn->channel->describe(),
+                  " exited uncleanly after a complete stream"));
+      continue;
+    }
+    if (!handshake_ok ||
+        !conn->channel->write_line(wire::encode_shutdown())) {
+      std::cerr << "amdrelc serve: " << conn->channel->describe()
+                << " did not complete the shutdown handshake\n";
+      continue;
+    }
+    bool done = false;
+    while (!done && Clock::now() < goodbye_deadline) {
+      pollfd pfd{conn->channel->poll_fd(), POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 100);
+      if (ready < 0 && errno == EINTR) continue;
+      require(ready >= 0, "serve_design_space: poll failed");
+      if (ready == 0) continue;
+      const DrainResult drained = drain_conn(*conn);
+      done = conn->consumer.connection_done() || drained.closed;
+    }
+    if (!conn->consumer.connection_done()) {
+      std::cerr << "amdrelc serve: " << conn->channel->describe()
+                << " closed without worker_done\n";
+    }
+  }
+  conns.clear();
+
   finalize_sweep_summary(summary, shard_used, cells_per_shard);
   return summary;
 #endif

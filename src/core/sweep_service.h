@@ -3,11 +3,14 @@
 #include <cstddef>
 #include <functional>
 #include <iosfwd>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/explorer.h"
+#include "core/json_lines.h"
 #include "core/schema.h"
+#include "core/transport.h"
 
 namespace amdrel::core {
 
@@ -16,39 +19,41 @@ namespace amdrel::core {
 // sweep_design_space (ROADMAP direction 1, "serve a corpus on a fleet").
 //
 // Topology: `amdrelc serve` partitions the deterministic (app, platform)
-// shard index round-robin across N `amdrelc worker` OS processes, each
-// worker runs its assigned shards through compute_sweep_shard — the
-// EXACT code path a single-process sweep's threads run — and streams the
-// resulting cell groups back as newline-delimited JSON. The coordinator
-// writes each streamed cell into the slot the single-process layout
-// assigns it and derives the Pareto fronts itself
-// (finalize_sweep_summary), so the merged summary is byte-identical to a
-// single-process sweep at ANY worker count, by construction rather than
-// by comparison.
+// shard index round-robin across N workers reached through a pluggable
+// core::Transport — locally forked `amdrelc worker --shards` processes
+// (ForkPipeTransport) or `amdrelc worker --connect` dial-ins over TCP
+// (TcpTransport). Every worker runs its shards through
+// compute_sweep_shard — the EXACT code path a single-process sweep's
+// threads run — and streams the resulting cell groups back as
+// newline-delimited JSON (core/wire.h). The coordinator writes each
+// streamed cell into the slot the single-process layout assigns it and
+// derives the Pareto fronts itself (finalize_sweep_summary), so the
+// merged summary is byte-identical to a single-process sweep at ANY
+// worker count — and under ANY injected worker failure — by
+// construction rather than by comparison.
 //
-// Wire format (one JSON object per line; doubles travel as IEEE-754 bit
-// patterns inside the canonical cell payload of core/sweep_cache.h):
-//   {"kind":"wire_header","protocol":<wire version>,"schema_version":...,
-//    "fingerprint_algorithm":...,"shards":N}
-//   {"kind":"shard","shard":S,"used":U}     // one per assigned shard,
-//   {"kind":"cell","shard":S,"slot":I,...}  //   then its U cells,
-//                                           //   slots 0..U-1 in order
-//   {"kind":"worker_done","cells":M}        // exactly once, then EOF
-// The stream is self-describing and transport-agnostic: today it rides
-// a pipe from a locally forked worker, but nothing in it precludes a
-// socket from a remote host (the remaining ROADMAP work).
+// Fault tolerance: the coordinator tracks per-worker health (disconnect
+// detection plus an idle timeout) and retries a dead worker's
+// *unfinished* shards — on an idle surviving connection, a newly
+// accepted dial-in, or a respawned process — up to a bounded number of
+// attempts per shard. Re-computation is safe because cells are
+// content-addressed and deterministic: a retried shard overwrites the
+// dead worker's partial cells with identical bytes, and a shard counts
+// as done exactly once.
 //
-// Failure semantics: strict. A version-mismatched header, an unassigned
-// or repeated shard, an out-of-order slot, a malformed cell, a truncated
-// stream or a nonzero worker exit all throw Error and fail the whole
-// serve run — a distributed sweep either reproduces the single-process
-// artifact exactly or it fails loudly; there is no partial output.
+// Failure semantics: strict where it must be. A version-mismatched
+// header, an unassigned or repeated shard, an out-of-order slot, a
+// malformed cell or any other PROTOCOL violation still throws Error and
+// fails the whole run — only CONNECTION failures (EOF mid-stream, a
+// killed or hung worker) are retried, and once a shard exhausts its
+// retry budget the run fails loudly. There is never a silently partial
+// merged artifact.
 // ---------------------------------------------------------------------------
 
 // The coordinator<->worker wire protocol version
 // (kSweepWireProtocolVersion) lives with every other persisted-format
-// constant in core/schema.h. Bumped on any change to the line kinds or
-// field sets; the coordinator rejects a worker speaking a different
+// constant in core/schema.h; the line grammar and codecs live in
+// core/wire.h. The coordinator rejects a worker speaking a different
 // version.
 
 /// Round-robin partition of shards 0..shard_count-1 across `workers`
@@ -58,28 +63,123 @@ namespace amdrel::core {
 std::vector<std::vector<std::size_t>> partition_shards(std::size_t shard_count,
                                                        int workers);
 
-/// Worker half: computes `assigned` shards of the (corpus, spec) sweep
-/// and streams them to `os` in the wire format above, in assigned order.
-/// Honors spec.threads (shards are computed by a pool but emitted in
-/// order) and spec.cache exactly like sweep_design_space — a disk-warm
-/// cache short-circuits compute, and freshly computed cells/mapper
-/// snapshots are published to it for the eventual save. Returns the
-/// number of cells emitted. Throws Error on invalid inputs (out-of-range
-/// or duplicate shard indices) or an unwritable stream.
+/// Observation hook: called after each shard a worker emits, with the
+/// running count of shards emitted on this stream. The CLI's
+/// fault-injection flag (--fail-after-shards) rides here.
+using ShardEmitHook = std::function<void(std::size_t)>;
+
+/// Static worker half: computes `assigned` shards of the (corpus, spec)
+/// sweep and streams them to `os` in the one-directional wire format, in
+/// assigned order. Honors spec.threads (shards are computed by a pool
+/// but emitted in order) and spec.cache exactly like sweep_design_space
+/// — a disk-warm cache short-circuits compute, and freshly computed
+/// cells/mapper snapshots are published to it for the eventual save.
+/// Returns the number of cells emitted. Throws Error on invalid inputs
+/// (out-of-range or duplicate shard indices) or an unwritable stream.
 std::size_t run_sweep_worker(const std::vector<CorpusApp>& corpus,
                              const SweepSpec& spec,
                              const std::vector<std::size_t>& assigned,
-                             std::ostream& os);
+                             std::ostream& os,
+                             const ShardEmitHook& after_shard = {});
 
-/// Coordinator half of one worker connection: validates and parses a
-/// worker stream and writes its cells into `summary.cells` (which must
-/// hold the full shards x cells_per_shard slot layout) and its per-shard
-/// fill counts into `shard_used`. Cell coordinates that are derivable
-/// from the shard/slot index alone (app, platform axes, platform cost,
+/// Dynamic worker half (wire v3): announces the header on `out`, then
+/// serves "assign" batches read from `in` — each computed exactly like
+/// run_sweep_worker and answered with shard/cell lines plus a
+/// round_done — until a "shutdown" line, acknowledged with a final
+/// worker_done. shard_ack lines from the coordinator are validated and
+/// ignored. Returns total cells across all rounds. Throws Error if the
+/// coordinator breaks protocol or disconnects before shutdown.
+std::size_t run_sweep_worker_connected(const std::vector<CorpusApp>& corpus,
+                                       const SweepSpec& spec, std::istream& in,
+                                       std::ostream& out,
+                                       const ShardEmitHook& after_shard = {});
+
+/// Incremental validator/merger of one worker connection's stream, fed
+/// one wire line at a time — the heart of both the fault-tolerant event
+/// loop (which interleaves many live connections) and the one-shot
+/// consume_worker_stream below. Cell coordinates that are derivable from
+/// the shard/slot index alone (app, platform axes, platform cost,
 /// strategy, ordering, energy budget) are re-derived locally — the wire
 /// carries only the computed payload — so a byte on the wire can never
-/// move a cell to the wrong coordinate. Throws Error on any protocol
-/// violation (see failure semantics above).
+/// move a cell to the wrong coordinate. Every protocol violation throws
+/// Error.
+class WorkerStreamConsumer {
+ public:
+  /// `dynamic` selects the wire v3 round protocol (round_done
+  /// terminates an assign batch; worker_done only closes the
+  /// connection) over the static single-batch stream (worker_done
+  /// terminates the one round).
+  WorkerStreamConsumer(const std::vector<CorpusApp>& corpus,
+                       const SweepSpec& spec, SweepSummary& summary,
+                       std::vector<std::size_t>& shard_used, bool dynamic);
+
+  /// Starts a round over `assigned` shards. The first round also expects
+  /// the wire_header before any data line.
+  void begin_round(const std::vector<std::size_t>& assigned);
+
+  enum class Event {
+    kNone,           ///< line consumed, nothing completed
+    kShardComplete,  ///< last_shard()/last_used() just filled its slots
+    kRoundComplete,  ///< every shard of the round landed + terminator seen
+  };
+
+  /// Feeds one line (no trailing newline). Throws Error on protocol
+  /// violations.
+  Event feed(const std::string& line);
+
+  /// EOF check for a one-shot stream: throws the classic truncation /
+  /// missing-shards errors if the stream ended mid-round.
+  void finish_stream() const;
+
+  std::size_t last_shard() const { return last_shard_; }
+  std::size_t last_used() const { return last_used_; }
+  bool round_active() const { return round_active_; }
+  bool header_seen() const { return header_seen_; }
+  bool connection_done() const { return done_; }
+  std::size_t total_cells() const { return total_cells_; }
+  /// Shards of the current round not yet fully streamed — the retry set
+  /// when the connection dies mid-round.
+  std::vector<std::size_t> round_unfinished() const;
+
+ private:
+  Event feed_header(const jsonl::JsonValue& object);
+  Event feed_shard(const jsonl::JsonValue& object);
+  Event feed_cell(const jsonl::JsonValue& object);
+  Event complete_shard(std::size_t shard, std::size_t used);
+
+  const SweepSpec& spec_;
+  SweepSummary& summary_;
+  std::vector<std::size_t>& shard_used_;
+  bool dynamic_ = false;
+
+  std::size_t shards_ = 0;
+  std::size_t cells_per_shard_ = 0;
+  std::vector<double> budgets_;
+  std::size_t inner_ = 0;
+
+  bool header_seen_ = false;
+  bool done_ = false;
+  bool round_active_ = false;
+  std::size_t line_no_ = 0;
+  std::size_t total_cells_ = 0;
+  std::size_t round_cells_ = 0;
+  std::set<std::size_t> expected_;
+  std::set<std::size_t> consumed_;  ///< across all rounds of the connection
+  std::size_t round_completed_ = 0;
+
+  bool in_shard_ = false;
+  std::size_t cur_shard_ = 0;
+  std::size_t cur_used_ = 0;
+  std::size_t cur_slot_ = 0;
+  std::size_t last_shard_ = 0;
+  std::size_t last_used_ = 0;
+};
+
+/// Coordinator half of one static worker stream, one-shot: validates and
+/// parses the whole stream and writes its cells into `summary.cells`
+/// (which must hold the full shards x cells_per_shard slot layout) and
+/// its per-shard fill counts into `shard_used`. Implemented on
+/// WorkerStreamConsumer; throws Error on any protocol violation.
 void consume_worker_stream(std::istream& in,
                            const std::vector<CorpusApp>& corpus,
                            const SweepSpec& spec,
@@ -87,23 +187,40 @@ void consume_worker_stream(std::istream& in,
                            SweepSummary& summary,
                            std::vector<std::size_t>& shard_used);
 
-/// How serve_design_space launches workers.
+/// How serve_design_space reaches workers and how patient it is with
+/// them.
 struct ServeOptions {
-  /// Worker process count; clamped to [1, shard count].
+  /// Worker count (initial partition width); clamped to [1, shard
+  /// count].
   int workers = 1;
-  /// Maps a worker's assigned shard list to the argv of the process to
-  /// spawn (argv[0] = executable, resolved via PATH). The process must
-  /// speak the wire protocol on stdout. The CLI builds
-  /// "amdrelc worker ... --shards i,j,..." here.
-  std::function<std::vector<std::string>(const std::vector<std::size_t>&)>
-      worker_command;
+  /// Channel factory (core/transport.h). Required; not owned.
+  Transport* transport = nullptr;
+  /// Additional assignment attempts allowed per shard after the first
+  /// before the run fails. 0 disables retry entirely.
+  int max_shard_retries = 2;
+  /// A worker whose stream stays silent this long mid-round is declared
+  /// dead and its unfinished shards retried. <= 0 disables the timeout.
+  int idle_timeout_ms = 300000;
+  /// How long open_worker may wait for a worker to materialize when the
+  /// run cannot progress without one (initial launch and retries with no
+  /// survivors).
+  int spawn_timeout_ms = 60000;
+  /// Streaming partial results: called as each shard completes — in
+  /// completion order, exactly once per shard — with (shard index, its
+  /// cells in slot order, used count). The cells live in the summary
+  /// being assembled; copy anything that must outlive the call.
+  std::function<void(std::size_t, const SweepCell*, std::size_t)>
+      on_shard_complete;
 };
 
-/// Coordinator: partitions the sweep across locally forked worker
-/// processes, merges their streams and finalizes the summary. The result
-/// is byte-identical to sweep_design_space(corpus, spec) at any worker
-/// count. Throws Error if a worker exits nonzero, breaks protocol, or
-/// the platform lacks fork/pipe (non-POSIX builds).
+/// Coordinator: partitions the sweep across workers reached through
+/// options.transport, merges their streams with per-worker health
+/// tracking and bounded shard retry, and finalizes the summary. The
+/// result is byte-identical to sweep_design_space(corpus, spec) at any
+/// worker count and under any injected worker failure that stays within
+/// the retry budget. Throws Error on protocol violations, on a shard
+/// exhausting its retries, or when the platform lacks poll/fork
+/// (non-POSIX builds).
 SweepSummary serve_design_space(const std::vector<CorpusApp>& corpus,
                                 const SweepSpec& spec,
                                 const ServeOptions& options);

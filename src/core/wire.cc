@@ -1,0 +1,153 @@
+#include "core/wire.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace amdrel::core::wire {
+
+using jsonl::JsonParser;
+using jsonl::JsonValue;
+using jsonl::get_int;
+using jsonl::get_string;
+
+namespace {
+
+bool get_size(const JsonValue& object, const char* name, std::size_t& out) {
+  std::int64_t value = 0;
+  if (!get_int(object, name, value) || value < 0) return false;
+  out = static_cast<std::size_t>(value);
+  return true;
+}
+
+bool get_version(const JsonValue& object, const char* name, int& out) {
+  std::int64_t value = 0;
+  if (!get_int(object, name, value) || value < 0) return false;
+  out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+bool parse_line(const std::string& line, JsonValue& object) {
+  return JsonParser(line).parse(object) &&
+         object.kind == JsonValue::Kind::kObject;
+}
+
+LineKind line_kind(const JsonValue& object) {
+  std::string kind;
+  if (!get_string(object, "kind", kind)) return LineKind::kUnknown;
+  if (kind == "wire_header") return LineKind::kHeader;
+  if (kind == "shard") return LineKind::kShard;
+  if (kind == "cell") return LineKind::kCell;
+  if (kind == "worker_done") return LineKind::kWorkerDone;
+  if (kind == "assign") return LineKind::kAssign;
+  if (kind == "shard_ack") return LineKind::kShardAck;
+  if (kind == "round_done") return LineKind::kRoundDone;
+  if (kind == "shutdown") return LineKind::kShutdown;
+  return LineKind::kUnknown;
+}
+
+void encode_header(std::ostream& os, const Header& header) {
+  os << "{\"kind\":\"wire_header\",\"protocol\":" << header.protocol
+     << ",\"schema_version\":" << header.schema_version
+     << ",\"fingerprint_algorithm\":" << header.fingerprint_algorithm
+     << ",\"shards\":" << header.shards << "}\n";
+}
+
+bool decode_header(const JsonValue& object, Header& header) {
+  return line_kind(object) == LineKind::kHeader &&
+         get_version(object, "protocol", header.protocol) &&
+         get_version(object, "schema_version", header.schema_version) &&
+         get_version(object, "fingerprint_algorithm",
+                     header.fingerprint_algorithm) &&
+         get_size(object, "shards", header.shards);
+}
+
+void encode_shard_begin(std::ostream& os, const ShardBegin& shard) {
+  os << "{\"kind\":\"shard\",\"shard\":" << shard.shard
+     << ",\"used\":" << shard.used << "}\n";
+}
+
+bool decode_shard_begin(const JsonValue& object, ShardBegin& shard) {
+  return line_kind(object) == LineKind::kShard &&
+         get_size(object, "shard", shard.shard) &&
+         get_size(object, "used", shard.used);
+}
+
+void encode_cell(std::ostream& os, std::size_t shard, std::size_t slot,
+                 const PartitionReport& report,
+                 const std::vector<std::string>& moved_names) {
+  os << "{\"kind\":\"cell\",\"shard\":" << shard << ",\"slot\":" << slot
+     << ",";
+  write_cell_payload(os, report, moved_names);
+  os << "}\n";
+}
+
+bool decode_cell(const JsonValue& object, Cell& cell) {
+  return line_kind(object) == LineKind::kCell &&
+         get_size(object, "shard", cell.shard) &&
+         get_size(object, "slot", cell.slot) &&
+         read_cell_payload(object, cell.payload);
+}
+
+void encode_worker_done(std::ostream& os, const WorkerDone& done) {
+  os << "{\"kind\":\"worker_done\",\"cells\":" << done.cells << "}\n";
+}
+
+bool decode_worker_done(const JsonValue& object, WorkerDone& done) {
+  return line_kind(object) == LineKind::kWorkerDone &&
+         get_size(object, "cells", done.cells);
+}
+
+std::string encode_assign(const Assign& assign) {
+  std::ostringstream os;
+  os << "{\"kind\":\"assign\",\"retry\":" << assign.retry << ",\"shards\":[";
+  for (std::size_t i = 0; i < assign.shards.size(); ++i) {
+    if (i) os << ',';
+    os << assign.shards[i];
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+bool decode_assign(const JsonValue& object, Assign& assign) {
+  if (line_kind(object) != LineKind::kAssign ||
+      !get_size(object, "retry", assign.retry)) {
+    return false;
+  }
+  const JsonValue* shards = object.find("shards");
+  if (!shards || shards->kind != JsonValue::Kind::kArray) return false;
+  assign.shards.clear();
+  assign.shards.reserve(shards->items.size());
+  for (const JsonValue& item : shards->items) {
+    if (item.kind != JsonValue::Kind::kInt || item.integer < 0) return false;
+    assign.shards.push_back(static_cast<std::size_t>(item.integer));
+  }
+  return true;
+}
+
+std::string encode_shard_ack(const ShardAck& ack) {
+  std::ostringstream os;
+  os << "{\"kind\":\"shard_ack\",\"shard\":" << ack.shard << "}\n";
+  return os.str();
+}
+
+bool decode_shard_ack(const JsonValue& object, ShardAck& ack) {
+  return line_kind(object) == LineKind::kShardAck &&
+         get_size(object, "shard", ack.shard);
+}
+
+std::string encode_round_done(const RoundDone& done) {
+  std::ostringstream os;
+  os << "{\"kind\":\"round_done\",\"cells\":" << done.cells << "}\n";
+  return os.str();
+}
+
+bool decode_round_done(const JsonValue& object, RoundDone& done) {
+  return line_kind(object) == LineKind::kRoundDone &&
+         get_size(object, "cells", done.cells);
+}
+
+std::string encode_shutdown() { return "{\"kind\":\"shutdown\"}\n"; }
+
+}  // namespace amdrel::core::wire

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/json_lines.h"
+#include "core/sweep_cache.h"
+
+namespace amdrel::core::wire {
+
+// ---------------------------------------------------------------------------
+// Line codecs for the sweep-service wire protocol (one JSON object per
+// line; doubles travel as IEEE-754 bit patterns inside the canonical
+// cell payload of core/sweep_cache.h). Promoted out of sweep_service.cc
+// so transports, the coordinator, workers and tests all share ONE
+// encode/decode per line kind instead of re-parsing ad hoc.
+//
+// Static (one-directional) stream — a `worker --shards` process's
+// stdout, unchanged since wire v2:
+//   {"kind":"wire_header","protocol":P,"schema_version":S,
+//    "fingerprint_algorithm":F,"shards":N}      // exactly once, first
+//   {"kind":"shard","shard":S,"used":U}         // one per shard,
+//   {"kind":"cell","shard":S,"slot":I,...}      //   then its U cells,
+//                                               //   slots 0..U-1 in order
+//   {"kind":"worker_done","cells":M}            // exactly once, then EOF
+//
+// Dynamic (bidirectional) control lines — wire v3, spoken over a socket
+// by `worker --connect`:
+//   coordinator -> worker:
+//     {"kind":"assign","retry":R,"shards":[...]}  // compute these next;
+//                                                 //   R = prior attempts
+//     {"kind":"shard_ack","shard":S}              // informational,
+//                                                 //   best-effort
+//     {"kind":"shutdown"}                         // no further work
+//   worker -> coordinator:
+//     wire_header once, then per assign batch the shard/cell lines
+//     above followed by {"kind":"round_done","cells":M}, and a final
+//     worker_done (cells = total across rounds) after shutdown.
+//
+// Encoders for the potentially large data lines (header, shard, cell,
+// worker_done) write a complete line INCLUDING the trailing newline to
+// an ostream; the small control lines return the full line (also
+// newline-terminated) as a string for channel writers. Decoders take a
+// parsed JSON object (see parse_line) and return false on a missing or
+// malformed field — never throwing, so callers own the error story.
+// ---------------------------------------------------------------------------
+
+enum class LineKind {
+  kUnknown,
+  kHeader,
+  kShard,
+  kCell,
+  kWorkerDone,
+  kAssign,
+  kShardAck,
+  kRoundDone,
+  kShutdown,
+};
+
+struct Header {
+  int protocol = 0;
+  int schema_version = 0;
+  int fingerprint_algorithm = 0;
+  std::size_t shards = 0;
+};
+
+struct ShardBegin {
+  std::size_t shard = 0;
+  std::size_t used = 0;
+};
+
+struct Cell {
+  std::size_t shard = 0;
+  std::size_t slot = 0;
+  CachedCell payload;
+};
+
+struct WorkerDone {
+  std::size_t cells = 0;
+};
+
+struct Assign {
+  std::vector<std::size_t> shards;
+  /// How many times any shard in the batch had been assigned before
+  /// (0 on first assignment; > 0 marks a retry round).
+  std::size_t retry = 0;
+};
+
+struct ShardAck {
+  std::size_t shard = 0;
+};
+
+struct RoundDone {
+  std::size_t cells = 0;
+};
+
+/// Parses one wire line into a JSON object. False on anything that is
+/// not a single well-formed JSON object.
+bool parse_line(const std::string& line, jsonl::JsonValue& object);
+
+/// The "kind" dispatch; kUnknown for a missing or unrecognized kind.
+LineKind line_kind(const jsonl::JsonValue& object);
+
+void encode_header(std::ostream& os, const Header& header);
+bool decode_header(const jsonl::JsonValue& object, Header& header);
+
+void encode_shard_begin(std::ostream& os, const ShardBegin& shard);
+bool decode_shard_begin(const jsonl::JsonValue& object, ShardBegin& shard);
+
+/// The cell payload is the canonical codec of core/sweep_cache.h, shared
+/// with the cache file byte-for-byte.
+void encode_cell(std::ostream& os, std::size_t shard, std::size_t slot,
+                 const PartitionReport& report,
+                 const std::vector<std::string>& moved_names);
+bool decode_cell(const jsonl::JsonValue& object, Cell& cell);
+
+void encode_worker_done(std::ostream& os, const WorkerDone& done);
+bool decode_worker_done(const jsonl::JsonValue& object, WorkerDone& done);
+
+std::string encode_assign(const Assign& assign);
+bool decode_assign(const jsonl::JsonValue& object, Assign& assign);
+
+std::string encode_shard_ack(const ShardAck& ack);
+bool decode_shard_ack(const jsonl::JsonValue& object, ShardAck& ack);
+
+std::string encode_round_done(const RoundDone& done);
+bool decode_round_done(const jsonl::JsonValue& object, RoundDone& done);
+
+std::string encode_shutdown();
+
+}  // namespace amdrel::core::wire

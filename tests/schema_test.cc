@@ -27,8 +27,9 @@ TEST(SchemaVersionTest, SweepCacheSchemaVersionIsPinned) {
 }
 
 TEST(SchemaVersionTest, SweepWireProtocolVersionIsPinned) {
-  // v2: wire cells carry the v4 cell payload.
-  EXPECT_EQ(core::kSweepWireProtocolVersion, 2);
+  // v3: bidirectional control lines (assign/shard_ack/round_done/
+  // shutdown) for connected transports, on top of the v2 cell stream.
+  EXPECT_EQ(core::kSweepWireProtocolVersion, 3);
 }
 
 }  // namespace

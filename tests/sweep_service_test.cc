@@ -22,6 +22,7 @@
 #include "core/explorer.h"
 #include "core/sweep_cache.h"
 #include "core/sweep_io.h"
+#include "core/transport.h"
 #include "support/error.h"
 #include "workloads/paper_models.h"
 
@@ -229,12 +230,14 @@ TEST(SweepServiceTest, ServeMergesCommandWorkers) {
     paths.push_back(path);
   }
 
+  ForkPipeTransport transport(
+      [&](const std::vector<std::size_t>& assigned) {
+        EXPECT_EQ(assigned.size(), 1u);
+        return std::vector<std::string>{"/bin/cat", paths[assigned[0]]};
+      });
   ServeOptions options;
   options.workers = static_cast<int>(shards);  // one shard per worker
-  options.worker_command = [&](const std::vector<std::size_t>& assigned) {
-    EXPECT_EQ(assigned.size(), 1u);
-    return std::vector<std::string>{"/bin/cat", paths[assigned[0]]};
-  };
+  options.transport = &transport;
   const auto summary = serve_design_space(corpus, spec, options);
   EXPECT_EQ(sweep_to_json(summary), json);
   for (const std::string& path : paths) std::remove(path.c_str());
@@ -243,11 +246,12 @@ TEST(SweepServiceTest, ServeMergesCommandWorkers) {
 TEST(SweepServiceTest, ServeFailsWhenAWorkerExitsNonzero) {
   const auto corpus = workloads::paper_corpus();
   const SweepSpec spec = small_spec(1, nullptr);
+  ForkPipeTransport transport([](const std::vector<std::size_t>&) {
+    return std::vector<std::string>{"/bin/sh", "-c", "exit 3"};
+  });
   ServeOptions options;
   options.workers = 2;
-  options.worker_command = [](const std::vector<std::size_t>&) {
-    return std::vector<std::string>{"/bin/sh", "-c", "exit 3"};
-  };
+  options.transport = &transport;
   EXPECT_THROW(serve_design_space(corpus, spec, options), Error);
 }
 #endif  // !_WIN32

@@ -1,0 +1,231 @@
+// Wire codecs (core/wire.h): every line kind of the sweep-service
+// protocol round-trips encode -> parse_line -> decode with its fields
+// intact, and the data lines re-encode byte-identically — the property
+// the coordinator's byte-identity guarantee stands on. Decoders must
+// reject missing/mistyped fields with `false`, never by throwing.
+
+#include "core/wire.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/json_lines.h"
+
+namespace amdrel::core::wire {
+namespace {
+
+// Strips the trailing newline every encoder appends, so tests can also
+// assert it was there.
+std::string encoded_line(const std::string& with_newline) {
+  EXPECT_FALSE(with_newline.empty());
+  EXPECT_EQ(with_newline.back(), '\n');
+  return with_newline.substr(0, with_newline.size() - 1);
+}
+
+jsonl::JsonValue parsed(const std::string& line) {
+  jsonl::JsonValue object;
+  EXPECT_TRUE(parse_line(line, object));
+  return object;
+}
+
+TEST(WireTest, HeaderRoundTrips) {
+  Header header;
+  header.protocol = 3;
+  header.schema_version = 7;
+  header.fingerprint_algorithm = 2;
+  header.shards = 12;
+
+  std::ostringstream os;
+  encode_header(os, header);
+  const std::string line = encoded_line(os.str());
+  const jsonl::JsonValue object = parsed(line);
+  EXPECT_EQ(line_kind(object), LineKind::kHeader);
+
+  Header out;
+  ASSERT_TRUE(decode_header(object, out));
+  EXPECT_EQ(out.protocol, 3);
+  EXPECT_EQ(out.schema_version, 7);
+  EXPECT_EQ(out.fingerprint_algorithm, 2);
+  EXPECT_EQ(out.shards, 12u);
+
+  std::ostringstream again;
+  encode_header(again, out);
+  EXPECT_EQ(again.str(), os.str());
+}
+
+TEST(WireTest, ShardBeginRoundTrips) {
+  ShardBegin begin;
+  begin.shard = 5;
+  begin.used = 24;
+
+  std::ostringstream os;
+  encode_shard_begin(os, begin);
+  const jsonl::JsonValue object = parsed(encoded_line(os.str()));
+  EXPECT_EQ(line_kind(object), LineKind::kShard);
+
+  ShardBegin out;
+  ASSERT_TRUE(decode_shard_begin(object, out));
+  EXPECT_EQ(out.shard, 5u);
+  EXPECT_EQ(out.used, 24u);
+}
+
+TEST(WireTest, CellRoundTripsByteIdentically) {
+  // A representative payload: doubles with non-terminating binary
+  // fractions must survive bit-exactly (they travel as IEEE-754 bit
+  // patterns, not decimal renderings).
+  PartitionReport report;
+  report.app = "ofdm \"quoted\"";
+  report.timing_constraint = 60000;
+  report.objective = ObjectiveKind::kCombined;
+  report.energy_budget_pj = 0.1 + 0.2;  // 0.30000000000000004
+  report.initial_cycles = 123456789;
+  report.initial_energy_pj = 202988452.0625;
+  report.initial_meets = false;
+  report.final_cycles = 66543;
+  report.cycles_in_cgc = 31234;
+  report.floorplan_cost = 17.25;
+  report.met = true;
+  report.engine_iterations = 42;
+  report.moved = {22, 7};  // ids must pair 1:1 with moved_names
+  const std::vector<std::string> moved_names = {"BB22", "BB7"};
+
+  std::ostringstream os;
+  encode_cell(os, /*shard=*/3, /*slot=*/1, report, moved_names);
+  const std::string line = encoded_line(os.str());
+  const jsonl::JsonValue object = parsed(line);
+  EXPECT_EQ(line_kind(object), LineKind::kCell);
+
+  Cell cell;
+  ASSERT_TRUE(decode_cell(object, cell));
+  EXPECT_EQ(cell.shard, 3u);
+  EXPECT_EQ(cell.slot, 1u);
+  EXPECT_EQ(cell.payload.report.app, report.app);
+  EXPECT_EQ(cell.payload.report.final_cycles, report.final_cycles);
+  EXPECT_EQ(cell.payload.report.energy_budget_pj, report.energy_budget_pj);
+  EXPECT_EQ(cell.payload.report.met, report.met);
+  EXPECT_EQ(cell.payload.moved_names, moved_names);
+
+  // decode -> re-encode is the identity on bytes: the guarantee the
+  // coordinator's merged artifact rests on.
+  std::ostringstream again;
+  encode_cell(again, cell.shard, cell.slot, cell.payload.report,
+              cell.payload.moved_names);
+  EXPECT_EQ(again.str(), os.str());
+}
+
+TEST(WireTest, WorkerDoneRoundTrips) {
+  WorkerDone done;
+  done.cells = 96;
+
+  std::ostringstream os;
+  encode_worker_done(os, done);
+  const jsonl::JsonValue object = parsed(encoded_line(os.str()));
+  EXPECT_EQ(line_kind(object), LineKind::kWorkerDone);
+
+  WorkerDone out;
+  ASSERT_TRUE(decode_worker_done(object, out));
+  EXPECT_EQ(out.cells, 96u);
+}
+
+TEST(WireTest, AssignRoundTrips) {
+  Assign assign;
+  assign.shards = {4, 0, 9};
+  assign.retry = 2;
+
+  const std::string line = encoded_line(encode_assign(assign));
+  const jsonl::JsonValue object = parsed(line);
+  EXPECT_EQ(line_kind(object), LineKind::kAssign);
+
+  Assign out;
+  ASSERT_TRUE(decode_assign(object, out));
+  EXPECT_EQ(out.shards, (std::vector<std::size_t>{4, 0, 9}));
+  EXPECT_EQ(out.retry, 2u);
+  EXPECT_EQ(encode_assign(out), encode_assign(assign));
+}
+
+TEST(WireTest, EmptyAssignRoundTrips) {
+  // An empty batch is legal on the wire (a worker that dialed in after
+  // all shards were handed out gets nothing but a later shutdown).
+  Assign assign;
+  Assign out;
+  ASSERT_TRUE(decode_assign(parsed(encoded_line(encode_assign(assign))),
+                            out));
+  EXPECT_TRUE(out.shards.empty());
+  EXPECT_EQ(out.retry, 0u);
+}
+
+TEST(WireTest, ShardAckRoundTrips) {
+  ShardAck ack;
+  ack.shard = 6;
+  const jsonl::JsonValue object = parsed(encoded_line(encode_shard_ack(ack)));
+  EXPECT_EQ(line_kind(object), LineKind::kShardAck);
+  ShardAck out;
+  ASSERT_TRUE(decode_shard_ack(object, out));
+  EXPECT_EQ(out.shard, 6u);
+}
+
+TEST(WireTest, RoundDoneRoundTrips) {
+  RoundDone done;
+  done.cells = 18;
+  const jsonl::JsonValue object =
+      parsed(encoded_line(encode_round_done(done)));
+  EXPECT_EQ(line_kind(object), LineKind::kRoundDone);
+  RoundDone out;
+  ASSERT_TRUE(decode_round_done(object, out));
+  EXPECT_EQ(out.cells, 18u);
+}
+
+TEST(WireTest, ShutdownEncodes) {
+  const jsonl::JsonValue object = parsed(encoded_line(encode_shutdown()));
+  EXPECT_EQ(line_kind(object), LineKind::kShutdown);
+}
+
+TEST(WireTest, ParseLineRejectsGarbage) {
+  jsonl::JsonValue object;
+  EXPECT_FALSE(parse_line("not json", object));
+  EXPECT_FALSE(parse_line("", object));
+  EXPECT_FALSE(parse_line("[1, 2]", object));  // array, not object
+}
+
+TEST(WireTest, UnknownKindIsUnknown) {
+  EXPECT_EQ(line_kind(parsed("{\"kind\":\"mystery\"}")),
+            LineKind::kUnknown);
+  EXPECT_EQ(line_kind(parsed("{\"no_kind\":1}")), LineKind::kUnknown);
+}
+
+TEST(WireTest, DecodersRejectMissingFields) {
+  Header header;
+  EXPECT_FALSE(decode_header(parsed("{\"kind\":\"wire_header\"}"), header));
+
+  ShardBegin begin;
+  EXPECT_FALSE(
+      decode_shard_begin(parsed("{\"kind\":\"shard\",\"used\":2}"), begin));
+
+  Cell cell;
+  EXPECT_FALSE(
+      decode_cell(parsed("{\"kind\":\"cell\",\"shard\":0,\"slot\":0}"),
+                  cell));
+
+  WorkerDone done;
+  EXPECT_FALSE(decode_worker_done(parsed("{\"kind\":\"worker_done\"}"),
+                                  done));
+
+  Assign assign;
+  EXPECT_FALSE(decode_assign(parsed("{\"kind\":\"assign\",\"retry\":0}"),
+                             assign));
+  EXPECT_FALSE(decode_assign(
+      parsed("{\"kind\":\"assign\",\"retry\":0,\"shards\":[-1]}"), assign));
+
+  ShardAck ack;
+  EXPECT_FALSE(decode_shard_ack(parsed("{\"kind\":\"shard_ack\"}"), ack));
+
+  RoundDone round;
+  EXPECT_FALSE(decode_round_done(parsed("{\"kind\":\"round_done\"}"),
+                                 round));
+}
+
+}  // namespace
+}  // namespace amdrel::core::wire

@@ -6,83 +6,40 @@
 //                                           constraint x strategy x
 //                                           ordering design-space sweep
 //   amdrelc serve     [file.mc] [options]   the same sweep, distributed
-//                                           across --workers N forked
-//                                           `amdrelc worker` processes;
-//                                           output byte-identical to explore
-//   amdrelc worker    [file.mc] [options]   one serve worker: computes its
-//                                           --shards list and streams the
-//                                           wire protocol on stdout
+//                                           across workers — forked
+//                                           `amdrelc worker` processes
+//                                           (default) or, with --listen,
+//                                           TCP dial-ins from other
+//                                           hosts; output byte-identical
+//                                           to explore
+//   amdrelc worker    [file.mc] [options]   one serve worker: either
+//                                           computes its --shards list
+//                                           and streams the wire
+//                                           protocol on stdout, or
+//                                           --connect's to a listening
+//                                           coordinator and serves
+//                                           assignment rounds over the
+//                                           socket
 //   amdrelc dump-tac  <file.mc> [options]   lowered three-address code
 //   amdrelc dump-dot  <file.mc> [options]   CDFG in Graphviz DOT
 //   amdrelc cache-merge <out> <in...>       fold sweep cache files into one
 //                                           (per-worker caches -> coordinator)
 //
-// options:
-//   --area N         usable fine-grain area A_FPGA       (default 1500)
-//   --cgcs N         number of 2x2 CGCs                  (default 2)
-//   --constraint N   timing constraint in FPGA cycles    (default: half of
-//                    the all-fine-grain cycles)
-//   --strategy S     partitioning strategy: greedy | exhaustive |
-//                    annealing                           (default greedy)
-//   --ordering O     kernel ordering: weight | benefit | code | random
-//                                                        (default weight)
-//   --objective O    cost objective: timing | energy | combined
-//                                                        (default timing)
-//   --energy-budget N  energy budget in pJ for the energy/combined
-//                    objectives (partition default: half of the
-//                    all-fine-grain energy; explore default: 0)
-//   --timing-weight W  combined-objective weight on cycles   (default 1)
-//   --energy-weight W  combined-objective weight on energy   (default 1)
-//   --reconfig-latency C  bitstream load latency in FPGA cycles per op
-//                    node of a moved module; 0 disables reconfiguration
-//                    pricing entirely                       (default 0)
-//   --prefetch-overlap F  fraction of each configuration load hidden by
-//                    prefetch, in [0, 1)                    (default 0)
-//   --floorplan-cost C  area-cost charge per moved op node, reported
-//                    beside platform cost (never added to cycles)
-//                                                           (default 0)
-//   --seed N         seed for random ordering / annealing (default 1)
-//   --input NAME=v0,v1,...   initialize array NAME before profiling
-//   --optimize       run the TAC optimizer before analysis
-//   --top N          rows to print in analyze            (default 10)
-// explore only:
-//   --constraints c1,c2,...  constraint sweep (default: 1/4, 1/2 and 3/4
-//                    of each cell's all-fine-grain cycles)
-//   --energy-budgets b1,b2,...  energy-budget axis in pJ (default: the
-//                    single --energy-budget value, or 0)
-//   --strategies s1,s2,...   strategies to sweep  (default: all)
-//   --orderings o1,o2,...    orderings to sweep   (default: weight,benefit)
-//   --grid AxC       platform grid "a1,a2,...xc1,c2,..." — A_FPGA values
-//                    crossed with CGC counts, e.g. 1500,5000x2,3
-//                    (default: one platform from --area/--cgcs)
-//   --corpus l1,l2,...  sweep these apps as well as (or instead of) the
-//                    positional file: built-ins ofdm | jpeg (the paper's
-//                    calibrated models), fir | sobel (bundled MiniC
-//                    sources), or a path to a .mc file
-//   --json PATH      write the sweep as stable-schema JSON
-//   --csv PATH       write the sweep as CSV
-//   --threads N      worker threads               (default 2)
-//   --cache PATH     persistent sweep cache: loaded before the sweep
-//                    (warn-and-recompute on any validation failure) and
-//                    saved after it, so repeated invocations start warm
-//   --no-cache       run uncached (overrides --cache)
-//   --cache-stats PATH  write the cache hit/miss counters as JSON
-//                    (requires an effective --cache; explore/worker only)
-//   --cache-cap-bytes N  size cap for the saved cache file; entries
-//                    beyond it are evicted least-recently-touched first
-//                    (0 = never evict; default 64 MiB)
-// serve only:
-//   --workers N      worker processes to fork            (default 2)
-// worker only (normally spawned by serve, not typed by hand):
-//   --shards i,j,...  the (app, platform) shard indices this worker
-//                    computes and streams
+// Options are declared once in kOptions below — name, arity, validating
+// apply function and help text — and parsed by one loop shared by every
+// subcommand; usage() renders its help from the same table. Malformed
+// values are usage errors (exit 2) that name the offending flag; which
+// flags each COMMAND accepts is enforced by the explicit applicability
+// checks at the end of parse_args.
 
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -97,12 +54,14 @@
 #include "core/sweep_cache.h"
 #include "core/sweep_io.h"
 #include "core/sweep_service.h"
+#include "core/transport.h"
 #include "interp/interpreter.h"
 #include "ir/build_cdfg.h"
 #include "ir/dot.h"
 #include "minic/frontend.h"
 #include "minic/optimizer.h"
 #include "support/error.h"
+#include "support/net.h"
 #include "support/strings.h"
 #include "workloads/minic_sources.h"
 #include "workloads/paper_models.h"
@@ -149,38 +108,18 @@ struct Options {
   // serve / worker (the distributed split of explore)
   std::optional<int> workers;
   std::optional<std::vector<std::size_t>> shards;
+  std::string listen_spec;               ///< serve --listen HOST:PORT
+  std::string connect_spec;              ///< worker --connect HOST:PORT
+  std::string stream_partial_path;       ///< serve --stream-partial PATH
+  std::optional<double> worker_timeout;  ///< serve --worker-timeout seconds
+  std::optional<int> max_retries;        ///< serve --max-retries N
+  std::optional<int> fail_after_shards;  ///< worker --fail-after-shards N
 
   // cache-merge input files (the positional file is the output)
   std::vector<std::string> merge_inputs;
 };
 
-[[noreturn]] void usage() {
-  std::fprintf(stderr,
-               "usage: amdrelc "
-               "<analyze|partition|explore|serve|worker|dump-tac|dump-dot> "
-               "<file.mc> [--area N] [--cgcs N] [--constraint N] "
-               "[--strategy greedy|exhaustive|annealing] "
-               "[--ordering weight|benefit|code|random] "
-               "[--objective timing|energy|combined] [--energy-budget N] "
-               "[--timing-weight W] [--energy-weight W] "
-               "[--reconfig-latency C] [--prefetch-overlap F] "
-               "[--floorplan-cost C] "
-               "[--seed N] "
-               "[--input NAME=v0,v1,...] [--optimize] [--top N] "
-               "[--constraints c1,c2,...] [--energy-budgets b1,b2,...] "
-               "[--strategies s1,s2,...] "
-               "[--orderings o1,o2,...] [--grid a1,a2,...xc1,c2,...] "
-               "[--corpus ofdm|jpeg|fir|sobel|file.mc,...] "
-               "[--json PATH] [--csv PATH] [--threads N] "
-               "[--cache PATH] [--no-cache] [--cache-stats PATH] "
-               "[--cache-cap-bytes N] [--workers N] [--shards i,j,...]\n"
-               "   or: amdrelc cache-merge <out> <in...>\n"
-               "(explore/serve/worker accept --corpus in place of the "
-               "positional file; serve forks `amdrelc worker` processes "
-               "and its sweep output is byte-identical to explore; "
-               "--workers is serve-only, --shards is worker-only)\n");
-  std::exit(2);
-}
+[[noreturn]] void usage();
 
 /// Usage error attributable to one flag: names the flag and the problem
 /// before the generic usage text, so `--objective garbage` fails with a
@@ -231,6 +170,385 @@ double parse_double(const std::string& text, const std::string& flag) {
   }
 }
 
+// A path-valued flag must not swallow the next flag as its value; the
+// classic mistake `--json --csv out.csv` is a plain usage error (the
+// flag got A value, just not a path).
+void set_path(std::string& field, const std::string& value) {
+  if (value.empty() || value.rfind("--", 0) == 0) usage();
+  field = value;
+}
+
+void set_host_port(std::string& field, const std::string& value,
+                   const std::string& flag) {
+  std::string host;
+  int port = 0;
+  if (!support::net::parse_host_port(value, host, port)) {
+    usage_error(flag, "malformed address '" + value +
+                          "' (expected HOST:PORT or :PORT)");
+  }
+  field = value;
+}
+
+/// One CLI option: flag name, whether it consumes a value, the
+/// validating apply function (which reports problems as flag-named usage
+/// errors), and the help text usage() renders. This table is the entire
+/// flag surface — adding an option is one entry, and parse, validation
+/// and help can never drift apart.
+struct OptionSpec {
+  const char* name;
+  bool takes_value;
+  void (*apply)(Options&, const std::string& value, const std::string& flag);
+  const char* help;
+};
+
+const OptionSpec kOptions[] = {
+    {"--area", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       // Same invariants parse_platform_grid enforces for --grid, so the
+       // single-platform fallback path cannot smuggle in a bad platform.
+       o.area = parse_double(v, f);
+       if (!std::isfinite(o.area) || o.area <= 0) {
+         usage_error(f, "area must be positive and finite");
+       }
+     },
+     "usable fine-grain area A_FPGA (default 1500)"},
+    {"--cgcs", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.cgcs = parse_int(v, f);
+       if (o.cgcs < 1 || o.cgcs > 1024) {
+         usage_error(f, "CGC count must be in [1, 1024]");
+       }
+     },
+     "number of 2x2 CGCs (default 2)"},
+    {"--constraint", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.constraint = parse_i64(v, f);
+     },
+     "timing constraint in FPGA cycles (default: half of the "
+     "all-fine-grain cycles)"},
+    {"--strategy", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.strategy = core::parse_strategy(v);
+       if (!o.strategy) usage_error(f, "unknown strategy '" + v + "'");
+     },
+     "partitioning strategy: greedy | exhaustive | annealing "
+     "(default greedy)"},
+    {"--ordering", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.ordering = core::parse_kernel_ordering(v);
+       if (!o.ordering) usage_error(f, "unknown ordering '" + v + "'");
+     },
+     "kernel ordering: weight | benefit | code | random (default weight)"},
+    {"--objective", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.objective = core::parse_objective(v);
+       if (!o.objective) usage_error(f, "unknown objective '" + v + "'");
+     },
+     "cost objective: timing | energy | combined (default timing)"},
+    {"--energy-budget", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.energy_budget = parse_double(v, f);
+       if (!std::isfinite(*o.energy_budget) || *o.energy_budget < 0) {
+         usage_error(f, "energy budget must be >= 0 and finite");
+       }
+     },
+     "energy budget in pJ for the energy/combined objectives (partition "
+     "default: half of the all-fine-grain energy; explore default: 0)"},
+    {"--timing-weight", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.timing_weight = parse_double(v, f);
+       if (!std::isfinite(*o.timing_weight) || *o.timing_weight < 0) {
+         usage_error(f, "weight must be >= 0 and finite");
+       }
+     },
+     "combined-objective weight on cycles (default 1)"},
+    {"--energy-weight", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.energy_weight = parse_double(v, f);
+       if (!std::isfinite(*o.energy_weight) || *o.energy_weight < 0) {
+         usage_error(f, "weight must be >= 0 and finite");
+       }
+     },
+     "combined-objective weight on energy (default 1)"},
+    {"--reconfig-latency", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.reconfig_latency = parse_double(v, f);
+       if (!std::isfinite(*o.reconfig_latency) || *o.reconfig_latency < 0) {
+         usage_error(f, "reconfiguration latency must be >= 0 and finite");
+       }
+     },
+     "bitstream load latency in FPGA cycles per op node of a moved "
+     "module; 0 disables reconfiguration pricing entirely (default 0)"},
+    {"--prefetch-overlap", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.prefetch_overlap = parse_double(v, f);
+       if (!std::isfinite(*o.prefetch_overlap) || *o.prefetch_overlap < 0 ||
+           *o.prefetch_overlap >= 1) {
+         usage_error(f, "prefetch overlap must be in [0, 1)");
+       }
+     },
+     "fraction of each configuration load hidden by prefetch, in [0, 1) "
+     "(default 0)"},
+    {"--floorplan-cost", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.floorplan_cost = parse_double(v, f);
+       if (!std::isfinite(*o.floorplan_cost) || *o.floorplan_cost < 0) {
+         usage_error(f, "floorplan cost must be >= 0 and finite");
+       }
+     },
+     "area-cost charge per moved op node, reported beside platform cost "
+     "(never added to cycles) (default 0)"},
+    {"--seed", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.seed = parse_u64(v, f);
+     },
+     "seed for random ordering / annealing (default 1)"},
+    {"--input", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       const std::size_t eq = v.find('=');
+       if (eq == std::string::npos) {
+         usage_error(f, "expected NAME=v0,v1,...");
+       }
+       std::vector<std::int32_t> values;
+       for (const std::string& item : split_list(v.substr(eq + 1))) {
+         values.push_back(static_cast<std::int32_t>(parse_i64(item, f)));
+       }
+       o.inputs.emplace_back(v.substr(0, eq), std::move(values));
+     },
+     "NAME=v0,v1,...: initialize array NAME before profiling"},
+    {"--optimize", false,
+     [](Options& o, const std::string&, const std::string&) {
+       o.optimize = true;
+     },
+     "run the TAC optimizer before analysis"},
+    {"--top", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.top = parse_int(v, f);
+     },
+     "rows to print in analyze (default 10)"},
+    {"--constraints", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       for (const std::string& item : split_list(v)) {
+         o.constraints.push_back(parse_i64(item, f));
+       }
+     },
+     "explore only: c1,c2,... constraint sweep (default: 1/4, 1/2 and "
+     "3/4 of each cell's all-fine-grain cycles)"},
+    {"--energy-budgets", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       for (const std::string& item : split_list(v)) {
+         const double budget = parse_double(item, f);
+         if (!std::isfinite(budget) || budget < 0) {
+           usage_error(f, "energy budgets must be >= 0 and finite");
+         }
+         o.energy_budgets.push_back(budget);
+       }
+     },
+     "explore only: b1,b2,... energy-budget axis in pJ (default: the "
+     "single --energy-budget value, or 0)"},
+    {"--strategies", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       for (const std::string& item : split_list(v)) {
+         const auto strategy = core::parse_strategy(item);
+         if (!strategy) usage_error(f, "unknown strategy '" + item + "'");
+         o.strategies.push_back(*strategy);
+       }
+     },
+     "explore only: s1,s2,... strategies to sweep (default: all)"},
+    {"--orderings", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       for (const std::string& item : split_list(v)) {
+         const auto ordering = core::parse_kernel_ordering(item);
+         if (!ordering) usage_error(f, "unknown ordering '" + item + "'");
+         o.orderings.push_back(*ordering);
+       }
+     },
+     "explore only: o1,o2,... orderings to sweep (default: "
+     "weight,benefit)"},
+    {"--grid", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.grid = core::parse_platform_grid(v);
+       if (!o.grid) usage_error(f, "malformed grid '" + v + "'");
+     },
+     "platform grid \"a1,a2,...xc1,c2,...\" — A_FPGA values crossed with "
+     "CGC counts, e.g. 1500,5000x2,3 (default: one platform from "
+     "--area/--cgcs)"},
+    {"--corpus", true,
+     [](Options& o, const std::string& v, const std::string&) {
+       // split() drops a trailing empty field, so "ofdm," would
+       // otherwise silently pass the per-item empty check below.
+       if (v.empty() || v.back() == ',') usage();
+       o.corpus = split_list(v);
+       if (o.corpus.empty()) usage();
+       for (const std::string& item : o.corpus) {
+         if (item.empty()) usage();
+       }
+     },
+     "l1,l2,...: sweep these apps as well as (or instead of) the "
+     "positional file: built-ins ofdm | jpeg (the paper's calibrated "
+     "models), fir | sobel (bundled MiniC sources), or a path to a .mc "
+     "file"},
+    {"--json", true,
+     [](Options& o, const std::string& v, const std::string&) {
+       set_path(o.json_path, v);
+     },
+     "write the sweep as stable-schema JSON to PATH"},
+    {"--csv", true,
+     [](Options& o, const std::string& v, const std::string&) {
+       set_path(o.csv_path, v);
+     },
+     "write the sweep as CSV to PATH"},
+    {"--threads", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.threads = parse_int(v, f);
+     },
+     "worker threads for the in-process sweep (default 2)"},
+    {"--cache", true,
+     [](Options& o, const std::string& v, const std::string&) {
+       set_path(o.cache_path, v);
+     },
+     "persistent sweep cache: loaded before the sweep (warn-and-"
+     "recompute on any validation failure) and saved after it, so "
+     "repeated invocations start warm"},
+    {"--no-cache", false,
+     [](Options& o, const std::string&, const std::string&) {
+       o.no_cache = true;
+     },
+     "run uncached (overrides --cache)"},
+    {"--cache-stats", true,
+     [](Options& o, const std::string& v, const std::string&) {
+       set_path(o.cache_stats_path, v);
+     },
+     "write the cache hit/miss counters as JSON (requires an effective "
+     "--cache; explore/worker only)"},
+    {"--cache-cap-bytes", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       // A leading '-' would parse as a huge unsigned value; reject it
+       // as the usage error it is.
+       if (v.empty() || v[0] == '-') usage_error(f, "cap must be >= 0");
+       o.cache_cap = parse_u64(v, f);
+     },
+     "size cap for the saved cache file; entries beyond it are evicted "
+     "least-recently-touched first (0 = never evict; default 64 MiB)"},
+    {"--workers", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       const int workers = parse_int(v, f);
+       if (workers < 1 || workers > 512) {
+         usage_error(f, "worker count must be in [1, 512]");
+       }
+       o.workers = workers;
+     },
+     "serve only: worker count — fork fan-out, or with --listen the "
+     "number of dial-ins served concurrently (default 2)"},
+    {"--listen", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       set_host_port(o.listen_spec, v, f);
+     },
+     "serve only: accept `amdrelc worker --connect` dial-ins on "
+     "HOST:PORT instead of forking local workers (port 0 = ephemeral; "
+     "the bound port is announced on stderr)"},
+    {"--stream-partial", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       if (v.empty() || v.rfind("--", 0) == 0) {
+         usage_error(f, "missing output path");
+       }
+       o.stream_partial_path = v;
+     },
+     "serve only: append finished shards to PATH as schema-v3 NDJSON "
+     "while the sweep runs (completion order; the merged artifact stays "
+     "the deterministic one)"},
+    {"--worker-timeout", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       o.worker_timeout = parse_double(v, f);
+       if (!std::isfinite(*o.worker_timeout) || *o.worker_timeout < 0) {
+         usage_error(f, "timeout must be >= 0 and finite");
+       }
+     },
+     "serve only: seconds of mid-round silence before a worker is "
+     "declared dead and its unfinished shards retried (0 disables; "
+     "default 300)"},
+    {"--max-retries", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       const int retries = parse_int(v, f);
+       if (retries < 0 || retries > 100) {
+         usage_error(f, "retry count must be in [0, 100]");
+       }
+       o.max_retries = retries;
+     },
+     "serve only: extra assignment attempts allowed per shard after the "
+     "first before the run fails (0 disables retry; default 2)"},
+    {"--shards", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       // split() drops a trailing empty field; "0,1," must not silently
+       // parse as "0,1".
+       if (v.empty() || v.back() == ',') {
+         usage_error(f, "malformed shard list '" + v + "'");
+       }
+       std::vector<std::size_t> shards;
+       for (const std::string& item : split_list(v)) {
+         const std::int64_t shard = parse_i64(item, f);
+         if (shard < 0) usage_error(f, "shard indices must be >= 0");
+         const auto value = static_cast<std::size_t>(shard);
+         if (std::find(shards.begin(), shards.end(), value) !=
+             shards.end()) {
+           usage_error(f, "duplicate shard " + item);
+         }
+         shards.push_back(value);
+       }
+       if (shards.empty()) usage_error(f, "empty shard list");
+       o.shards = std::move(shards);
+     },
+     "worker only: i,j,... the (app, platform) shard indices this worker "
+     "computes and streams on stdout (normally passed by serve, not "
+     "typed by hand)"},
+    {"--connect", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       set_host_port(o.connect_spec, v, f);
+     },
+     "worker only: dial a listening coordinator at HOST:PORT (empty host "
+     "= loopback) and serve assignment rounds over the socket instead of "
+     "taking a --shards list"},
+    {"--fail-after-shards", true,
+     [](Options& o, const std::string& v, const std::string& f) {
+       const int count = parse_int(v, f);
+       if (count < 1) usage_error(f, "shard count must be >= 1");
+       o.fail_after_shards = count;
+     },
+     "worker only: raise SIGKILL after emitting N shards — deterministic "
+     "fault injection for the serve retry tests"},
+};
+
+const OptionSpec* find_option(const std::string& name) {
+  for (const OptionSpec& spec : kOptions) {
+    if (name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+[[noreturn]] void usage() {
+  std::string text =
+      "usage: amdrelc "
+      "<analyze|partition|explore|serve|worker|dump-tac|dump-dot> "
+      "<file.mc> [options]\n"
+      "   or: amdrelc cache-merge <out> <in...>\n"
+      "options:\n";
+  for (const OptionSpec& spec : kOptions) {
+    text += "  ";
+    text += spec.name;
+    if (spec.takes_value) text += " <value>";
+    text += "\n      ";
+    text += spec.help;
+    text += '\n';
+  }
+  text +=
+      "(explore/serve/worker accept --corpus in place of the positional "
+      "file; serve forks `amdrelc worker` processes — or, with --listen, "
+      "accepts `worker --connect` dial-ins — and its sweep output is "
+      "byte-identical to explore)\n";
+  std::fprintf(stderr, "%s", text.c_str());
+  std::exit(2);
+}
+
 Options parse_args(int argc, char** argv) {
   if (argc < 3) usage();
   Options options;
@@ -244,198 +562,17 @@ Options parse_args(int argc, char** argv) {
   }
   for (int i = first_flag; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (++i >= argc) usage_error(arg, "missing value");
-      return argv[i];
-    };
-    if (arg == "--area") {
-      // Same invariants parse_platform_grid enforces for --grid, so the
-      // single-platform fallback path cannot smuggle in a bad platform.
-      options.area = parse_double(next(), arg);
-      if (!std::isfinite(options.area) || options.area <= 0) {
-        usage_error(arg, "area must be positive and finite");
+    if (const OptionSpec* spec = find_option(arg)) {
+      std::string value;
+      if (spec->takes_value) {
+        if (++i >= argc) usage_error(arg, "missing value");
+        value = argv[i];
       }
-    } else if (arg == "--cgcs") {
-      options.cgcs = parse_int(next(), arg);
-      if (options.cgcs < 1 || options.cgcs > 1024) {
-        usage_error(arg, "CGC count must be in [1, 1024]");
-      }
-    } else if (arg == "--constraint") {
-      options.constraint = parse_i64(next(), arg);
-    } else if (arg == "--strategy") {
-      const std::string name = next();
-      options.strategy = core::parse_strategy(name);
-      if (!options.strategy) {
-        usage_error(arg, "unknown strategy '" + name + "'");
-      }
-    } else if (arg == "--ordering") {
-      const std::string name = next();
-      options.ordering = core::parse_kernel_ordering(name);
-      if (!options.ordering) {
-        usage_error(arg, "unknown ordering '" + name + "'");
-      }
-    } else if (arg == "--objective") {
-      const std::string name = next();
-      options.objective = core::parse_objective(name);
-      if (!options.objective) {
-        usage_error(arg, "unknown objective '" + name + "'");
-      }
-    } else if (arg == "--energy-budget") {
-      options.energy_budget = parse_double(next(), arg);
-      if (!std::isfinite(*options.energy_budget) ||
-          *options.energy_budget < 0) {
-        usage_error(arg, "energy budget must be >= 0 and finite");
-      }
-    } else if (arg == "--timing-weight") {
-      options.timing_weight = parse_double(next(), arg);
-      if (!std::isfinite(*options.timing_weight) ||
-          *options.timing_weight < 0) {
-        usage_error(arg, "weight must be >= 0 and finite");
-      }
-    } else if (arg == "--energy-weight") {
-      options.energy_weight = parse_double(next(), arg);
-      if (!std::isfinite(*options.energy_weight) ||
-          *options.energy_weight < 0) {
-        usage_error(arg, "weight must be >= 0 and finite");
-      }
-    } else if (arg == "--reconfig-latency") {
-      options.reconfig_latency = parse_double(next(), arg);
-      if (!std::isfinite(*options.reconfig_latency) ||
-          *options.reconfig_latency < 0) {
-        usage_error(arg, "reconfiguration latency must be >= 0 and finite");
-      }
-    } else if (arg == "--prefetch-overlap") {
-      options.prefetch_overlap = parse_double(next(), arg);
-      if (!std::isfinite(*options.prefetch_overlap) ||
-          *options.prefetch_overlap < 0 || *options.prefetch_overlap >= 1) {
-        usage_error(arg, "prefetch overlap must be in [0, 1)");
-      }
-    } else if (arg == "--floorplan-cost") {
-      options.floorplan_cost = parse_double(next(), arg);
-      if (!std::isfinite(*options.floorplan_cost) ||
-          *options.floorplan_cost < 0) {
-        usage_error(arg, "floorplan cost must be >= 0 and finite");
-      }
-    } else if (arg == "--energy-budgets") {
-      for (const std::string& item : split_list(next())) {
-        const double budget = parse_double(item, arg);
-        if (!std::isfinite(budget) || budget < 0) {
-          usage_error(arg, "energy budgets must be >= 0 and finite");
-        }
-        options.energy_budgets.push_back(budget);
-      }
-    } else if (arg == "--seed") {
-      options.seed = parse_u64(next(), arg);
-    } else if (arg == "--threads") {
-      options.threads = parse_int(next(), arg);
-    } else if (arg == "--constraints") {
-      for (const std::string& item : split_list(next())) {
-        options.constraints.push_back(parse_i64(item, arg));
-      }
-    } else if (arg == "--strategies") {
-      for (const std::string& item : split_list(next())) {
-        const auto strategy = core::parse_strategy(item);
-        if (!strategy) usage_error(arg, "unknown strategy '" + item + "'");
-        options.strategies.push_back(*strategy);
-      }
-    } else if (arg == "--orderings") {
-      for (const std::string& item : split_list(next())) {
-        const auto ordering = core::parse_kernel_ordering(item);
-        if (!ordering) usage_error(arg, "unknown ordering '" + item + "'");
-        options.orderings.push_back(*ordering);
-      }
-    } else if (arg == "--grid") {
-      const std::string spec = next();
-      options.grid = core::parse_platform_grid(spec);
-      if (!options.grid) usage_error(arg, "malformed grid '" + spec + "'");
-    } else if (arg == "--corpus") {
-      const std::string spec = next();
-      // getline drops a trailing empty field, so "ofdm," would otherwise
-      // silently pass the per-item empty check below.
-      if (spec.empty() || spec.back() == ',') usage();
-      options.corpus = split_list(spec);
-      if (options.corpus.empty()) usage();
-      for (const std::string& item : options.corpus) {
-        if (item.empty()) usage();
-      }
-    } else if (arg == "--json") {
-      options.json_path = next();
-      if (options.json_path.empty() ||
-          options.json_path.rfind("--", 0) == 0) {
-        usage();
-      }
-    } else if (arg == "--csv") {
-      options.csv_path = next();
-      if (options.csv_path.empty() || options.csv_path.rfind("--", 0) == 0) {
-        usage();
-      }
-    } else if (arg == "--cache") {
-      options.cache_path = next();
-      if (options.cache_path.empty() ||
-          options.cache_path.rfind("--", 0) == 0) {
-        usage();
-      }
-    } else if (arg == "--cache-stats") {
-      options.cache_stats_path = next();
-      if (options.cache_stats_path.empty() ||
-          options.cache_stats_path.rfind("--", 0) == 0) {
-        usage();
-      }
-    } else if (arg == "--no-cache") {
-      options.no_cache = true;
-    } else if (arg == "--cache-cap-bytes") {
-      const std::string text = next();
-      // A leading '-' would parse as a huge unsigned value; reject it as
-      // the usage error it is.
-      if (text.empty() || text[0] == '-') {
-        usage_error(arg, "cap must be >= 0");
-      }
-      options.cache_cap = parse_u64(text, arg);
-    } else if (arg == "--workers") {
-      const int workers = parse_int(next(), arg);
-      if (workers < 1 || workers > 512) {
-        usage_error(arg, "worker count must be in [1, 512]");
-      }
-      options.workers = workers;
-    } else if (arg == "--shards") {
-      const std::string spec = next();
-      // split() drops a trailing empty field; "0,1," must not silently
-      // parse as "0,1".
-      if (spec.empty() || spec.back() == ',') {
-        usage_error(arg, "malformed shard list '" + spec + "'");
-      }
-      std::vector<std::size_t> shards;
-      for (const std::string& item : split_list(spec)) {
-        const std::int64_t shard = parse_i64(item, arg);
-        if (shard < 0) usage_error(arg, "shard indices must be >= 0");
-        const auto value = static_cast<std::size_t>(shard);
-        if (std::find(shards.begin(), shards.end(), value) != shards.end()) {
-          usage_error(arg, "duplicate shard " + item);
-        }
-        shards.push_back(value);
-      }
-      if (shards.empty()) usage_error(arg, "empty shard list");
-      options.shards = std::move(shards);
-    } else if (arg == "--optimize") {
-      options.optimize = true;
-    } else if (arg == "--top") {
-      options.top = parse_int(next(), arg);
-    } else if (arg == "--input") {
-      const std::string spec = next();
-      const auto eq = spec.find('=');
-      if (eq == std::string::npos) {
-        usage_error(arg, "expected NAME=v0,v1,...");
-      }
-      std::vector<std::int32_t> values;
-      std::stringstream ss(spec.substr(eq + 1));
-      std::string item;
-      while (std::getline(ss, item, ',')) {
-        values.push_back(static_cast<std::int32_t>(parse_i64(item, arg)));
-      }
-      options.inputs.emplace_back(spec.substr(0, eq), std::move(values));
-    } else if (options.command == "cache-merge" && arg[0] != '-') {
-      // cache-merge is the one multi-positional command: first
-      // positional is the output path (options.file), the rest are the
+      spec->apply(options, value, arg);
+    } else if (options.command == "cache-merge" && !arg.empty() &&
+               arg[0] != '-') {
+      // cache-merge is the one multi-positional command: the first
+      // positional (options.file) is the output path, the rest are the
       // input caches to fold in.
       options.merge_inputs.push_back(arg);
     } else {
@@ -450,14 +587,28 @@ Options parse_args(int argc, char** argv) {
   if (options.file.empty() && !(sweep_command && !options.corpus.empty())) {
     usage();
   }
-  // The distributed-split flags are command-specific: --workers shapes
-  // the serve fork fan-out, --shards is the assignment serve hands each
-  // worker (and a worker without one has nothing to compute).
+  // The distributed-split flags are command-specific: the coordinator
+  // side (fan-out width, transport address, fault-tolerance knobs,
+  // partial stream) belongs to serve, the assignment side (--shards /
+  // --connect, fault injection) to worker.
   if (options.workers && options.command != "serve") usage();
+  if (!options.listen_spec.empty() && options.command != "serve") usage();
+  if (!options.stream_partial_path.empty() && options.command != "serve") {
+    usage();
+  }
+  if (options.worker_timeout && options.command != "serve") usage();
+  if (options.max_retries && options.command != "serve") usage();
   if (options.shards && options.command != "worker") usage();
-  if (options.command == "worker" && !options.shards) usage();
-  // serve's own stdout is the merged sweep; its workers each have their
-  // own cache traffic, so a single stats file would be ambiguous.
+  if (!options.connect_spec.empty() && options.command != "worker") usage();
+  if (options.fail_after_shards && options.command != "worker") usage();
+  // A worker's assignment comes from exactly one source: a --shards list
+  // (static stdout stream) or a --connect coordinator (socket rounds).
+  if (options.command == "worker" &&
+      options.shards.has_value() != options.connect_spec.empty()) {
+    usage();
+  }
+  // serve's own cache traffic is zero (its workers compute the cells),
+  // so a serve-side stats file would only ever hold zeros.
   if (options.command == "serve" && !options.cache_stats_path.empty()) {
     usage();
   }
@@ -580,11 +731,13 @@ int cmd_partition(const Options& options) {
     // Mirror the timing default (half of all-fine cycles): without an
     // explicit budget, ask for half of the all-fine-grain energy.
     mo.cost.energy_budget_pj =
-        core::estimate_energy(mapper, app.profile, {}, mo.cost.objective.energy)
+        core::estimate_energy(mapper, app.profile, {},
+                              mo.cost.objective.energy)
             .total_pj() *
         0.5;
   }
-  const auto report = core::run_methodology(mapper, app.profile, constraint, mo);
+  const auto report =
+      core::run_methodology(mapper, app.profile, constraint, mo);
   std::fprintf(stderr, "strategy: %s, ordering: %s, objective: %s\n",
                core::strategy_name(mo.strategy),
                core::kernel_ordering_name(mo.ordering),
@@ -601,9 +754,9 @@ core::CorpusApp corpus_app(const std::string& name, const Options& options) {
   core::CorpusApp app;
   app.name = name;
   if (name == "ofdm" || name == "jpeg") {
-    workloads::PaperApp model =
-        name == "ofdm" ? workloads::build_ofdm_model()
-                       : workloads::build_jpeg_model();
+    workloads::PaperApp model = name == "ofdm"
+                                    ? workloads::build_ofdm_model()
+                                    : workloads::build_jpeg_model();
     app.cdfg = std::move(model.cdfg);
     app.profile = std::move(model.profile);
     return app;
@@ -719,8 +872,10 @@ bool setup_cache(const Options& options, core::SweepCache& cache) {
                    cache.stats().entries_loaded == 1 ? "y" : "ies",
                    options.cache_path.c_str());
     } else {
-      std::fprintf(stderr, "amdrelc: warning: ignoring cache (%s); "
-                   "recomputing from scratch\n", error.c_str());
+      std::fprintf(stderr,
+                   "amdrelc: warning: ignoring cache (%s); recomputing "
+                   "from scratch\n",
+                   error.c_str());
     }
   }
   return true;
@@ -786,49 +941,101 @@ int cmd_explore(const Options& options) {
   return 0;
 }
 
-// Coordinator: forks `amdrelc worker` processes, each re-running this
-// binary with the original sweep flags plus its --shards assignment, and
-// merges their streams into the summary explore would have produced.
+// The fork transport's worker command: this binary re-run as `amdrelc
+// worker` with the original sweep flags plus the --shards assignment.
 // The original argv is forwarded verbatim EXCEPT the serve-only flags:
-// --workers (meaningless in a worker) and the artifact outputs
-// --json/--csv (workers emit wire protocol on stdout, not artifacts;
-// --cache-stats is already rejected for serve in parse_args). --cache IS
-// forwarded: each worker loads the shared file and persists with
-// merge-on-save, which is exactly the concurrent-writer regime the
-// cache's file lock exists for.
-int cmd_serve(const Options& options, int argc, char** argv) {
-  const std::vector<core::CorpusApp> corpus = build_corpus(options);
-  const core::SweepSpec spec = build_sweep_spec(options);
-
+// --workers/--listen/--worker-timeout/--max-retries (coordinator
+// concerns) and the artifact outputs --json/--csv/--stream-partial
+// (workers emit wire protocol on stdout, not artifacts; --cache-stats
+// is already rejected for serve in parse_args). --cache IS forwarded:
+// each worker loads the shared file and persists with merge-on-save,
+// exactly the concurrent-writer regime the cache's file lock exists for.
+core::WorkerCommandFn forked_worker_command(int argc, char** argv) {
   std::vector<std::string> base_command;
   base_command.push_back(argv[0]);
   base_command.push_back("worker");
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--workers" || arg == "--json" || arg == "--csv") {
+    if (arg == "--workers" || arg == "--json" || arg == "--csv" ||
+        arg == "--listen" || arg == "--stream-partial" ||
+        arg == "--worker-timeout" || arg == "--max-retries") {
       ++i;  // skip the flag's value too
       continue;
     }
     base_command.push_back(arg);
   }
+  return [base_command](const std::vector<std::size_t>& assigned) {
+    std::vector<std::string> command = base_command;
+    std::string joined;
+    for (std::size_t i = 0; i < assigned.size(); ++i) {
+      if (i) joined += ',';
+      joined += std::to_string(assigned[i]);
+    }
+    command.push_back("--shards");
+    command.push_back(joined);
+    return command;
+  };
+}
+
+// Coordinator: reaches workers through the configured transport — forked
+// `amdrelc worker` processes by default, TCP dial-ins with --listen —
+// and merges their streams into the summary explore would have
+// produced, retrying a dead worker's unfinished shards within the
+// configured budget.
+int cmd_serve(const Options& options, int argc, char** argv) {
+  const std::vector<core::CorpusApp> corpus = build_corpus(options);
+  const core::SweepSpec spec = build_sweep_spec(options);
+  const std::size_t shards = core::sweep_shard_count(corpus, spec);
 
   core::ServeOptions serve;
   serve.workers = options.workers.value_or(2);
-  serve.worker_command =
-      [&base_command](const std::vector<std::size_t>& assigned) {
-        std::vector<std::string> command = base_command;
-        std::string joined;
-        for (std::size_t i = 0; i < assigned.size(); ++i) {
-          if (i) joined += ',';
-          joined += std::to_string(assigned[i]);
-        }
-        command.push_back("--shards");
-        command.push_back(joined);
-        return command;
-      };
+  if (options.max_retries) serve.max_shard_retries = *options.max_retries;
+  if (options.worker_timeout) {
+    serve.idle_timeout_ms =
+        static_cast<int>(*options.worker_timeout * 1000.0);
+  }
+
+  std::unique_ptr<core::Transport> transport;
+  if (!options.listen_spec.empty()) {
+    std::string host;
+    int port = 0;
+    support::net::parse_host_port(options.listen_spec, host, port);
+    auto tcp = std::make_unique<core::TcpTransport>(
+        support::net::listen_tcp(host, port));
+    // An ephemeral port (--listen :0) is only knowable here; scripts
+    // scrape this line to learn where to point their workers.
+    std::fprintf(stderr, "serve: listening on %s:%d\n",
+                 host.empty() ? "0.0.0.0" : host.c_str(), tcp->port());
+    transport = std::move(tcp);
+  } else {
+    transport = std::make_unique<core::ForkPipeTransport>(
+        forked_worker_command(argc, argv));
+  }
+  serve.transport = transport.get();
+
+  std::ofstream partial;
+  std::vector<std::string> app_names;
+  if (!options.stream_partial_path.empty()) {
+    for (const core::CorpusApp& app : corpus) app_names.push_back(app.name);
+    partial.open(options.stream_partial_path, std::ios::binary);
+    require(partial.good(), "cannot write " + options.stream_partial_path);
+    core::write_partial_stream_header(partial, shards);
+    serve.on_shard_complete = [&partial, &app_names](
+                                  std::size_t shard,
+                                  const core::SweepCell* cells,
+                                  std::size_t used) {
+      core::write_partial_stream_shard(partial, app_names, shard, cells,
+                                       used);
+    };
+  }
 
   const auto summary = core::serve_design_space(corpus, spec, serve);
-  const std::size_t shards = core::sweep_shard_count(corpus, spec);
+  if (!options.stream_partial_path.empty()) {
+    partial.flush();
+    require(partial.good(), "cannot write " + options.stream_partial_path);
+    std::fprintf(stderr, "wrote partial shard stream to %s\n",
+                 options.stream_partial_path.c_str());
+  }
   std::printf("distributed sweep: %zu app(s) x %zu platform(s), "
               "%zu cells, %d worker(s)\n",
               summary.apps.size(), spec.grid.size(), summary.cells.size(),
@@ -838,9 +1045,11 @@ int cmd_serve(const Options& options, int argc, char** argv) {
   return 0;
 }
 
-// One serve worker. Stdout carries ONLY the wire protocol (profiling and
-// cache diagnostics already go to stderr); serve consumes it through the
-// strict stream validator in core/sweep_service.h.
+// One serve worker. In --shards mode stdout carries ONLY the wire
+// protocol (profiling and cache diagnostics already go to stderr); in
+// --connect mode the same protocol rides the socket and stdout stays
+// free. Serve consumes either through the strict stream validator in
+// core/sweep_service.h.
 int cmd_worker(const Options& options) {
   const std::vector<core::CorpusApp> corpus = build_corpus(options);
   core::SweepSpec spec = build_sweep_spec(options);
@@ -848,9 +1057,42 @@ int cmd_worker(const Options& options) {
   const bool use_cache = setup_cache(options, cache);
   if (use_cache) spec.cache = &cache;
 
-  core::run_sweep_worker(corpus, spec, *options.shards, std::cout);
-  std::cout.flush();
-  require(std::cout.good(), "worker: cannot write result stream to stdout");
+  core::ShardEmitHook after_shard;
+  if (options.fail_after_shards) {
+    // Deterministic fault injection for the serve retry tests: die the
+    // instant the Nth shard has been flushed, exactly as a crashed host
+    // would — no timing races, no partial lines.
+    const auto limit =
+        static_cast<std::size_t>(*options.fail_after_shards);
+    after_shard = [limit](std::size_t emitted) {
+      if (emitted >= limit) {
+#ifndef _WIN32
+        std::raise(SIGKILL);
+#else
+        fail("worker: --fail-after-shards requires POSIX signals");
+#endif
+      }
+    };
+  }
+
+  if (!options.connect_spec.empty()) {
+    std::string host;
+    int port = 0;
+    support::net::parse_host_port(options.connect_spec, host, port);
+    support::net::Socket conn =
+        support::net::connect_tcp(host, port, /*timeout_ms=*/30000);
+    support::net::FdIoStream stream(conn.fd());
+    core::run_sweep_worker_connected(corpus, spec, stream, stream,
+                                     after_shard);
+    stream.flush();
+    require(stream.good(), "worker: cannot write result stream to socket");
+  } else {
+    core::run_sweep_worker(corpus, spec, *options.shards, std::cout,
+                           after_shard);
+    std::cout.flush();
+    require(std::cout.good(),
+            "worker: cannot write result stream to stdout");
+  }
   if (use_cache) report_and_save_cache(options, cache);
   if (use_cache && !options.cache_stats_path.empty()) {
     write_output_file(options.cache_stats_path,
